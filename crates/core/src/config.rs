@@ -1,0 +1,309 @@
+//! Calibration constants for the simulated testbed.
+//!
+//! The absolute numbers are tuned so the simulated Client-Server baseline
+//! and PMNet design points land near the paper's reported microbenchmark
+//! latencies (Figures 15 and 18); DESIGN.md §6 documents the mapping. The
+//! *shape* of every figure follows from the structure (what sits on the
+//! critical path), not from any individual constant.
+
+use pmnet_net::{LinkSpec, StackProfile};
+use pmnet_pmem::{CostModel, PmDeviceConfig};
+use pmnet_sim::Dur;
+
+/// The UDP port range reserved for PMNet traffic (Section IV-A2).
+pub const PMNET_UDP_PORTS: std::ops::RangeInclusive<u16> = 51000..=52000;
+
+/// Maximum transmission unit (Section IV-A3).
+pub const MTU_BYTES: usize = 1500;
+
+/// Latency model of one host: the kernel (or bypass) network stack split
+/// into a NIC/kernel part and a user-space crossing, plus fixed application
+/// overhead per request.
+///
+/// The split matters for the Figure 17b alternative design: *server-side
+/// logging* intercepts requests after the kernel part but before the
+/// user-space crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostProfile {
+    /// Kernel/NIC half of the receive path.
+    pub kernel_rx: StackProfile,
+    /// User-space crossing half of the receive path.
+    pub user_rx: StackProfile,
+    /// User-space crossing half of the transmit path.
+    pub user_tx: StackProfile,
+    /// Kernel/NIC half of the transmit path.
+    pub kernel_tx: StackProfile,
+    /// Fixed application-level overhead per request (formatting, syscall
+    /// setup) applied on the requester side.
+    pub app_overhead: Dur,
+}
+
+impl HostProfile {
+    /// The client machines of Table II running the normal kernel stack.
+    pub fn kernel_client() -> HostProfile {
+        HostProfile {
+            kernel_rx: StackProfile::fixed(Dur::nanos(5_200))
+                .with_per_byte(Dur::from_nanos_f64(0.8))
+                .with_jitter(0.08)
+                .with_hiccups(0.004, Dur::micros(40)),
+            user_rx: StackProfile::fixed(Dur::nanos(3_000)).with_jitter(0.08),
+            user_tx: StackProfile::fixed(Dur::nanos(3_000)).with_jitter(0.08),
+            kernel_tx: StackProfile::fixed(Dur::nanos(5_200))
+                .with_per_byte(Dur::from_nanos_f64(0.8))
+                .with_jitter(0.08)
+                .with_hiccups(0.004, Dur::micros(40)),
+            app_overhead: Dur::nanos(800),
+        }
+    }
+
+    /// The server of Table II running the normal kernel stack; heavier than
+    /// the client (softirq contention under fan-in — the Figure 2 breakdown
+    /// attributes ~70 % of an update RTT to the server side).
+    pub fn kernel_server() -> HostProfile {
+        HostProfile {
+            kernel_rx: StackProfile::fixed(Dur::nanos(12_000))
+                .with_per_byte(Dur::from_nanos_f64(1.2))
+                .with_jitter(0.10)
+                .with_hiccups(0.012, Dur::micros(80)),
+            user_rx: StackProfile::fixed(Dur::nanos(7_000)).with_jitter(0.10),
+            user_tx: StackProfile::fixed(Dur::nanos(6_000)).with_jitter(0.10),
+            kernel_tx: StackProfile::fixed(Dur::nanos(11_000))
+                .with_per_byte(Dur::from_nanos_f64(1.2))
+                .with_jitter(0.10)
+                .with_hiccups(0.012, Dur::micros(80)),
+            app_overhead: Dur::micros(1),
+        }
+    }
+
+    /// A libVMA-style kernel-bypass client stack (Section VI-B7).
+    pub fn bypass_client() -> HostProfile {
+        HostProfile {
+            kernel_rx: StackProfile::fixed(Dur::nanos(1_000)).with_jitter(0.05),
+            user_rx: StackProfile::fixed(Dur::nanos(500)).with_jitter(0.05),
+            user_tx: StackProfile::fixed(Dur::nanos(500)).with_jitter(0.05),
+            kernel_tx: StackProfile::fixed(Dur::nanos(1_000)).with_jitter(0.05),
+            app_overhead: Dur::nanos(500),
+        }
+    }
+
+    /// A libVMA-style kernel-bypass server stack (Section VI-B7); polling,
+    /// copies and socket emulation still cost several microseconds per
+    /// direction on the server under fan-in.
+    pub fn bypass_server() -> HostProfile {
+        HostProfile {
+            kernel_rx: StackProfile::fixed(Dur::nanos(5_500))
+                .with_jitter(0.06)
+                .with_hiccups(0.004, Dur::micros(30)),
+            user_rx: StackProfile::fixed(Dur::nanos(3_000)).with_jitter(0.06),
+            user_tx: StackProfile::fixed(Dur::nanos(2_500)).with_jitter(0.06),
+            kernel_tx: StackProfile::fixed(Dur::nanos(5_000))
+                .with_jitter(0.06)
+                .with_hiccups(0.004, Dur::micros(30)),
+            app_overhead: Dur::nanos(500),
+        }
+    }
+
+    /// Extra per-direction cost when the application speaks TCP instead of
+    /// UDP (the paper keeps Redis/Twitter/TPCC baselines on their native
+    /// TCP, Section VI-A3).
+    pub fn tcp_extra() -> Dur {
+        Dur::micros(2)
+    }
+}
+
+/// Parameters of one PMNet device (switch or NIC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// MAT pipeline traversal latency (parse + match + action).
+    pub pipeline_delay: Dur,
+    /// Additional pipeline cost per payload byte (payload copy through the
+    /// FPGA datapath — the reason Figure 15's benefit shrinks with larger
+    /// requests).
+    pub pipeline_per_byte: Dur,
+    /// The on-board PM module.
+    pub pm: PmDeviceConfig,
+    /// Log-queue capacity in bytes (the 4 KiB SRAM buffer of Section V-A
+    /// sized by the Eq. 2 bandwidth-delay product).
+    pub log_queue_bytes: u64,
+    /// Maximum number of log entries (hash-table capacity).
+    pub log_capacity_entries: usize,
+    /// Maximum bytes of PM devoted to the request log (Eq. 1 BDP sizing;
+    /// the 2 GB board holds far more, the bound exists to exercise the
+    /// log-full bypass path).
+    pub log_capacity_bytes: u64,
+    /// Read-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// How long a log entry may sit without a server-ACK before the device
+    /// resends it to the server as a redo (repairs forwards lost with no
+    /// follow-up traffic to trigger the server's gap detector).
+    pub log_retry_timeout: Dur,
+}
+
+impl DeviceConfig {
+    /// The paper's FPGA prototype (Section V-A).
+    pub fn fpga() -> DeviceConfig {
+        DeviceConfig {
+            pipeline_delay: Dur::nanos(650),
+            pipeline_per_byte: Dur::from_nanos_f64(5.5),
+            pm: PmDeviceConfig::fpga_board(),
+            log_queue_bytes: 4 * 1024,
+            log_capacity_entries: 65_536,
+            // Eq. 1: 500 us x 10 Gbps = 5 Mbit = 625 kB; leave headroom.
+            log_capacity_bytes: 4 * 625 * 1024,
+            cache_entries: 0,
+            log_retry_timeout: Dur::millis(5),
+        }
+    }
+
+    /// Returns a copy with read caching enabled (Section IV-D).
+    pub fn with_cache(mut self, entries: usize) -> DeviceConfig {
+        self.cache_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different log capacity (pressure ablation).
+    pub fn with_log_capacity(mut self, entries: usize, bytes: u64) -> DeviceConfig {
+        self.log_capacity_entries = entries;
+        self.log_capacity_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different log-queue size (Eq. 2 ablation).
+    pub fn with_log_queue_bytes(mut self, bytes: u64) -> DeviceConfig {
+        self.log_queue_bytes = bytes;
+        self
+    }
+}
+
+/// Everything an experiment needs to assemble a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Client host latency model.
+    pub client: HostProfile,
+    /// Server host latency model.
+    pub server: HostProfile,
+    /// PMNet device parameters.
+    pub device: DeviceConfig,
+    /// Link parameters (10 Gbps testbed by default).
+    pub link: LinkSpec,
+    /// Number of parallel request-handler workers on the server (Table II:
+    /// 20 cores).
+    pub server_workers: usize,
+    /// Server-side PM cost model for handler service times.
+    pub cost: CostModel,
+    /// Client retransmission timeout.
+    pub client_timeout: Dur,
+    /// Server gap-detection delay before requesting a retransmission.
+    pub gap_timeout: Dur,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            client: HostProfile::kernel_client(),
+            server: HostProfile::kernel_server(),
+            device: DeviceConfig::fpga(),
+            link: LinkSpec::ten_gbps(),
+            server_workers: 20,
+            cost: CostModel::optane_server(),
+            client_timeout: Dur::millis(10),
+            gap_timeout: Dur::micros(100),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Both hosts on kernel-bypass (libVMA) stacks — Figure 22.
+    pub fn with_bypass_stacks(mut self) -> SystemConfig {
+        self.client = HostProfile::bypass_client();
+        self.server = HostProfile::bypass_server();
+        self
+    }
+}
+
+/// Bandwidth-delay-product sizing from Section V-A.
+pub mod bdp {
+    use pmnet_sim::Dur;
+
+    /// Equation 1: bits of PM needed to hold all in-flight update requests.
+    pub fn log_capacity_bits(max_rtt: Dur, bandwidth_bps: u64) -> u64 {
+        (max_rtt.as_secs_f64() * bandwidth_bps as f64).ceil() as u64
+    }
+
+    /// Equation 2: bits of SRAM queue needed to decouple PM latency from
+    /// line rate.
+    pub fn log_queue_bits(pm_latency: Dur, bandwidth_bps: u64) -> u64 {
+        (pm_latency.as_secs_f64() * bandwidth_bps as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_matches_the_papers_arithmetic() {
+        // Eq. 1: 500 us x 10 Gbps ~= 5 Mbit.
+        assert_eq!(
+            bdp::log_capacity_bits(Dur::micros(500), 10_000_000_000),
+            5_000_000
+        );
+        // Eq. 2: 100 ns x 10 Gbps ~= 1 kbit.
+        assert_eq!(bdp::log_queue_bits(Dur::nanos(100), 10_000_000_000), 1_000);
+        // Section VII: 100 Gbps needs a 10 kbit queue and 500 Mbit log
+        // (with a 5 ms max RTT... the paper uses the same 500 us figure:
+        // 500 us x 100 Gbps = 50 Mbit; the text's 500 Mbit uses Eq. 1 with
+        // a 5 ms horizon — we check the queue claim, which is exact).
+        assert_eq!(
+            bdp::log_queue_bits(Dur::nanos(100), 100_000_000_000),
+            10_000
+        );
+    }
+
+    #[test]
+    fn fpga_device_matches_section_v() {
+        let d = DeviceConfig::fpga();
+        assert_eq!(d.pm.write_latency, Dur::nanos(273));
+        assert_eq!(d.log_queue_bytes, 4096);
+        assert_eq!(d.pm.bandwidth_bytes_per_sec, 2_500_000_000);
+    }
+
+    #[test]
+    fn server_stack_is_heavier_than_client_stack() {
+        let c = HostProfile::kernel_client();
+        let s = HostProfile::kernel_server();
+        let c_total = c.kernel_rx.nominal(100) + c.user_rx.nominal(100);
+        let s_total = s.kernel_rx.nominal(100) + s.user_rx.nominal(100);
+        assert!(s_total > c_total);
+    }
+
+    #[test]
+    fn bypass_stacks_are_much_lighter() {
+        let k = HostProfile::kernel_server();
+        let b = HostProfile::bypass_server();
+        assert!(
+            b.kernel_rx.nominal(100) + b.user_rx.nominal(100)
+                < (k.kernel_rx.nominal(100) + k.user_rx.nominal(100)) / 2
+        );
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let d = DeviceConfig::fpga()
+            .with_cache(1024)
+            .with_log_capacity(16, 1 << 20)
+            .with_log_queue_bytes(128);
+        assert_eq!(d.cache_entries, 1024);
+        assert_eq!(d.log_capacity_entries, 16);
+        assert_eq!(d.log_queue_bytes, 128);
+        let s = SystemConfig::default().with_bypass_stacks();
+        assert_eq!(s.client, HostProfile::bypass_client());
+    }
+
+    #[test]
+    fn pmnet_port_range_matches_paper() {
+        assert_eq!(*PMNET_UDP_PORTS.start(), 51000);
+        assert_eq!(*PMNET_UDP_PORTS.end(), 52000);
+        assert_eq!(MTU_BYTES, 1500);
+    }
+}

@@ -1,0 +1,669 @@
+//! The PMNet device: a programmable data plane with PM, usable as a ToR
+//! switch or a bump-in-the-wire NIC (Sections IV-B, V-A, Figure 8).
+//!
+//! The three-stage MAT pipeline:
+//!
+//! 1. **Ingress** — classify by UDP port (PMNet range?) and header `Type`;
+//!    non-PMNet packets are forwarded like a regular switch.
+//! 2. **PM access** — create a log entry on `update-req`, remove on
+//!    `server-ACK`, look up on `Retrans`, all through the BDP-bounded log
+//!    queues so the pipeline itself never stalls on PM latency.
+//! 3. **Egress** — forward requests toward the server, generate PMNet-ACKs
+//!    at persist-completion time, serve retransmissions from the log, and
+//!    answer cached reads.
+
+use bytes::Bytes;
+use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Timer};
+use std::collections::HashMap;
+
+use crate::cache::ReadCache;
+use crate::config::DeviceConfig;
+use crate::kvproto::KvFrame;
+use crate::logstore::{LogOutcome, LogStore};
+use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_REDO};
+
+const TIMER_PERSIST_DONE: u32 = 1;
+const TIMER_RECOVERY_RESEND: u32 = 2;
+const TIMER_ENTRY_RETRY: u32 = 3;
+
+/// Device-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceCounters {
+    /// Packets forwarded (all kinds).
+    pub forwarded: u64,
+    /// PMNet-ACKs sent to clients.
+    pub acks_sent: u64,
+    /// Retransmissions served from the log.
+    pub retrans_served: u64,
+    /// Recovery resends transmitted.
+    pub recovery_resends: u64,
+    /// Unacknowledged log entries re-forwarded to the server.
+    pub entry_retries: u64,
+    /// Reads served from the cache.
+    pub cache_responses: u64,
+    /// Packets dropped for lack of a route.
+    pub unroutable: u64,
+}
+
+/// The PMNet device node.
+#[derive(Debug)]
+pub struct PmnetDevice {
+    name: String,
+    id: u8,
+    addr: Addr,
+    config: DeviceConfig,
+    routes: HashMap<Addr, PortNo>,
+    log: LogStore,
+    cache: Option<ReadCache>,
+    counters: DeviceCounters,
+    alive: bool,
+    epoch: u64,
+    /// Recovery resends staged by a poll, keyed by a monotonically
+    /// increasing ticket carried in the pacing timer.
+    staged_resends: HashMap<u64, crate::logstore::LogEntry>,
+    next_ticket: u64,
+}
+
+impl PmnetDevice {
+    /// Creates a device with the given id and (routable) address.
+    pub fn new(name: impl Into<String>, id: u8, addr: Addr, config: DeviceConfig) -> PmnetDevice {
+        let cache = if config.cache_entries > 0 {
+            Some(ReadCache::new(config.cache_entries))
+        } else {
+            None
+        };
+        PmnetDevice {
+            name: name.into(),
+            id,
+            addr,
+            config,
+            routes: HashMap::new(),
+            log: LogStore::new(&config),
+            cache,
+            counters: DeviceCounters::default(),
+            alive: true,
+            epoch: 0,
+            staged_resends: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// The device's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device id (appears in PMNet-ACK headers; replication).
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Device counters.
+    pub fn counters(&self) -> DeviceCounters {
+        self.counters
+    }
+
+    /// Log counters.
+    pub fn log_counters(&self) -> crate::logstore::LogCounters {
+        self.log.counters()
+    }
+
+    /// Live log entries.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Cache counters, if caching is enabled.
+    pub fn cache_counters(&self) -> Option<crate::cache::CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// The MAT pipeline traversal time for a packet of this size.
+    fn pipeline_for(&self, payload_bytes: usize) -> pmnet_sim::Dur {
+        self.config.pipeline_delay + self.config.pipeline_per_byte * payload_bytes as u64
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        match self.routes.get(&packet.dst) {
+            Some(&port) => {
+                self.counters.forwarded += 1;
+                let d = self.pipeline_for(packet.payload.len());
+                ctx.send_after(d, port, packet);
+            }
+            None => {
+                self.counters.unroutable += 1;
+                ctx.trace(|| format!("no route for {packet}"));
+            }
+        }
+    }
+
+    /// Sends a packet toward `dst` (route lookup, pipeline delay).
+    fn emit(&mut self, ctx: &mut Ctx<'_>, dst: Addr, packet: Packet) {
+        match self.routes.get(&dst) {
+            Some(&port) => {
+                let d = self.pipeline_for(packet.payload.len());
+                ctx.send_after(d, port, packet);
+            }
+            None => {
+                self.counters.unroutable += 1;
+            }
+        }
+    }
+
+    fn handle_update_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        header: PmnetHeader,
+        payload: Bytes,
+        packet: Packet,
+    ) {
+        // Egress: forward to the destination server immediately; logging
+        // happens in parallel (Figure 3, steps 2–3).
+        let server = packet.dst;
+        let client_port = packet.src_port;
+        let server_port = packet.dst_port;
+        self.forward(ctx, packet);
+        if header.is_redo() {
+            // A redo resend from an upstream device's log; it is already
+            // persistent upstream and must not be re-acknowledged.
+            return;
+        }
+        let arrival = ctx.now() + self.pipeline_for(payload.len());
+        match self.log.try_log(
+            arrival,
+            header,
+            payload.clone(),
+            server,
+            client_port,
+            server_port,
+        ) {
+            LogOutcome::Logged { ack_at } => {
+                ctx.timer_in(
+                    ack_at.saturating_since(ctx.now()),
+                    Timer {
+                        kind: TIMER_PERSIST_DONE,
+                        a: u64::from(header.hash),
+                        b: self.epoch,
+                    },
+                );
+                // If the server never acknowledges (the forward may have
+                // been lost with no follow-up traffic to trip the gap
+                // detector), redo the entry from the log.
+                ctx.timer_in(
+                    self.config.log_retry_timeout,
+                    Timer {
+                        kind: TIMER_ENTRY_RETRY,
+                        a: u64::from(header.hash),
+                        b: self.epoch,
+                    },
+                );
+                if let Some(cache) = &mut self.cache {
+                    if let Some(KvFrame::Set { key, value }) = KvFrame::decode(&payload) {
+                        cache.on_update(&key, &value);
+                    }
+                }
+            }
+            LogOutcome::Duplicate => {
+                // The client retransmitted a logged packet (its ACK was
+                // probably lost): re-acknowledge right away.
+                self.send_ack(ctx, header.hash);
+            }
+            LogOutcome::Bypass(_) => {
+                // Forwarded without logging or acknowledgement; the client
+                // falls back to waiting for the server (Section IV-B1).
+            }
+        }
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
+        let Some(entry) = self.log.peek(hash) else {
+            return; // invalidated before the persist completed
+        };
+        let ack_header = entry.header.ack_from_device(self.id);
+        let client = entry.header.client;
+        let packet = Packet::udp(
+            self.addr,
+            client,
+            entry.server_port,
+            entry.client_port,
+            ack_header.encode(&[]),
+        );
+        self.counters.acks_sent += 1;
+        self.emit(ctx, client, packet);
+    }
+
+    fn handle_server_ack(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        if let Some(entry) = self.log.invalidate(header.hash) {
+            if let Some(cache) = &mut self.cache {
+                if let Some(KvFrame::Set { key, .. }) = KvFrame::decode(&entry.payload) {
+                    cache.on_server_ack(&key);
+                }
+            }
+        }
+        // Forward toward the client; the next PMNet on the route may hold
+        // its own copy of the log (Section IV-B1).
+        self.forward(ctx, packet);
+    }
+
+    fn handle_retrans(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        if let Some(entry) = self.log.lookup_for_retrans(header.hash) {
+            // Serve the retransmission from the log and drop the request.
+            let mut h = entry.header;
+            h.flags |= FLAG_REDO;
+            let pkt = Packet::udp(
+                entry.header.client,
+                entry.server,
+                entry.client_port,
+                entry.server_port,
+                h.encode(&entry.payload),
+            );
+            self.counters.retrans_served += 1;
+            self.emit(ctx, entry.server, pkt);
+        } else {
+            self.forward(ctx, packet);
+        }
+    }
+
+    fn handle_bypass_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        header: PmnetHeader,
+        payload: Bytes,
+        packet: Packet,
+    ) {
+        if let Some(cache) = &mut self.cache {
+            if let Some(KvFrame::Get { key }) = KvFrame::decode(&payload) {
+                if let Some(value) = cache.lookup(&key) {
+                    // Cache hit: answer the read directly (Figure 10).
+                    let mut h = header;
+                    h.ptype = PacketType::CacheResp;
+                    h.device_id = self.id;
+                    let frame = KvFrame::Value {
+                        key,
+                        value,
+                        found: true,
+                    };
+                    let reply = Packet::udp(
+                        self.addr,
+                        header.client,
+                        packet.dst_port,
+                        packet.src_port,
+                        h.encode(&frame.encode()),
+                    );
+                    self.counters.cache_responses += 1;
+                    self.emit(ctx, header.client, reply);
+                    return;
+                }
+            }
+        }
+        self.forward(ctx, packet);
+    }
+
+    fn handle_app_reply(&mut self, ctx: &mut Ctx<'_>, payload: Bytes, packet: Packet) {
+        if let Some(cache) = &mut self.cache {
+            if let Some(KvFrame::Value {
+                key,
+                value,
+                found: true,
+            }) = KvFrame::decode(&payload)
+            {
+                cache.on_read_response(&key, &value);
+            }
+        }
+        self.forward(ctx, packet);
+    }
+
+    fn handle_recovery_poll(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if packet.dst != self.addr {
+            self.forward(ctx, packet);
+            return;
+        }
+        // Resend every durable entry destined to the polling server, in
+        // (client, session, seq) order, paced by PM read completions
+        // (Figure 3 recovery steps; Section VI-B6 measures this rate).
+        let server = packet.src;
+        let entries = self.log.entries_for(server, ctx.now());
+        for entry in entries {
+            let bytes = (entry.payload.len() + crate::protocol::HEADER_LEN) as u32;
+            let ready = self.log.schedule_read(ctx.now(), bytes);
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            self.staged_resends.insert(ticket, entry);
+            ctx.timer_in(
+                ready.saturating_since(ctx.now()) + self.config.pipeline_delay,
+                Timer {
+                    kind: TIMER_RECOVERY_RESEND,
+                    a: ticket,
+                    b: self.epoch,
+                },
+            );
+        }
+    }
+
+    /// Re-forwards a still-unacknowledged log entry to its server as a
+    /// redo, and re-arms the retry timer.
+    fn retry_entry(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
+        let Some(entry) = self.log.peek(hash).cloned() else {
+            return; // acknowledged in the meantime
+        };
+        let mut h = entry.header;
+        h.flags |= FLAG_REDO;
+        let pkt = Packet::udp(
+            entry.header.client,
+            entry.server,
+            entry.client_port,
+            entry.server_port,
+            h.encode(&entry.payload),
+        );
+        self.counters.entry_retries += 1;
+        self.emit(ctx, entry.server, pkt);
+        ctx.timer_in(
+            self.config.log_retry_timeout,
+            Timer {
+                kind: TIMER_ENTRY_RETRY,
+                a: u64::from(hash),
+                b: self.epoch,
+            },
+        );
+    }
+
+    fn fire_recovery_resend(&mut self, ctx: &mut Ctx<'_>, ticket: u64) {
+        let Some(entry) = self.staged_resends.remove(&ticket) else {
+            return;
+        };
+        // The entry may have been invalidated since the poll.
+        if self.log.peek(entry.header.hash).is_none() {
+            return;
+        }
+        let mut h = entry.header;
+        h.flags |= FLAG_REDO;
+        let pkt = Packet::udp(
+            entry.header.client,
+            entry.server,
+            entry.client_port,
+            entry.server_port,
+            h.encode(&entry.payload),
+        );
+        self.counters.recovery_resends += 1;
+        self.emit(ctx, entry.server, pkt);
+    }
+
+    fn handle_pmnet_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        header: PmnetHeader,
+        payload: Bytes,
+        packet: Packet,
+    ) {
+        match header.ptype {
+            PacketType::UpdateReq => self.handle_update_req(ctx, header, payload, packet),
+            PacketType::BypassReq => self.handle_bypass_req(ctx, header, payload, packet),
+            PacketType::ServerAck => self.handle_server_ack(ctx, header, packet),
+            PacketType::Retrans => self.handle_retrans(ctx, header, packet),
+            PacketType::AppReply => self.handle_app_reply(ctx, payload, packet),
+            PacketType::RecoveryPoll => self.handle_recovery_poll(ctx, packet),
+            // ACKs from other PMNets (and cache responses in flight) are
+            // forwarded along their path.
+            PacketType::PmnetAck | PacketType::CacheResp => self.forward(ctx, packet),
+        }
+    }
+}
+
+impl Node for PmnetDevice {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        match msg {
+            Msg::Packet { packet, .. } => {
+                if !self.alive {
+                    return; // a powered-off device drops traffic
+                }
+                // Ingress stage: PMNet traffic is identified by the UDP
+                // port range; anything else forwards like a plain switch.
+                if !is_pmnet_port(packet.dst_port) && !is_pmnet_port(packet.src_port) {
+                    self.forward(ctx, packet);
+                    return;
+                }
+                match PmnetHeader::decode(&packet.payload) {
+                    Some((header, payload)) => {
+                        self.handle_pmnet_packet(ctx, header, payload, packet)
+                    }
+                    None => self.forward(ctx, packet),
+                }
+            }
+            Msg::Timer(Timer { kind, a, b }) => {
+                if b != self.epoch || !self.alive {
+                    return; // stale timer from before a crash
+                }
+                match kind {
+                    TIMER_PERSIST_DONE => self.send_ack(ctx, a as u32),
+                    TIMER_RECOVERY_RESEND => self.fire_recovery_resend(ctx, a),
+                    TIMER_ENTRY_RETRY => self.retry_entry(ctx, a as u32),
+                    _ => {}
+                }
+            }
+            Msg::Crash => {
+                self.alive = false;
+                self.epoch += 1;
+                // Volatile state is lost; PM keeps entries whose write
+                // completed (Section IV-E).
+                let lost = self.log.crash(ctx.now());
+                self.staged_resends.clear();
+                ctx.trace(|| format!("device crash: {lost} unpersisted entries lost"));
+            }
+            Msg::Restore => {
+                self.alive = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn addr(&self) -> Option<Addr> {
+        Some(self.addr)
+    }
+
+    fn install_route(&mut self, dst: Addr, port: PortNo) {
+        self.routes.insert(dst, port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use pmnet_net::{EchoHost, LinkSpec, World};
+
+    /// client(EchoHost-sink) -- device -- server(EchoHost-sink)
+    ///
+    /// EchoHost servers never send server-ACKs, so the rig disables the
+    /// device's unacknowledged-entry retry to keep runs quiescent; the
+    /// retry behaviour has its own test below.
+    fn rig(
+        mut config: DeviceConfig,
+    ) -> (
+        World,
+        pmnet_sim::NodeId,
+        pmnet_sim::NodeId,
+        pmnet_sim::NodeId,
+    ) {
+        config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        let mut w = World::new(11);
+        let client = w.add_node(Box::new(EchoHost::sink(Addr(1))));
+        let server = w.add_node(Box::new(EchoHost::sink(Addr(9))));
+        let dev = w.add_node(Box::new(PmnetDevice::new("pmnet0", 1, Addr(100), config)));
+        w.connect(client, dev, LinkSpec::ten_gbps());
+        w.connect(dev, server, LinkSpec::ten_gbps());
+        w.populate_switch_routes();
+        (w, client, dev, server)
+    }
+
+    fn update_packet(seq: u32, payload: &[u8]) -> (PmnetHeader, Packet) {
+        let h = PmnetHeader::request(PacketType::UpdateReq, 1, seq, Addr(1), Addr(9), 0, 1);
+        let p = Packet::udp(Addr(1), Addr(9), 51001, 51000, h.encode(payload));
+        (h, p)
+    }
+
+    #[test]
+    fn update_is_forwarded_and_acked() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let (_, pkt) = update_packet(1, b"hello");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        // Server received the forwarded update.
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        // Client received the PMNet-ACK.
+        assert_eq!(w.node::<EchoHost>(client).received(), 1);
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.counters().acks_sent, 1);
+        assert_eq!(d.log_len(), 1);
+    }
+
+    #[test]
+    fn server_ack_invalidates_the_log() {
+        let (mut w, client, dev, _server) = rig(SystemConfig::default().device);
+        let (h, pkt) = update_packet(1, b"hello");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 1);
+        // Server-ACK flows back through the device.
+        let ack = Packet::udp(Addr(9), Addr(1), 51000, 51001, h.server_ack().encode(&[]));
+        let server_node = pmnet_sim::NodeId(1);
+        w.inject(server_node, ack);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+        assert_eq!(w.node::<PmnetDevice>(dev).log_counters().invalidated, 1);
+        // The ack itself was forwarded on to the client.
+        assert_eq!(w.node::<EchoHost>(client).received(), 2);
+    }
+
+    #[test]
+    fn retrans_is_served_from_the_log_and_dropped() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let (h, pkt) = update_packet(1, b"payload");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        // Server requests a retransmission of the (supposedly lost) packet.
+        let mut rh = h;
+        rh.ptype = PacketType::Retrans;
+        let retrans = Packet::udp(Addr(9), Addr(1), 51000, 51001, rh.encode(&[]));
+        w.inject(pmnet_sim::NodeId(1), retrans);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        // The device served it to the server; the client never saw the
+        // retrans request.
+        assert_eq!(w.node::<EchoHost>(server).received(), 2);
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().retrans_served, 1);
+        // Client got exactly the one ACK from the original update.
+        assert_eq!(w.node::<EchoHost>(client).received(), 1);
+    }
+
+    #[test]
+    fn redo_packets_are_not_relogged_or_acked() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let (h, _) = update_packet(1, b"x");
+        let mut redo = h;
+        redo.flags |= FLAG_REDO;
+        let pkt = Packet::udp(Addr(1), Addr(9), 51001, 51000, redo.encode(b"x"));
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+        assert_eq!(w.node::<EchoHost>(client).received(), 0);
+    }
+
+    #[test]
+    fn non_pmnet_traffic_forwards_like_a_switch() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let pkt = Packet::udp(Addr(1), Addr(9), 8080, 8080, Bytes::from_static(b"http"));
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+    }
+
+    #[test]
+    fn crash_loses_unpersisted_entries_and_stops_acks() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let (_, pkt) = update_packet(1, b"data");
+        w.inject(client, pkt);
+        // Crash the device almost immediately — before the ~380 ns link
+        // delivery plus 273 ns PM write can complete.
+        w.schedule_crash(dev, pmnet_sim::Time::from_nanos(100), None);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        // The packet reached the device after the crash: dropped entirely.
+        assert_eq!(w.node::<EchoHost>(server).received(), 0);
+        assert_eq!(w.node::<EchoHost>(client).received(), 0);
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+    }
+
+    #[test]
+    fn recovery_poll_resends_logged_entries_in_order() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        for seq in [2u32, 1, 3] {
+            let (_, pkt) = update_packet(seq, format!("p{seq}").as_bytes());
+            w.inject(client, pkt);
+        }
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 3);
+        assert_eq!(w.node::<EchoHost>(server).received(), 3);
+        // Server polls the device.
+        let poll = PmnetHeader::request(PacketType::RecoveryPoll, 0, 0, Addr(9), Addr(100), 0, 1);
+        let pkt = Packet::udp(Addr(9), Addr(100), 51000, 51002, poll.encode(&[]));
+        w.inject(pmnet_sim::NodeId(1), pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().recovery_resends, 3);
+        assert_eq!(w.node::<EchoHost>(server).received(), 6);
+    }
+
+    #[test]
+    fn unacknowledged_entries_are_retried_to_the_server() {
+        let mut config = SystemConfig::default().device;
+        config.log_retry_timeout = pmnet_sim::Dur::millis(1);
+        let mut w = World::new(11);
+        let client = w.add_node(Box::new(EchoHost::sink(Addr(1))));
+        let server = w.add_node(Box::new(EchoHost::sink(Addr(9))));
+        let dev = w.add_node(Box::new(PmnetDevice::new("pmnet0", 1, Addr(100), config)));
+        w.connect(client, dev, LinkSpec::ten_gbps());
+        w.connect(dev, server, LinkSpec::ten_gbps());
+        w.populate_switch_routes();
+        let (_, pkt) = update_packet(1, b"payload");
+        w.inject(client, pkt);
+        // The sink server never ACKs: the device must re-forward the
+        // logged entry on each retry interval.
+        w.run_for(pmnet_sim::Dur::from_micros_f64(3500.0));
+        let d = w.node::<PmnetDevice>(dev);
+        assert!(d.counters().entry_retries >= 3, "{:?}", d.counters());
+        assert!(w.node::<EchoHost>(server).received() >= 4);
+        // Still exactly one log entry (retries are redo copies).
+        assert_eq!(d.log_len(), 1);
+    }
+
+    #[test]
+    fn cache_serves_reads_after_an_update() {
+        let config = SystemConfig::default().device.with_cache(1024);
+        let (mut w, client, dev, server) = rig(config);
+        // SET k=v as an update.
+        let set = KvFrame::Set {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        };
+        let h = PmnetHeader::request(PacketType::UpdateReq, 1, 1, Addr(1), Addr(9), 0, 1);
+        w.inject(
+            client,
+            Packet::udp(Addr(1), Addr(9), 51001, 51000, h.encode(&set.encode())),
+        );
+        w.run_for(pmnet_sim::Dur::millis(5));
+        // GET k as a bypass: the device must answer from the cache.
+        let get = KvFrame::Get { key: b"k".to_vec() };
+        let h2 = PmnetHeader::request(PacketType::BypassReq, 1, 1, Addr(1), Addr(9), 0, 1);
+        w.inject(
+            client,
+            Packet::udp(Addr(1), Addr(9), 51001, 51000, h2.encode(&get.encode())),
+        );
+        w.run_for(pmnet_sim::Dur::millis(5));
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.counters().cache_responses, 1);
+        // The read never reached the server (1 = just the SET).
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        // Client: 1 ACK + 1 cache response.
+        assert_eq!(w.node::<EchoHost>(client).received(), 2);
+    }
+}

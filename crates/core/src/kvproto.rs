@@ -1,0 +1,191 @@
+//! The application-level key-value frame carried inside PMNet payloads.
+//!
+//! The device's read cache (Section IV-D) is "based on 'key' lookups using
+//! the GET/SET interface", so the cache must be able to parse the
+//! application payload. This codec is shared by the cache, the KV server
+//! application and the workload generators. Workloads with complex queries
+//! (Twitter, TPCC) use [`KvFrame::Opaque`]-style custom payloads, which the
+//! cache ignores — matching the paper's exclusion of those workloads from
+//! the caching experiment.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An application request/response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvFrame {
+    /// Read a key (cacheable).
+    Get {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Write a key (logged by PMNet; updates the cache).
+    Set {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Delete a key.
+    Del {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// A read response (`found` distinguishes miss from empty value).
+    Value {
+        /// The key.
+        key: Vec<u8>,
+        /// The value (empty on a miss).
+        value: Vec<u8>,
+        /// Whether the key existed.
+        found: bool,
+    },
+    /// A workload-specific payload the KV layer does not interpret.
+    Opaque {
+        /// Uninterpreted bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl KvFrame {
+    /// Serializes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            KvFrame::Get { key } => {
+                b.put_u8(b'G');
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+            }
+            KvFrame::Set { key, value } => {
+                b.put_u8(b'S');
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+                b.put_slice(value);
+            }
+            KvFrame::Del { key } => {
+                b.put_u8(b'D');
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+            }
+            KvFrame::Value { key, value, found } => {
+                b.put_u8(b'V');
+                b.put_u8(u8::from(*found));
+                b.put_u16_le(key.len() as u16);
+                b.put_slice(key);
+                b.put_slice(value);
+            }
+            KvFrame::Opaque { bytes } => {
+                b.put_u8(b'O');
+                b.put_slice(bytes);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses a frame; `None` on malformed input.
+    pub fn decode(body: &[u8]) -> Option<KvFrame> {
+        let (&tag, rest) = body.split_first()?;
+        match tag {
+            b'G' | b'S' | b'D' => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                let klen = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+                if rest.len() < 2 + klen {
+                    return None;
+                }
+                let key = rest[2..2 + klen].to_vec();
+                match tag {
+                    b'G' => Some(KvFrame::Get { key }),
+                    b'D' if rest.len() == 2 + klen => Some(KvFrame::Del { key }),
+                    b'S' => Some(KvFrame::Set {
+                        key,
+                        value: rest[2 + klen..].to_vec(),
+                    }),
+                    _ => None,
+                }
+            }
+            b'V' => {
+                if rest.len() < 3 {
+                    return None;
+                }
+                let found = rest[0] != 0;
+                let klen = u16::from_le_bytes([rest[1], rest[2]]) as usize;
+                if rest.len() < 3 + klen {
+                    return None;
+                }
+                Some(KvFrame::Value {
+                    key: rest[3..3 + klen].to_vec(),
+                    value: rest[3 + klen..].to_vec(),
+                    found,
+                })
+            }
+            b'O' => Some(KvFrame::Opaque {
+                bytes: rest.to_vec(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The key this frame addresses, if it is a cacheable KV operation.
+    pub fn cache_key(&self) -> Option<&[u8]> {
+        match self {
+            KvFrame::Get { key } | KvFrame::Set { key, .. } | KvFrame::Del { key } => Some(key),
+            KvFrame::Value { key, .. } => Some(key),
+            KvFrame::Opaque { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_round_trip() {
+        let frames = [
+            KvFrame::Get {
+                key: b"k1".to_vec(),
+            },
+            KvFrame::Set {
+                key: b"k2".to_vec(),
+                value: vec![0, 1, 2, 255],
+            },
+            KvFrame::Del { key: vec![] },
+            KvFrame::Value {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+                found: true,
+            },
+            KvFrame::Value {
+                key: b"miss".to_vec(),
+                value: vec![],
+                found: false,
+            },
+            KvFrame::Opaque {
+                bytes: b"twitter:post:...".to_vec(),
+            },
+        ];
+        for f in &frames {
+            assert_eq!(KvFrame::decode(&f.encode()).as_ref(), Some(f));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_decode_to_none() {
+        assert_eq!(KvFrame::decode(b""), None);
+        assert_eq!(KvFrame::decode(b"G"), None);
+        assert_eq!(KvFrame::decode(&[b'G', 10, 0, b'x']), None); // truncated key
+        assert_eq!(KvFrame::decode(b"Zxx"), None); // unknown tag
+        assert_eq!(KvFrame::decode(&[b'D', 1, 0, b'k', b'!']), None); // trailing
+    }
+
+    #[test]
+    fn cache_key_only_for_kv_ops() {
+        assert_eq!(
+            KvFrame::Get { key: b"a".to_vec() }.cache_key(),
+            Some(b"a".as_ref())
+        );
+        assert_eq!(KvFrame::Opaque { bytes: vec![1] }.cache_key(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! The PMNet protocol: packet types, header layout and wire codec
+//! (Section IV-A).
+//!
+//! The header rides in the application layer of a UDP datagram sent to a
+//! port in the reserved 51000–52000 range. Fields follow Figure 8 /
+//! Section IV-A1 — `Type`, `SessionID`, `SeqNum`, `HashVal` (a CRC-32 the
+//! device uses to index its log) — plus the fragmentation fields the
+//! software library needs for MTU-sized packets (Section IV-A3) and the
+//! acknowledging device's id (used by the replication scheme to tell
+//! PMNet-ACK #1 from #2, Section IV-C).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pmnet_net::Addr;
+use pmnet_pmem::crc32;
+
+/// Low end of the reserved PMNet UDP port range.
+pub const PMNET_PORT_LO: u16 = 51000;
+/// High end of the reserved PMNet UDP port range.
+pub const PMNET_PORT_HI: u16 = 52000;
+
+/// Returns true if `port` falls in the PMNet range; the device's ingress
+/// stage uses this to separate PMNet traffic from other packets.
+pub fn is_pmnet_port(port: u16) -> bool {
+    (PMNET_PORT_LO..=PMNET_PORT_HI).contains(&port)
+}
+
+/// Encoded size of a [`PmnetHeader`] in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Flag bit: this packet is a redo resend from a device log (recovery).
+pub const FLAG_REDO: u8 = 0x10;
+
+/// PMNet packet types (Section IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketType {
+    /// Update request from a client: logged and early-acknowledged.
+    UpdateReq = 1,
+    /// Bypass request (read / synchronization): forwarded without logging.
+    BypassReq = 2,
+    /// Early acknowledgement from a PMNet device to the client.
+    PmnetAck = 3,
+    /// Completion acknowledgement from the server; invalidates log entries.
+    ServerAck = 4,
+    /// Retransmission request from the server for a missing `SeqNum`.
+    Retrans = 5,
+    /// Read served directly from the device's cache (Section IV-D).
+    CacheResp = 6,
+    /// Application-level reply from the server (read responses).
+    AppReply = 7,
+    /// Server polls devices for logged requests during recovery
+    /// (Section IV-E1).
+    RecoveryPoll = 8,
+}
+
+impl PacketType {
+    fn from_u8(v: u8) -> Option<PacketType> {
+        Some(match v {
+            1 => PacketType::UpdateReq,
+            2 => PacketType::BypassReq,
+            3 => PacketType::PmnetAck,
+            4 => PacketType::ServerAck,
+            5 => PacketType::Retrans,
+            6 => PacketType::CacheResp,
+            7 => PacketType::AppReply,
+            8 => PacketType::RecoveryPoll,
+            _ => return None,
+        })
+    }
+}
+
+/// The PMNet header (Section IV-A1 plus fragmentation/replication fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmnetHeader {
+    /// Packet type.
+    pub ptype: PacketType,
+    /// Flags ([`FLAG_REDO`]).
+    pub flags: u8,
+    /// Session the client sends from (Table I: `PMNet_start_session`).
+    pub session: u16,
+    /// Per-session sequence number of update packets.
+    pub seq: u32,
+    /// CRC-32 identifying this request packet; the device's log index.
+    pub hash: u32,
+    /// The client (requester) address; kept in the header because ACKs and
+    /// redo resends must reference the original endpoint regardless of the
+    /// packet's current src/dst.
+    pub client: Addr,
+    /// Fragment index within an over-MTU request (Section IV-A3).
+    pub frag_idx: u16,
+    /// Total fragments of the request.
+    pub frag_cnt: u16,
+    /// Id of the acknowledging device (PMNet-ACK only; replication).
+    pub device_id: u8,
+}
+
+impl PmnetHeader {
+    /// Builds a header for a fresh request packet and computes its
+    /// `HashVal`.
+    pub fn request(
+        ptype: PacketType,
+        session: u16,
+        seq: u32,
+        client: Addr,
+        server: Addr,
+        frag_idx: u16,
+        frag_cnt: u16,
+    ) -> PmnetHeader {
+        let mut h = PmnetHeader {
+            ptype,
+            flags: 0,
+            session,
+            seq,
+            hash: 0,
+            client,
+            frag_idx,
+            frag_cnt,
+            device_id: 0,
+        };
+        h.hash = h.compute_hash(server);
+        h
+    }
+
+    /// The CRC-32 `HashVal` of this header (Section IV-A1): computed over
+    /// the identifying fields with the hash itself zeroed. The server
+    /// recomputes it to address log entries in `Retrans` requests.
+    pub fn compute_hash(&self, server: Addr) -> u32 {
+        let mut buf = [0u8; 15];
+        buf[0] = PacketType::UpdateReq as u8; // hash identifies the request
+        buf[1..3].copy_from_slice(&self.session.to_le_bytes());
+        buf[3..7].copy_from_slice(&self.seq.to_le_bytes());
+        buf[7..11].copy_from_slice(&self.client.0.to_le_bytes());
+        buf[11..15].copy_from_slice(&server.0.to_le_bytes());
+        crc32(&buf)
+    }
+
+    /// Encodes the header followed by `payload` into a datagram body.
+    pub fn encode(&self, payload: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+        buf.put_u8(self.ptype as u8 | self.flags);
+        buf.put_u16_le(self.session);
+        buf.put_u32_le(self.seq);
+        buf.put_u32_le(self.hash);
+        buf.put_u32_le(self.client.0);
+        buf.put_u16_le(self.frag_idx);
+        buf.put_u16_le(self.frag_cnt);
+        buf.put_u8(self.device_id);
+        buf.put_slice(payload);
+        buf.freeze()
+    }
+
+    /// Decodes a datagram body into header + payload.
+    ///
+    /// Returns `None` if the body is too short or carries an unknown type —
+    /// the device then treats the packet as non-PMNet traffic and simply
+    /// forwards it.
+    pub fn decode(body: &Bytes) -> Option<(PmnetHeader, Bytes)> {
+        if body.len() < HEADER_LEN {
+            return None;
+        }
+        let type_flags = body[0];
+        let ptype = PacketType::from_u8(type_flags & 0x0F)?;
+        let flags = type_flags & 0xF0;
+        let header = PmnetHeader {
+            ptype,
+            flags,
+            session: u16::from_le_bytes([body[1], body[2]]),
+            seq: u32::from_le_bytes([body[3], body[4], body[5], body[6]]),
+            hash: u32::from_le_bytes([body[7], body[8], body[9], body[10]]),
+            client: Addr(u32::from_le_bytes([body[11], body[12], body[13], body[14]])),
+            frag_idx: u16::from_le_bytes([body[15], body[16]]),
+            frag_cnt: u16::from_le_bytes([body[17], body[18]]),
+            device_id: body[19],
+        };
+        Some((header, body.slice(HEADER_LEN..)))
+    }
+
+    /// A derived header acknowledging this request from device
+    /// `device_id`.
+    pub fn ack_from_device(&self, device_id: u8) -> PmnetHeader {
+        PmnetHeader {
+            ptype: PacketType::PmnetAck,
+            flags: 0,
+            device_id,
+            ..*self
+        }
+    }
+
+    /// A derived server-ACK header for this request.
+    pub fn server_ack(&self) -> PmnetHeader {
+        PmnetHeader {
+            ptype: PacketType::ServerAck,
+            flags: 0,
+            device_id: 0,
+            ..*self
+        }
+    }
+
+    /// True if this packet is a redo resend from a device log.
+    pub fn is_redo(&self) -> bool {
+        self.flags & FLAG_REDO != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PmnetHeader {
+        PmnetHeader::request(PacketType::UpdateReq, 7, 42, Addr(1), Addr(9), 0, 1)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let h = sample();
+        let body = h.encode(b"payload-bytes");
+        let (h2, payload) = PmnetHeader::decode(&body).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(&payload[..], b"payload-bytes");
+    }
+
+    #[test]
+    fn redo_flag_round_trips() {
+        let mut h = sample();
+        h.flags = FLAG_REDO;
+        let body = h.encode(b"");
+        let (h2, _) = PmnetHeader::decode(&body).unwrap();
+        assert!(h2.is_redo());
+        assert_eq!(h2.ptype, PacketType::UpdateReq);
+    }
+
+    #[test]
+    fn short_or_garbage_bodies_decode_to_none() {
+        assert!(PmnetHeader::decode(&Bytes::from_static(b"tiny")).is_none());
+        let mut bad = sample().encode(b"").to_vec();
+        bad[0] = 0x0F; // unknown type
+        assert!(PmnetHeader::decode(&Bytes::from(bad)).is_none());
+    }
+
+    #[test]
+    fn hash_identifies_the_request_not_the_packet_kind() {
+        let req = sample();
+        let server = Addr(9);
+        // The server reconstructs the hash for a Retrans from the request's
+        // identity; ack headers keep the same hash.
+        assert_eq!(req.ack_from_device(3).hash, req.hash);
+        assert_eq!(req.server_ack().hash, req.hash);
+        assert_eq!(req.compute_hash(server), req.hash);
+    }
+
+    #[test]
+    fn hash_differs_across_sessions_seqs_and_clients() {
+        let base = sample();
+        let other_seq = PmnetHeader::request(PacketType::UpdateReq, 7, 43, Addr(1), Addr(9), 0, 1);
+        let other_sess = PmnetHeader::request(PacketType::UpdateReq, 8, 42, Addr(1), Addr(9), 0, 1);
+        let other_client =
+            PmnetHeader::request(PacketType::UpdateReq, 7, 42, Addr(2), Addr(9), 0, 1);
+        assert_ne!(base.hash, other_seq.hash);
+        assert_ne!(base.hash, other_sess.hash);
+        assert_ne!(base.hash, other_client.hash);
+    }
+
+    #[test]
+    fn port_range_check() {
+        assert!(is_pmnet_port(51000));
+        assert!(is_pmnet_port(51500));
+        assert!(is_pmnet_port(52000));
+        assert!(!is_pmnet_port(50999));
+        assert!(!is_pmnet_port(52001));
+    }
+
+    #[test]
+    fn ack_from_device_tags_the_device() {
+        let h = sample().ack_from_device(2);
+        assert_eq!(h.ptype, PacketType::PmnetAck);
+        assert_eq!(h.device_id, 2);
+        let body = h.encode(b"");
+        let (h2, _) = PmnetHeader::decode(&body).unwrap();
+        assert_eq!(h2.device_id, 2);
+    }
+}

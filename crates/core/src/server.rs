@@ -1,0 +1,929 @@
+//! The server-side PMNet software library (Table I, Sections IV-A4, IV-E,
+//! V-B).
+//!
+//! [`ServerLib`] models the paper's server: a kernel (or bypass) network
+//! stack, a pool of request-handler workers (Table II: 20 cores), and the
+//! PMNet library responsibilities:
+//!
+//! * **ordered delivery** — per-(client, session) reorder buffers keyed by
+//!   `SeqNum`; gaps trigger `Retrans` requests that PMNet devices can
+//!   serve from their logs (Figure 7);
+//! * **deduplication** — the last applied `SeqNum` per session is kept
+//!   durably by the handler; duplicates and already-applied redo resends
+//!   are dropped with a make-up server-ACK so device logs drain
+//!   (Section IV-E1, case 3);
+//! * **recovery** — after a crash the handler restores its state and the
+//!   server polls every PMNet device for logged requests, which arrive as
+//!   redo-flagged updates and flow through the same ordered-apply path;
+//! * **alternative designs** — an optional kernel-level early-logging mode
+//!   models the Figure 17b server-side logging design, and user-level
+//!   chained replication models the baseline replication of Figure 21.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use bytes::Bytes;
+use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
+use pmnet_pmem::{PmDevice, PmDeviceConfig};
+use pmnet_sim::{Dur, SimRng, Time};
+
+use crate::audit::{AuditEntry, AuditLog};
+use crate::config::HostProfile;
+use crate::protocol::{PacketType, PmnetHeader, FLAG_REDO};
+
+const POST_STACK: PortNo = PortNo(200);
+const KERNEL_STAGE: PortNo = PortNo(201);
+
+const TIMER_GAP: u32 = 20;
+const TIMER_JOB_DONE: u32 = 21;
+const TIMER_RECOVERY_POLL: u32 = 22;
+
+/// The application running on the server: applies updates, serves reads,
+/// and keeps the per-session applied sequence numbers durable.
+pub trait RequestHandler: fmt::Debug {
+    /// Applies an in-order update and durably records `(client, session,
+    /// seq)` as applied; returns the handler service time (including the
+    /// cost of the durable sequence record).
+    fn handle_update(
+        &mut self,
+        client: Addr,
+        session: u16,
+        seq: u32,
+        payload: &Bytes,
+        rng: &mut SimRng,
+    ) -> Dur;
+
+    /// Serves a bypass request; returns service time and reply payload.
+    fn handle_bypass(&mut self, payload: &Bytes, rng: &mut SimRng) -> (Dur, Option<Bytes>);
+
+    /// The last applied sequence number for a session, if any (durable).
+    fn applied_seq(&mut self, client: Addr, session: u16) -> Option<u32>;
+
+    /// Power failure: volatile state is lost.
+    fn on_crash(&mut self, rng: &mut SimRng);
+
+    /// Restart: restore state; returns the application recovery time
+    /// (checkpoint load + WAL replay).
+    fn on_recover(&mut self) -> Dur;
+
+    /// Downcast support so tests and examples can inspect concrete
+    /// handler state after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The microbenchmark's *ideal request handler*: "acknowledges the client
+/// upon reception of the request, without processing it" (Section VI-B1).
+/// Sequence bookkeeping is kept in memory and survives crashes, modeling a
+/// handler with negligible durable state.
+#[derive(Debug, Default)]
+pub struct IdealHandler {
+    applied: HashMap<(Addr, u16), u32>,
+    service: Dur,
+}
+
+impl IdealHandler {
+    /// Creates an ideal handler with a minimal fixed service time.
+    pub fn new() -> IdealHandler {
+        IdealHandler {
+            applied: HashMap::new(),
+            service: Dur::nanos(500),
+        }
+    }
+}
+
+impl IdealHandler {
+    /// Test support: marks a sequence number as already applied.
+    pub fn record_applied(&mut self, client: Addr, session: u16, seq: u32) {
+        self.applied.insert((client, session), seq);
+    }
+}
+
+impl RequestHandler for IdealHandler {
+    fn handle_update(
+        &mut self,
+        client: Addr,
+        session: u16,
+        seq: u32,
+        _payload: &Bytes,
+        _rng: &mut SimRng,
+    ) -> Dur {
+        self.applied.insert((client, session), seq);
+        self.service
+    }
+    fn handle_bypass(&mut self, _payload: &Bytes, _rng: &mut SimRng) -> (Dur, Option<Bytes>) {
+        (self.service, Some(Bytes::from_static(b"Ook")))
+    }
+    fn applied_seq(&mut self, client: Addr, session: u16) -> Option<u32> {
+        self.applied.get(&(client, session)).copied()
+    }
+    fn on_crash(&mut self, _rng: &mut SimRng) {}
+    fn on_recover(&mut self) -> Dur {
+        Dur::ZERO
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Server activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Updates applied by the handler.
+    pub updates_applied: u64,
+    /// Bypass requests served.
+    pub bypasses_served: u64,
+    /// Duplicate/already-applied packets dropped.
+    pub duplicates_dropped: u64,
+    /// Make-up server-ACKs sent for duplicates.
+    pub make_up_acks: u64,
+    /// Retrans requests emitted for detected gaps.
+    pub retrans_sent: u64,
+    /// Out-of-order packets buffered.
+    pub reordered: u64,
+    /// Redo-flagged (recovery) updates applied.
+    pub redo_applied: u64,
+}
+
+/// Recovery bookkeeping exposed to the harness (Section VI-B6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// When power was restored.
+    pub restored_at: Time,
+    /// When the application finished local recovery and polled devices.
+    pub polled_at: Time,
+    /// Redo updates applied since restore.
+    pub redo_applied: u64,
+    /// When the last redo update was applied.
+    pub last_redo_at: Time,
+}
+
+#[derive(Debug, Clone)]
+struct PendingPkt {
+    header: PmnetHeader,
+    payload: Bytes,
+    src_port: u16,
+    proto: Proto,
+}
+
+#[derive(Debug)]
+enum Job {
+    Update {
+        client: Addr,
+        session: u16,
+        frag_headers: Vec<PmnetHeader>,
+        src_port: u16,
+        proto: Proto,
+    },
+    Bypass {
+        header: PmnetHeader,
+        reply: Option<Bytes>,
+        src_port: u16,
+        proto: Proto,
+    },
+}
+
+/// The server node.
+pub struct ServerLib {
+    addr: Addr,
+    port: u16,
+    profile: HostProfile,
+    handler: Box<dyn RequestHandler>,
+    workers: Vec<Time>,
+    expected: HashMap<(Addr, u16), u32>,
+    reorder: HashMap<(Addr, u16), BTreeMap<u32, PendingPkt>>,
+    assembly: HashMap<(Addr, u16), Vec<PendingPkt>>,
+    jobs: HashMap<u64, Job>,
+    next_job: u64,
+    counters: ServerCounters,
+    gap_timeout: Dur,
+    devices: Vec<Addr>,
+    alive: bool,
+    epoch: u64,
+    recovery: Option<RecoveryStats>,
+    // Figure 17b: log updates at the kernel boundary and early-ack.
+    early_log: Option<EarlyLog>,
+    // Figure 21 baseline: user-level replication to backup servers.
+    replicate_to: Vec<Addr>,
+    pending_replication: HashMap<(Addr, u16, u32), ReplState>,
+    // A replica in a replication chain: apply but never talk to clients.
+    silent_commit: bool,
+    audit: AuditLog,
+}
+
+#[derive(Debug)]
+struct EarlyLog {
+    pm: PmDevice,
+    logger_id: u8,
+    forward_to: Vec<Addr>,
+}
+
+#[derive(Debug)]
+struct ReplState {
+    needed: usize,
+    got: usize,
+    frag_headers: Vec<PmnetHeader>,
+    src_port: u16,
+    proto: Proto,
+}
+
+impl fmt::Debug for ServerLib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerLib")
+            .field("addr", &self.addr)
+            .field("alive", &self.alive)
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl ServerLib {
+    /// Creates a server with `workers` parallel handler workers.
+    pub fn new(
+        addr: Addr,
+        profile: HostProfile,
+        workers: usize,
+        gap_timeout: Dur,
+        handler: Box<dyn RequestHandler>,
+    ) -> ServerLib {
+        assert!(workers > 0, "need at least one worker");
+        ServerLib {
+            addr,
+            port: 51000,
+            profile,
+            handler,
+            workers: vec![Time::ZERO; workers],
+            expected: HashMap::new(),
+            reorder: HashMap::new(),
+            assembly: HashMap::new(),
+            jobs: HashMap::new(),
+            next_job: 0,
+            counters: ServerCounters::default(),
+            gap_timeout,
+            devices: Vec::new(),
+            alive: true,
+            epoch: 0,
+            recovery: None,
+            early_log: None,
+            replicate_to: Vec::new(),
+            pending_replication: HashMap::new(),
+            silent_commit: false,
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// Registers the PMNet devices to poll during recovery.
+    pub fn with_devices(mut self, devices: Vec<Addr>) -> ServerLib {
+        self.devices = devices;
+        self
+    }
+
+    /// Enables Figure 17b server-side logging: updates are persisted at
+    /// the kernel boundary, early-acknowledged with `logger_id`, and
+    /// optionally forwarded to replica loggers.
+    pub fn with_early_log(mut self, logger_id: u8, forward_to: Vec<Addr>) -> ServerLib {
+        self.early_log = Some(EarlyLog {
+            pm: PmDevice::new(PmDeviceConfig::fpga_board()),
+            logger_id,
+            forward_to,
+        });
+        self
+    }
+
+    /// Enables baseline user-level replication: updates commit on this
+    /// primary only after every listed replica acknowledges its copy.
+    pub fn with_replication(mut self, replicas: Vec<Addr>) -> ServerLib {
+        self.replicate_to = replicas;
+        self
+    }
+
+    /// Marks this server as a silent replica: it applies updates but sends
+    /// ACKs only to the primary that forwarded them, never to clients.
+    pub fn as_silent_replica(mut self) -> ServerLib {
+        self.silent_commit = true;
+        self
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> ServerCounters {
+        self.counters
+    }
+
+    /// Recovery bookkeeping from the last restore, if any.
+    pub fn recovery(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// The append-only application audit log (see [`crate::audit`]). The
+    /// auditor observes across crashes, like a bus analyzer outside the
+    /// persistence domain.
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The handler, for post-run inspection.
+    pub fn handler(&self) -> &dyn RequestHandler {
+        self.handler.as_ref()
+    }
+
+    /// The handler, mutably (test support).
+    pub fn handler_mut(&mut self) -> &mut dyn RequestHandler {
+        self.handler.as_mut()
+    }
+
+    fn reply_packet(
+        &self,
+        header: PmnetHeader,
+        payload: &[u8],
+        dst_port: u16,
+        proto: Proto,
+    ) -> Packet {
+        let mut p = Packet::udp(
+            self.addr,
+            header.client,
+            self.port,
+            dst_port,
+            header.encode(payload),
+        );
+        p.proto = proto;
+        p
+    }
+
+    fn send_via_stack(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let mut d = self
+            .profile
+            .user_tx
+            .sample(ctx.rng(), packet.payload.len() as u32)
+            + self
+                .profile
+                .kernel_tx
+                .sample(ctx.rng(), packet.payload.len() as u32);
+        if packet.proto == Proto::Tcp {
+            d += HostProfile::tcp_extra();
+        }
+        ctx.send_after(d, PortNo(0), packet);
+    }
+
+    fn enqueue_job(&mut self, ctx: &mut Ctx<'_>, service: Dur, job: Job) {
+        let now = ctx.now();
+        let (idx, _) = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("worker pool non-empty");
+        let start = now.max(self.workers[idx]);
+        let done = start + service;
+        self.workers[idx] = done;
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(id, job);
+        ctx.timer_in(
+            done.saturating_since(now),
+            Timer {
+                kind: TIMER_JOB_DONE,
+                a: id,
+                b: self.epoch,
+            },
+        );
+    }
+
+    fn expected_seq(&mut self, client: Addr, session: u16) -> u32 {
+        if let Some(&e) = self.expected.get(&(client, session)) {
+            return e;
+        }
+        let e = self
+            .handler
+            .applied_seq(client, session)
+            .map_or(0, |s| s + 1);
+        self.expected.insert((client, session), e);
+        e
+    }
+
+    fn send_make_up_ack(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        header: &PmnetHeader,
+        src_port: u16,
+        proto: Proto,
+    ) {
+        let ack = header.server_ack();
+        let pkt = self.reply_packet(ack, &[], src_port, proto);
+        self.counters.make_up_acks += 1;
+        self.send_via_stack(ctx, pkt);
+    }
+
+    fn on_update_post_stack(&mut self, ctx: &mut Ctx<'_>, pending: PendingPkt) {
+        let client = pending.header.client;
+        let session = pending.header.session;
+        let key = (client, session);
+        let expected = self.expected_seq(client, session);
+        let seq = pending.header.seq;
+        if seq < expected {
+            // Duplicate or already-applied redo resend: drop and send a
+            // make-up server-ACK so logs upstream get invalidated
+            // (Section IV-E1 case 3).
+            self.counters.duplicates_dropped += 1;
+            let (h, p, pr) = (pending.header, pending.src_port, pending.proto);
+            self.send_make_up_ack(ctx, &h, p, pr);
+            return;
+        }
+        if seq > expected {
+            self.counters.reordered += 1;
+            let buf = self.reorder.entry(key).or_default();
+            if buf.insert(seq, pending).is_none() && buf.len() == 1 {
+                // First gap for this stream: arm the gap detector.
+                ctx.timer_in(
+                    self.gap_timeout,
+                    Timer {
+                        kind: TIMER_GAP,
+                        a: u64::from(client.0),
+                        b: u64::from(session) | (u64::from(expected) << 16),
+                    },
+                );
+            }
+            return;
+        }
+        // In order: deliver, then drain whatever unblocked.
+        self.deliver_update(ctx, pending);
+        loop {
+            let next_expected = self.expected_seq(key.0, key.1);
+            let Some(buf) = self.reorder.get_mut(&key) else {
+                break;
+            };
+            let Some(first) = buf.keys().next().copied() else {
+                break;
+            };
+            if first != next_expected {
+                break;
+            }
+            let pkt = buf.remove(&first).expect("key just seen");
+            self.deliver_update(ctx, pkt);
+        }
+    }
+
+    fn deliver_update(&mut self, ctx: &mut Ctx<'_>, pending: PendingPkt) {
+        let client = pending.header.client;
+        let session = pending.header.session;
+        self.expected
+            .insert((client, session), pending.header.seq + 1);
+        let is_last = pending.header.frag_idx + 1 == pending.header.frag_cnt;
+        let asm = self.assembly.entry((client, session)).or_default();
+        asm.push(pending);
+        if !is_last {
+            return;
+        }
+        let frags = self
+            .assembly
+            .remove(&(client, session))
+            .expect("assembly just touched");
+        let mut payload = Vec::new();
+        for f in &frags {
+            payload.extend_from_slice(&f.payload);
+        }
+        let payload = Bytes::from(payload);
+        let redo = frags.iter().any(|f| f.header.is_redo());
+        let src_port = frags[0].src_port;
+        let proto = frags[0].proto;
+        let frag_headers: Vec<PmnetHeader> = frags.iter().map(|f| f.header).collect();
+        let last_seq = frag_headers.last().expect("at least one frag").seq;
+        let service = self
+            .handler
+            .handle_update(client, session, last_seq, &payload, ctx.rng());
+        self.counters.updates_applied += 1;
+        self.audit.record(AuditEntry {
+            client,
+            session,
+            seq: last_seq,
+            redo,
+            epoch: self.epoch,
+        });
+        if redo {
+            self.counters.redo_applied += 1;
+            if let Some(r) = &mut self.recovery {
+                r.redo_applied += 1;
+                r.last_redo_at = ctx.now();
+            }
+        }
+        self.enqueue_job(
+            ctx,
+            service,
+            Job::Update {
+                client,
+                session,
+                frag_headers,
+                src_port,
+                proto,
+            },
+        );
+    }
+
+    fn finish_update_job(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: Addr,
+        session: u16,
+        frag_headers: Vec<PmnetHeader>,
+        src_port: u16,
+        proto: Proto,
+    ) {
+        if !self.replicate_to.is_empty() {
+            // Baseline replication: forward a copy to every replica and
+            // defer the client ACK until they all confirm (Figure 21).
+            let key = (client, session, frag_headers[0].seq);
+            self.pending_replication.insert(
+                key,
+                ReplState {
+                    needed: self.replicate_to.len(),
+                    got: 0,
+                    frag_headers: frag_headers.clone(),
+                    src_port,
+                    proto,
+                },
+            );
+            let replicas = self.replicate_to.clone();
+            for replica in replicas {
+                for h in &frag_headers {
+                    // Address the copy's ACK back to this primary by
+                    // rewriting the header's client field.
+                    let mut copy = *h;
+                    copy.client = self.addr;
+                    copy.flags |= FLAG_REDO; // never logged in-network
+                    let mut pkt =
+                        Packet::udp(self.addr, replica, self.port, 51000, copy.encode(&[]));
+                    pkt.proto = proto;
+                    self.send_via_stack(ctx, pkt);
+                }
+            }
+            return;
+        }
+        if self.silent_commit {
+            // A replica: confirm to the primary (the header's client field
+            // was rewritten to the primary's address).
+            let h = frag_headers[0];
+            let pkt = self.reply_packet(h.server_ack(), &[], src_port, proto);
+            self.send_via_stack(ctx, pkt);
+            return;
+        }
+        for h in frag_headers {
+            let pkt = self.reply_packet(h.server_ack(), &[], src_port, proto);
+            self.send_via_stack(ctx, pkt);
+        }
+    }
+
+    fn on_replica_ack(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader) {
+        // A ServerAck arriving *at a server* is a replica confirmation.
+        let key = self
+            .pending_replication
+            .iter()
+            .find(|(_, st)| {
+                st.frag_headers
+                    .iter()
+                    .any(|h| h.seq == header.seq && h.session == header.session)
+            })
+            .map(|(k, _)| *k);
+        let Some(key) = key else { return };
+        let done = {
+            let st = self.pending_replication.get_mut(&key).expect("just found");
+            st.got += 1;
+            st.got >= st.needed
+        };
+        if done {
+            let st = self.pending_replication.remove(&key).expect("just found");
+            for h in st.frag_headers {
+                let pkt = self.reply_packet(h.server_ack(), &[], st.src_port, st.proto);
+                self.send_via_stack(ctx, pkt);
+            }
+        }
+    }
+
+    fn on_bypass_post_stack(&mut self, ctx: &mut Ctx<'_>, pending: PendingPkt) {
+        let (service, reply) = self.handler.handle_bypass(&pending.payload, ctx.rng());
+        self.counters.bypasses_served += 1;
+        self.enqueue_job(
+            ctx,
+            service,
+            Job::Bypass {
+                header: pending.header,
+                reply,
+                src_port: pending.src_port,
+                proto: pending.proto,
+            },
+        );
+    }
+
+    fn on_gap_timer(&mut self, ctx: &mut Ctx<'_>, a: u64, b: u64) {
+        let client = Addr(a as u32);
+        let session = (b & 0xFFFF) as u16;
+        let expected_then = (b >> 16) as u32;
+        let key = (client, session);
+        let expected_now = self.expected.get(&key).copied().unwrap_or(0);
+        let Some(buf) = self.reorder.get(&key) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        if expected_now != expected_then {
+            // Progress was made but a gap remains (e.g. the missing packet
+            // overtook its successors through the jittery stack and later
+            // ones are still buffered): re-arm against the new expectation
+            // rather than silently disarming.
+            ctx.timer_in(
+                self.gap_timeout,
+                Timer {
+                    kind: TIMER_GAP,
+                    a,
+                    b: u64::from(session) | (u64::from(expected_now) << 16),
+                },
+            );
+            return;
+        }
+        let first_buffered = *buf.keys().next().expect("non-empty");
+        for seq in expected_now..first_buffered {
+            let mut h =
+                PmnetHeader::request(PacketType::UpdateReq, session, seq, client, self.addr, 0, 1);
+            h.ptype = PacketType::Retrans;
+            let pkt = self.reply_packet(h, &[], 51001 + session % 999, Proto::Udp);
+            self.counters.retrans_sent += 1;
+            self.send_via_stack(ctx, pkt);
+        }
+        // Re-arm in case the retransmission is lost too.
+        ctx.timer_in(
+            self.gap_timeout * 4,
+            Timer {
+                kind: TIMER_GAP,
+                a,
+                b,
+            },
+        );
+    }
+
+    fn on_post_stack(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let Some((header, payload)) = PmnetHeader::decode(&packet.payload) else {
+            return;
+        };
+        let pending = PendingPkt {
+            header,
+            payload,
+            src_port: packet.src_port,
+            proto: packet.proto,
+        };
+        match header.ptype {
+            PacketType::UpdateReq => self.on_update_post_stack(ctx, pending),
+            PacketType::BypassReq => self.on_bypass_post_stack(ctx, pending),
+            PacketType::ServerAck => self.on_replica_ack(ctx, header),
+            _ => {}
+        }
+    }
+
+    fn on_kernel_stage(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        // Figure 17b early logging happens here, below user space.
+        let decoded = PmnetHeader::decode(&packet.payload);
+        if let (Some(el), Some((header, _))) = (&mut self.early_log, &decoded) {
+            if header.ptype == PacketType::UpdateReq && !header.is_redo() {
+                let persist_at = el.pm.schedule_write(ctx.now(), packet.wire_bytes());
+                let logger_id = el.logger_id;
+                let forward_to = el.forward_to.clone();
+                let ack = header.ack_from_device(logger_id);
+                let mut pkt = Packet::udp(
+                    self.addr,
+                    header.client,
+                    self.port,
+                    packet.src_port,
+                    ack.encode(&[]),
+                );
+                pkt.proto = packet.proto;
+                // Ack once persisted (kernel-level response path).
+                let wait = persist_at.saturating_since(ctx.now());
+                let mut d = wait
+                    + self
+                        .profile
+                        .kernel_tx
+                        .sample(ctx.rng(), pkt.payload.len() as u32);
+                ctx.send_after(d, PortNo(0), pkt);
+                // Forward copies to replica loggers (kernel level).
+                for replica in forward_to {
+                    let mut copy = packet.clone();
+                    copy.src = self.addr;
+                    copy.dst = replica;
+                    d = self
+                        .profile
+                        .kernel_tx
+                        .sample(ctx.rng(), copy.payload.len() as u32);
+                    ctx.send_after(d, PortNo(0), copy);
+                }
+            }
+        }
+        // Continue up through user space.
+        let d = self
+            .profile
+            .user_rx
+            .sample(ctx.rng(), packet.payload.len() as u32);
+        let self_id = ctx.self_id();
+        ctx.message_in(
+            d,
+            self_id,
+            Msg::Packet {
+                port: POST_STACK,
+                packet,
+            },
+        );
+    }
+}
+
+impl Node for ServerLib {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        match msg {
+            Msg::Packet { port, packet } if port == POST_STACK && self.alive => {
+                self.on_post_stack(ctx, packet);
+            }
+            Msg::Packet { port, packet } if port == KERNEL_STAGE && self.alive => {
+                self.on_kernel_stage(ctx, packet);
+            }
+            Msg::Packet { packet, .. } => {
+                if !self.alive {
+                    return;
+                }
+                let mut d = self
+                    .profile
+                    .kernel_rx
+                    .sample(ctx.rng(), packet.payload.len() as u32);
+                if packet.proto == Proto::Tcp {
+                    d += HostProfile::tcp_extra();
+                }
+                let self_id = ctx.self_id();
+                ctx.message_in(
+                    d,
+                    self_id,
+                    Msg::Packet {
+                        port: KERNEL_STAGE,
+                        packet,
+                    },
+                );
+            }
+            Msg::Timer(Timer { kind, a, b }) => {
+                if !self.alive {
+                    return;
+                }
+                match kind {
+                    TIMER_JOB_DONE => {
+                        if b != self.epoch {
+                            return;
+                        }
+                        match self.jobs.remove(&a) {
+                            Some(Job::Update {
+                                client,
+                                session,
+                                frag_headers,
+                                src_port,
+                                proto,
+                            }) => self.finish_update_job(
+                                ctx,
+                                client,
+                                session,
+                                frag_headers,
+                                src_port,
+                                proto,
+                            ),
+                            Some(Job::Bypass {
+                                header,
+                                reply,
+                                src_port,
+                                proto,
+                            }) if !self.silent_commit => {
+                                let mut h = header;
+                                h.ptype = PacketType::AppReply;
+                                let body = reply.unwrap_or_default();
+                                let pkt = self.reply_packet(h, &body, src_port, proto);
+                                self.send_via_stack(ctx, pkt);
+                            }
+                            Some(Job::Bypass { .. }) => {}
+                            None => {}
+                        }
+                    }
+                    TIMER_GAP => self.on_gap_timer(ctx, a, b),
+                    TIMER_RECOVERY_POLL => {
+                        if b != self.epoch {
+                            return;
+                        }
+                        if let Some(r) = &mut self.recovery {
+                            r.polled_at = ctx.now();
+                        }
+                        let devices = self.devices.clone();
+                        for dev in devices {
+                            let h = PmnetHeader::request(
+                                PacketType::RecoveryPoll,
+                                0,
+                                0,
+                                self.addr,
+                                dev,
+                                0,
+                                1,
+                            );
+                            let pkt = Packet::udp(self.addr, dev, self.port, 51002, h.encode(&[]));
+                            self.send_via_stack(ctx, pkt);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Msg::Crash => {
+                self.alive = false;
+                self.epoch += 1;
+                // All volatile state is lost.
+                self.expected.clear();
+                self.reorder.clear();
+                self.assembly.clear();
+                self.jobs.clear();
+                self.pending_replication.clear();
+                let now = ctx.now();
+                for w in &mut self.workers {
+                    *w = now;
+                }
+                self.handler.on_crash(ctx.rng());
+            }
+            Msg::Restore => {
+                self.alive = true;
+                self.epoch += 1;
+                let app_recovery = self.handler.on_recover();
+                self.recovery = Some(RecoveryStats {
+                    restored_at: ctx.now(),
+                    polled_at: Time::MAX,
+                    redo_applied: 0,
+                    last_redo_at: ctx.now(),
+                });
+                ctx.timer_in(
+                    app_recovery,
+                    Timer {
+                        kind: TIMER_RECOVERY_POLL,
+                        a: 0,
+                        b: self.epoch,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn addr(&self) -> Option<Addr> {
+        Some(self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(handler: Box<dyn RequestHandler>) -> ServerLib {
+        ServerLib::new(
+            Addr(9),
+            HostProfile::kernel_server(),
+            4,
+            Dur::micros(100),
+            handler,
+        )
+    }
+
+    fn upd(seq: u32, payload: &[u8]) -> PendingPkt {
+        PendingPkt {
+            header: PmnetHeader::request(PacketType::UpdateReq, 1, seq, Addr(1), Addr(9), 0, 1),
+            payload: Bytes::from(payload.to_vec()),
+            src_port: 51001,
+            proto: Proto::Udp,
+        }
+    }
+
+    #[test]
+    fn expected_seq_initializes_from_handler() {
+        let mut h = IdealHandler::new();
+        h.record_applied(Addr(1), 1, 41);
+        let mut s = mk(Box::new(h));
+        assert_eq!(s.expected_seq(Addr(1), 1), 42);
+        assert_eq!(s.expected_seq(Addr(2), 1), 0);
+    }
+
+    #[test]
+    fn ideal_handler_tracks_applied() {
+        let mut h = IdealHandler::new();
+        assert_eq!(h.applied_seq(Addr(1), 0), None);
+        let mut rng = SimRng::seed(0);
+        assert!(h.handle_update(Addr(1), 0, 5, &Bytes::new(), &mut rng) > Dur::ZERO);
+        assert_eq!(h.applied_seq(Addr(1), 0), Some(5));
+        let (d, reply) = h.handle_bypass(&Bytes::new(), &mut rng);
+        assert!(d > Dur::ZERO);
+        assert!(reply.is_some());
+    }
+
+    #[test]
+    fn pending_pkt_smoke() {
+        let p = upd(3, b"x");
+        assert_eq!(p.header.seq, 3);
+        assert_eq!(p.header.frag_cnt, 1);
+    }
+}

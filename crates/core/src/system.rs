@@ -1,0 +1,670 @@
+//! System assembly and experiment running.
+//!
+//! Builds the paper's design points (Section VI-A4) as simulated
+//! topologies and runs closed-loop clients against them, collecting the
+//! metrics the evaluation figures report.
+//!
+//! Topologies (all links 10 Gbps unless overridden):
+//!
+//! ```text
+//! Client-Server : clients ── merge-switch ── tor-switch ── server
+//! PMNet-Switch  : clients ── merge-switch ── PMNet(ToR) ── server
+//! PMNet-NIC     : clients ── merge-switch ── tor-switch ── PMNet ── server
+//! PMNet-Repl(n) : clients ── merge ── PMNet#1 ── … ── PMNet#n ── server
+//! CS-Repl(r)    : Client-Server + (r−1) silent replicas on the ToR
+//! ServerLog(r)  : Client-Server, primary logs at kernel + (r−1) replica
+//!                 logger-servers on the ToR
+//! ClientLog(r)  : Client-Server + (r−1) peer loggers on the merge switch
+//! ```
+
+use bytes::Bytes;
+use pmnet_net::{Addr, Switch, World};
+use pmnet_sim::stats::LatencyHistogram;
+use pmnet_sim::{Dur, NodeId, SimRng, Time};
+
+use crate::alt::{PeerLogger, LOCAL_LOG_PERSIST};
+use crate::client::{AppRequest, ClientLib, ClientMode, RequestKind, RequestSource};
+use crate::config::SystemConfig;
+use crate::device::PmnetDevice;
+use crate::server::{IdealHandler, RequestHandler, ServerLib};
+
+/// The evaluated system designs (Sections VI-A4 and VI-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignPoint {
+    /// PMNet in the server rack's ToR switch.
+    PmnetSwitch,
+    /// PMNet as the server's (bump-in-the-wire) NIC.
+    PmnetNic,
+    /// The traditional baseline.
+    ClientServer,
+    /// PMNet with `devices` chained switches (in-network replication,
+    /// Section IV-C). `devices = 1` degenerates to PMNet-Switch.
+    PmnetReplicated {
+        /// Number of chained PMNet devices (= replication factor).
+        devices: u8,
+    },
+    /// Baseline with user-level replication to `replicas` servers total.
+    ClientServerReplicated {
+        /// Total copies (primary + backups).
+        replicas: u8,
+    },
+    /// Figure 17b: server-side kernel-level logging, replicated across
+    /// `replicas` logger-servers total.
+    ServerSideLog {
+        /// Total logger copies (primary + backups).
+        replicas: u8,
+    },
+    /// Figure 17a: client-side logging, replicated across `replicas`
+    /// loggers total (1 local + peers).
+    ClientSideLog {
+        /// Total logger copies (local + peers).
+        replicas: u8,
+    },
+}
+
+/// Addresses used by the standard topologies.
+pub mod addrs {
+    use pmnet_net::Addr;
+
+    /// The server.
+    pub const SERVER: Addr = Addr(1000);
+    /// First client; client `i` is `CLIENT_BASE + i`.
+    pub const CLIENT_BASE: u32 = 1;
+    /// First PMNet device; device `i` is `DEVICE_BASE + i`.
+    pub const DEVICE_BASE: u32 = 2000;
+    /// First replica server.
+    pub const REPLICA_BASE: u32 = 3000;
+    /// First peer logger.
+    pub const PEER_BASE: u32 = 4000;
+
+    /// The address of client `i`.
+    pub fn client(i: usize) -> Addr {
+        Addr(CLIENT_BASE + i as u32)
+    }
+}
+
+/// An assembled system ready to run.
+#[derive(Debug)]
+pub struct BuiltSystem {
+    /// The simulated world.
+    pub world: World,
+    /// Client node ids, in client order.
+    pub clients: Vec<NodeId>,
+    /// The (primary) server node.
+    pub server: NodeId,
+    /// PMNet device nodes, client-side first.
+    pub devices: Vec<NodeId>,
+    /// Replica servers / peer loggers, if any.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Builds systems for a design point.
+pub struct SystemBuilder {
+    design: DesignPoint,
+    config: SystemConfig,
+    use_tcp: bool,
+    warmup: usize,
+    sources: Vec<Box<dyn RequestSource>>,
+    handler_factory: Box<dyn FnMut() -> Box<dyn RequestHandler>>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("design", &self.design)
+            .field("clients", &self.sources.len())
+            .finish()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a builder for `design` with the given calibration.
+    pub fn new(design: DesignPoint, config: SystemConfig) -> SystemBuilder {
+        SystemBuilder {
+            design,
+            config,
+            use_tcp: false,
+            warmup: 0,
+            sources: Vec::new(),
+            handler_factory: Box::new(|| Box::new(IdealHandler::new())),
+        }
+    }
+
+    /// Adds a client driven by `source`.
+    pub fn client(mut self, source: Box<dyn RequestSource>) -> SystemBuilder {
+        self.sources.push(source);
+        self
+    }
+
+    /// Sets the factory producing the server(s') request handler.
+    pub fn handler_factory(
+        mut self,
+        f: impl FnMut() -> Box<dyn RequestHandler> + 'static,
+    ) -> SystemBuilder {
+        self.handler_factory = Box::new(f);
+        self
+    }
+
+    /// Clients speak TCP (baseline Redis/Twitter/TPCC).
+    pub fn tcp(mut self, yes: bool) -> SystemBuilder {
+        self.use_tcp = yes;
+        self
+    }
+
+    /// Number of leading completions each client excludes from statistics.
+    pub fn warmup(mut self, n: usize) -> SystemBuilder {
+        self.warmup = n;
+        self
+    }
+
+    fn client_mode(&self) -> ClientMode {
+        match self.design {
+            DesignPoint::ClientServer | DesignPoint::ClientServerReplicated { .. } => {
+                ClientMode::Baseline
+            }
+            DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => {
+                ClientMode::Pmnet { needed_acks: 1 }
+            }
+            DesignPoint::PmnetReplicated { devices } => ClientMode::Pmnet {
+                needed_acks: devices,
+            },
+            DesignPoint::ServerSideLog { replicas } => ClientMode::Pmnet {
+                needed_acks: replicas,
+            },
+            DesignPoint::ClientSideLog { replicas } => {
+                let peers = (0..replicas.saturating_sub(1))
+                    .map(|i| Addr(addrs::PEER_BASE + u32::from(i)))
+                    .collect();
+                ClientMode::ClientSideLog {
+                    peers,
+                    local_persist: LOCAL_LOG_PERSIST,
+                }
+            }
+        }
+    }
+
+    /// Assembles the world. `seed` fixes all randomness.
+    pub fn build(mut self, seed: u64) -> BuiltSystem {
+        assert!(!self.sources.is_empty(), "need at least one client");
+        let cfg = self.config;
+        let mode = self.client_mode();
+        let mut world = World::new(seed);
+
+        // Clients.
+        let mut clients = Vec::new();
+        for (i, source) in self.sources.drain(..).enumerate() {
+            let mut c = ClientLib::new(
+                addrs::client(i),
+                addrs::SERVER,
+                i as u16,
+                mode.clone(),
+                cfg.client,
+                cfg.client_timeout,
+                source,
+            )
+            .with_warmup(self.warmup);
+            if self.use_tcp {
+                c = c.with_tcp();
+            }
+            clients.push(world.add_node(Box::new(c)));
+        }
+
+        // Devices along the client->server path.
+        let device_count = match self.design {
+            DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => 1,
+            DesignPoint::PmnetReplicated { devices } => usize::from(devices),
+            _ => 0,
+        };
+        let device_addrs: Vec<Addr> = (0..device_count)
+            .map(|i| Addr(addrs::DEVICE_BASE + i as u32))
+            .collect();
+
+        // Server(s).
+        let mut replicas = Vec::new();
+        let server = {
+            let handler = (self.handler_factory)();
+            let mut s = ServerLib::new(
+                addrs::SERVER,
+                cfg.server,
+                cfg.server_workers,
+                cfg.gap_timeout,
+                handler,
+            )
+            .with_devices(device_addrs.clone());
+            match self.design {
+                DesignPoint::ClientServerReplicated { replicas: r } => {
+                    let backups: Vec<Addr> = (1..r)
+                        .map(|i| Addr(addrs::REPLICA_BASE + u32::from(i)))
+                        .collect();
+                    s = s.with_replication(backups);
+                }
+                DesignPoint::ServerSideLog { replicas: r } => {
+                    // Replication is a chain (Figure 17b): the primary
+                    // forwards to replica #1, which forwards to #2, ...
+                    let first: Vec<Addr> = if r > 1 {
+                        vec![Addr(addrs::REPLICA_BASE + 1)]
+                    } else {
+                        Vec::new()
+                    };
+                    s = s.with_early_log(100, first);
+                }
+                _ => {}
+            }
+            world.add_node(Box::new(s))
+        };
+
+        // The merge switch in front of the clients (Section VI-A1).
+        let merge = world.add_node(Box::new(Switch::new("merge")));
+        for &c in &clients {
+            world.connect(c, merge, cfg.link);
+        }
+
+        // The path from merge switch to server, per design.
+        let mut devices = Vec::new();
+        match self.design {
+            DesignPoint::PmnetSwitch | DesignPoint::PmnetReplicated { .. } => {
+                let mut prev = merge;
+                for (i, addr) in device_addrs.iter().enumerate() {
+                    let dev = world.add_node(Box::new(PmnetDevice::new(
+                        format!("pmnet{i}"),
+                        1 + i as u8,
+                        *addr,
+                        cfg.device,
+                    )));
+                    world.connect(prev, dev, cfg.link);
+                    devices.push(dev);
+                    prev = dev;
+                }
+                world.connect(prev, server, cfg.link);
+            }
+            DesignPoint::PmnetNic => {
+                let tor = world.add_node(Box::new(Switch::new("tor")));
+                world.connect(merge, tor, cfg.link);
+                let dev = world.add_node(Box::new(PmnetDevice::new(
+                    "pmnet-nic",
+                    1,
+                    device_addrs[0],
+                    cfg.device,
+                )));
+                world.connect(tor, dev, cfg.link);
+                world.connect(dev, server, cfg.link);
+                devices.push(dev);
+            }
+            DesignPoint::ClientServer
+            | DesignPoint::ClientServerReplicated { .. }
+            | DesignPoint::ServerSideLog { .. }
+            | DesignPoint::ClientSideLog { .. } => {
+                let tor = world.add_node(Box::new(Switch::new("tor")));
+                world.connect(merge, tor, cfg.link);
+                world.connect(tor, server, cfg.link);
+                // Attach replicas / peer loggers.
+                match self.design {
+                    DesignPoint::ClientServerReplicated { replicas: r } => {
+                        for i in 1..r {
+                            let handler = (self.handler_factory)();
+                            let rep = ServerLib::new(
+                                Addr(addrs::REPLICA_BASE + u32::from(i)),
+                                cfg.server,
+                                cfg.server_workers,
+                                cfg.gap_timeout,
+                                handler,
+                            )
+                            .as_silent_replica();
+                            let id = world.add_node(Box::new(rep));
+                            world.connect(tor, id, cfg.link);
+                            replicas.push(id);
+                        }
+                    }
+                    DesignPoint::ServerSideLog { replicas: r } => {
+                        for i in 1..r {
+                            let next: Vec<Addr> = if i + 1 < r {
+                                vec![Addr(addrs::REPLICA_BASE + u32::from(i) + 1)]
+                            } else {
+                                Vec::new()
+                            };
+                            let handler = (self.handler_factory)();
+                            let rep = ServerLib::new(
+                                Addr(addrs::REPLICA_BASE + u32::from(i)),
+                                cfg.server,
+                                cfg.server_workers,
+                                cfg.gap_timeout,
+                                handler,
+                            )
+                            .with_early_log(100 + i, next)
+                            .as_silent_replica();
+                            let id = world.add_node(Box::new(rep));
+                            world.connect(tor, id, cfg.link);
+                            replicas.push(id);
+                        }
+                    }
+                    DesignPoint::ClientSideLog { replicas: r } => {
+                        for i in 0..r.saturating_sub(1) {
+                            let logger = PeerLogger::new(
+                                Addr(addrs::PEER_BASE + u32::from(i)),
+                                crate::client::PEER_LOGGER_ID_BASE + i,
+                                cfg.client,
+                            );
+                            let id = world.add_node(Box::new(logger));
+                            world.connect(merge, id, cfg.link);
+                            replicas.push(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        world.populate_switch_routes();
+        BuiltSystem {
+            world,
+            clients,
+            server,
+            devices,
+            replicas,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug)]
+pub struct RunMetrics {
+    /// Post-warm-up completions across all clients.
+    pub completed: usize,
+    /// All post-warm-up latencies.
+    pub latency: LatencyHistogram,
+    /// Update latencies only.
+    pub update_latency: LatencyHistogram,
+    /// Bypass latencies only.
+    pub bypass_latency: LatencyHistogram,
+    /// Post-warm-up operations per second (first to last completion).
+    pub ops_per_sec: f64,
+    /// Total retransmission rounds clients needed.
+    pub client_retries: u64,
+    /// Simulated end time.
+    pub end: Time,
+}
+
+impl BuiltSystem {
+    /// Starts every client and runs until all finish or `deadline` passes.
+    pub fn run_clients(&mut self, deadline: Dur) {
+        for &c in &self.clients.clone() {
+            self.world.start_node(c);
+        }
+        let end = Time::ZERO + deadline;
+        // Step in slices so we can stop early when all clients finish.
+        // The cursor advances independently of the event clock, so gaps in
+        // the event stream (e.g. waiting out a retransmission timeout)
+        // don't stall the loop.
+        let slice = Dur::millis(1);
+        let mut cursor = self.world.now();
+        while cursor < end {
+            cursor = (cursor + slice).min(end);
+            self.world.run_until(cursor);
+            let all_done = self
+                .clients
+                .iter()
+                .all(|&c| self.world.node::<ClientLib>(c).is_finished());
+            if all_done {
+                // Drain trailing ACK/GC traffic briefly.
+                self.world.run_for(Dur::millis(1));
+                break;
+            }
+            if self.world.pending_events() == 0 {
+                // Nothing can make progress anymore (a stalled system is
+                // surfaced by the metrics, not by hanging the harness).
+                break;
+            }
+        }
+    }
+
+    /// Collects metrics across all clients.
+    pub fn metrics(&self) -> RunMetrics {
+        let mut latency = LatencyHistogram::new();
+        let mut update_latency = LatencyHistogram::new();
+        let mut bypass_latency = LatencyHistogram::new();
+        let mut completed = 0;
+        let mut retries = 0u64;
+        let mut first = Time::MAX;
+        let mut last = Time::ZERO;
+        for &c in &self.clients {
+            let client = self.world.node::<ClientLib>(c);
+            for r in client.records() {
+                completed += 1;
+                retries += u64::from(r.retries);
+                latency.record(r.latency);
+                match r.kind {
+                    RequestKind::Update => update_latency.record(r.latency),
+                    RequestKind::Bypass => bypass_latency.record(r.latency),
+                }
+                first = first.min(r.at);
+                last = last.max(r.at);
+            }
+        }
+        let ops_per_sec = if completed > 1 && last > first {
+            (completed - 1) as f64 / (last - first).as_secs_f64()
+        } else {
+            0.0
+        };
+        RunMetrics {
+            completed,
+            latency,
+            update_latency,
+            bypass_latency,
+            ops_per_sec,
+            client_retries: retries,
+            end: self.world.now(),
+        }
+    }
+}
+
+/// A microbenchmark request source: `n` requests of `payload_bytes`, a
+/// fraction of which are updates (Section VI-B1's ideal-handler workload).
+#[derive(Debug)]
+pub struct MicroSource {
+    remaining: usize,
+    payload_bytes: usize,
+    update_ratio: f64,
+}
+
+impl MicroSource {
+    /// `n` pure-update requests of `payload_bytes` each.
+    pub fn updates(n: usize, payload_bytes: usize) -> MicroSource {
+        MicroSource {
+            remaining: n,
+            payload_bytes,
+            update_ratio: 1.0,
+        }
+    }
+
+    /// A mixed update/read stream.
+    pub fn mixed(n: usize, payload_bytes: usize, update_ratio: f64) -> MicroSource {
+        MicroSource {
+            remaining: n,
+            payload_bytes,
+            update_ratio,
+        }
+    }
+}
+
+impl RequestSource for MicroSource {
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<AppRequest> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let kind = if rng.chance(self.update_ratio) {
+            RequestKind::Update
+        } else {
+            RequestKind::Bypass
+        };
+        let mut payload = vec![0u8; self.payload_bytes];
+        rng.fill_bytes(&mut payload);
+        // Tag as an opaque app frame so KV-aware components skip it.
+        payload.insert(0, b'O');
+        Some(AppRequest {
+            kind,
+            payload: Bytes::from(payload),
+        })
+    }
+}
+
+/// Convenience wrapper used across the benches: N identical microbenchmark
+/// clients against an ideal-handler server.
+#[derive(Debug)]
+pub struct UpdateExperiment {
+    design: DesignPoint,
+    config: SystemConfig,
+    clients: usize,
+    payload: usize,
+    requests: usize,
+    update_ratio: f64,
+    warmup: usize,
+    deadline: Dur,
+}
+
+impl UpdateExperiment {
+    /// A single-client, 100-byte, update-only experiment (customize with
+    /// the builder methods).
+    pub fn new(design: DesignPoint, config: SystemConfig) -> UpdateExperiment {
+        UpdateExperiment {
+            design,
+            config,
+            clients: 1,
+            payload: 100,
+            requests: 1000,
+            update_ratio: 1.0,
+            warmup: 0,
+            deadline: Dur::secs(30),
+        }
+    }
+
+    /// Number of client instances.
+    pub fn clients(mut self, n: usize) -> UpdateExperiment {
+        self.clients = n;
+        self
+    }
+
+    /// Request payload size in bytes.
+    pub fn payload_bytes(mut self, n: usize) -> UpdateExperiment {
+        self.payload = n;
+        self
+    }
+
+    /// Requests per client.
+    pub fn requests_per_client(mut self, n: usize) -> UpdateExperiment {
+        self.requests = n;
+        self
+    }
+
+    /// Fraction of requests that are updates.
+    pub fn update_ratio(mut self, r: f64) -> UpdateExperiment {
+        self.update_ratio = r;
+        self
+    }
+
+    /// Warm-up completions to exclude per client.
+    pub fn warmup(mut self, n: usize) -> UpdateExperiment {
+        self.warmup = n;
+        self
+    }
+
+    /// Simulated-time budget.
+    pub fn deadline(mut self, d: Dur) -> UpdateExperiment {
+        self.deadline = d;
+        self
+    }
+
+    /// Builds, runs and collects.
+    pub fn run(&mut self, seed: u64) -> RunMetrics {
+        let mut b = SystemBuilder::new(self.design, self.config).warmup(self.warmup);
+        for _ in 0..self.clients {
+            b = b.client(Box::new(MicroSource::mixed(
+                self.requests,
+                self.payload,
+                self.update_ratio,
+            )));
+        }
+        let mut sys = b.build(seed);
+        sys.run_clients(self.deadline);
+        sys.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(design: DesignPoint) -> RunMetrics {
+        UpdateExperiment::new(design, SystemConfig::default())
+            .requests_per_client(100)
+            .run(7)
+    }
+
+    #[test]
+    fn all_clients_complete_on_every_design_point() {
+        for design in [
+            DesignPoint::ClientServer,
+            DesignPoint::PmnetSwitch,
+            DesignPoint::PmnetNic,
+            DesignPoint::PmnetReplicated { devices: 3 },
+            DesignPoint::ClientServerReplicated { replicas: 3 },
+            DesignPoint::ServerSideLog { replicas: 1 },
+            DesignPoint::ServerSideLog { replicas: 3 },
+            DesignPoint::ClientSideLog { replicas: 1 },
+            DesignPoint::ClientSideLog { replicas: 3 },
+        ] {
+            let m = quick(design);
+            assert_eq!(m.completed, 100, "{design:?}");
+        }
+    }
+
+    #[test]
+    fn pmnet_is_substantially_faster_than_baseline() {
+        let base = quick(DesignPoint::ClientServer);
+        let pmnet = quick(DesignPoint::PmnetSwitch);
+        let speedup = base.latency.mean().as_micros_f64() / pmnet.latency.mean().as_micros_f64();
+        assert!(
+            speedup > 1.8,
+            "expected sub-RTT benefit, got {speedup:.2}x ({} vs {})",
+            base.latency.mean(),
+            pmnet.latency.mean()
+        );
+    }
+
+    #[test]
+    fn switch_and_nic_designs_are_nearly_identical() {
+        let sw = quick(DesignPoint::PmnetSwitch);
+        let nic = quick(DesignPoint::PmnetNic);
+        let diff = (sw.latency.mean().as_micros_f64() - nic.latency.mean().as_micros_f64()).abs();
+        assert!(diff < 3.0, "Fig 15: |switch - nic| = {diff:.2} us");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(DesignPoint::PmnetSwitch);
+        let b = quick(DesignPoint::PmnetSwitch);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn multi_client_run_completes() {
+        let m = UpdateExperiment::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+            .clients(8)
+            .requests_per_client(50)
+            .run(3);
+        assert_eq!(m.completed, 8 * 50);
+        assert!(m.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn mixed_ratio_produces_both_kinds() {
+        let m = UpdateExperiment::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+            .update_ratio(0.5)
+            .requests_per_client(200)
+            .run(9);
+        assert!(m.update_latency.len() > 50);
+        assert!(m.bypass_latency.len() > 50);
+        assert_eq!(m.update_latency.len() + m.bypass_latency.len(), 200);
+    }
+}

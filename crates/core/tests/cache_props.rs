@@ -1,0 +1,168 @@
+//! Property tests for the Figure 11 read-cache state machine (with the
+//! in-flight counter refinement — see DESIGN.md §7).
+//!
+//! The model mirrors what a correct server would do: updates queue, each
+//! server-ACK applies the oldest in-flight update, and read responses
+//! carry the server's current value at pass-through time. Against any
+//! interleaving, a cache hit must return the freshest value the device
+//! has observed for the key.
+
+use pmnet_core::cache::{CacheState, ReadCache};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update(u8, Vec<u8>),
+    ServerAck(u8),
+    ReadResponse(u8),
+    Lookup(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u8..6;
+    let val = prop::collection::vec(any::<u8>(), 1..8);
+    prop_oneof![
+        (key.clone(), val).prop_map(|(k, v)| Op::Update(k, v)),
+        key.clone().prop_map(Op::ServerAck),
+        key.clone().prop_map(Op::ReadResponse),
+        key.prop_map(Op::Lookup),
+    ]
+}
+
+/// Reference model per key: a correct server plus device-visible truth.
+#[derive(Debug, Default, Clone)]
+struct ModelEntry {
+    /// Value of the most recent update the device saw.
+    latest_update: Option<Vec<u8>>,
+    /// Updates logged but not yet applied+acked by the server (in order).
+    inflight: VecDeque<Vec<u8>>,
+    /// The server's current durable value.
+    server_value: Option<Vec<u8>>,
+}
+
+impl ModelEntry {
+    /// The only value a cache hit may legally return: the latest update if
+    /// one ever happened, otherwise whatever the server holds.
+    fn fresh(&self) -> Option<&Vec<u8>> {
+        self.latest_update.as_ref().or(self.server_value.as_ref())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hits_always_return_the_freshest_observed_value(
+        ops in prop::collection::vec(op_strategy(), 0..150),
+    ) {
+        let mut cache = ReadCache::new(64);
+        let mut model: HashMap<u8, ModelEntry> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Update(k, v) => {
+                    cache.on_update(&[k], &v);
+                    let e = model.entry(k).or_default();
+                    e.latest_update = Some(v.clone());
+                    e.inflight.push_back(v);
+                }
+                Op::ServerAck(k) => {
+                    let e = model.entry(k).or_default();
+                    // A correct server only acks work it has applied.
+                    if let Some(v) = e.inflight.pop_front() {
+                        e.server_value = Some(v);
+                        cache.on_server_ack(&[k]);
+                    }
+                }
+                Op::ReadResponse(k) => {
+                    // A pass-through read reply carries the server's
+                    // current value (found == true only if one exists).
+                    let e = model.entry(k).or_default();
+                    if let Some(v) = e.server_value.clone() {
+                        cache.on_read_response(&[k], &v);
+                    }
+                }
+                Op::Lookup(k) => {
+                    let hit = cache.lookup(&[k]);
+                    let e = model.get(&k).cloned().unwrap_or_default();
+                    if let Some(value) = hit {
+                        let fresh = e.fresh().expect("hit on never-written key");
+                        prop_assert_eq!(
+                            &value, fresh,
+                            "stale value served for key {} (inflight={})",
+                            k, e.inflight.len()
+                        );
+                    }
+                    // Conversely, a Pending/Persisted single-writer entry
+                    // must hit (cache effectiveness, not just safety).
+                    if e.inflight.len() <= 1 && e.latest_update.is_some() {
+                        // Only guaranteed if the key was admitted (the
+                        // 64-entry cache can refuse under pressure), so no
+                        // assertion on misses here.
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn states_follow_the_refined_figure_11_graph(
+        ops in prop::collection::vec(op_strategy(), 0..100),
+    ) {
+        let mut cache = ReadCache::new(64);
+        let mut inflight: HashMap<u8, u32> = HashMap::new();
+        let mut prev: HashMap<u8, CacheState> = HashMap::new();
+        for op in ops {
+            let key = match op {
+                Op::Update(k, _) | Op::ServerAck(k) | Op::ReadResponse(k) | Op::Lookup(k) => k,
+            };
+            let before = prev.get(&key).copied().unwrap_or(CacheState::Invalid);
+            match &op {
+                Op::Update(k, v) => {
+                    cache.on_update(&[*k], v);
+                    *inflight.entry(*k).or_default() += 1;
+                }
+                Op::ServerAck(k) => {
+                    let c = inflight.entry(*k).or_default();
+                    if *c > 0 {
+                        *c -= 1;
+                        cache.on_server_ack(&[*k]);
+                    }
+                }
+                Op::ReadResponse(k) => cache.on_read_response(&[*k], b"srv"),
+                Op::Lookup(k) => {
+                    let _ = cache.lookup(&[*k]);
+                }
+            }
+            let after = cache.state(&[key]);
+            use CacheState::*;
+            let legal = match (&op, before, after) {
+                // T1/T3: first in-flight update -> Pending.
+                (Op::Update(..), Invalid | Persisted, Pending) => true,
+                // Full cache may refuse to admit a new key.
+                (Op::Update(..), Invalid, Invalid) => true,
+                // T4/T5: overlapping updates -> Stale.
+                (Op::Update(..), Pending | Stale, Stale) => true,
+                // T2: ack persists Pending.
+                (Op::ServerAck(..), Pending, Persisted) => true,
+                // T6 (refined): Stale drains to Invalid only at zero
+                // in-flight; otherwise remains Stale.
+                (Op::ServerAck(..), Stale, Invalid | Stale) => true,
+                (Op::ServerAck(..), s, t) if s == t => true,
+                // Read responses fill idle Invalid entries only.
+                (Op::ReadResponse(..), Invalid, Persisted | Invalid) => true,
+                (Op::ReadResponse(..), s, t) if s == t => true,
+                // Lookups never change state.
+                (Op::Lookup(..), s, t) if s == t => true,
+                _ => false,
+            };
+            prop_assert!(
+                legal,
+                "illegal transition {:?}: {:?} -> {:?}",
+                op, before, after
+            );
+            prev.insert(key, after);
+        }
+    }
+}

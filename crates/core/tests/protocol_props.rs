@@ -1,0 +1,98 @@
+//! Property tests for the wire codecs: arbitrary headers and KV frames
+//! round-trip exactly, and arbitrary bytes never panic the decoders (a
+//! data-plane parser must tolerate any traffic).
+
+use bytes::Bytes;
+use pmnet_core::kvproto::KvFrame;
+use pmnet_core::protocol::{PacketType, PmnetHeader, FLAG_REDO, HEADER_LEN};
+use pmnet_net::Addr;
+use proptest::prelude::*;
+
+fn arb_ptype() -> impl Strategy<Value = PacketType> {
+    prop_oneof![
+        Just(PacketType::UpdateReq),
+        Just(PacketType::BypassReq),
+        Just(PacketType::PmnetAck),
+        Just(PacketType::ServerAck),
+        Just(PacketType::Retrans),
+        Just(PacketType::CacheResp),
+        Just(PacketType::AppReply),
+        Just(PacketType::RecoveryPoll),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn header_round_trips(
+        ptype in arb_ptype(),
+        redo in any::<bool>(),
+        session in any::<u16>(),
+        seq in any::<u32>(),
+        client in any::<u32>(),
+        server in any::<u32>(),
+        frag_idx in any::<u16>(),
+        frag_cnt in any::<u16>(),
+        device_id in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut h = PmnetHeader::request(
+            ptype, session, seq, Addr(client), Addr(server), frag_idx, frag_cnt,
+        );
+        h.device_id = device_id;
+        if redo {
+            h.flags = FLAG_REDO;
+        }
+        let body = h.encode(&payload);
+        prop_assert_eq!(body.len(), HEADER_LEN + payload.len());
+        let (h2, p2) = PmnetHeader::decode(&body).expect("round trip");
+        prop_assert_eq!(h, h2);
+        prop_assert_eq!(&p2[..], &payload[..]);
+        prop_assert_eq!(h2.is_redo(), redo);
+    }
+
+    #[test]
+    fn header_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = PmnetHeader::decode(&Bytes::from(bytes));
+    }
+
+    #[test]
+    fn hash_is_a_pure_function_of_request_identity(
+        session in any::<u16>(),
+        seq in any::<u32>(),
+        client in any::<u32>(),
+        server in any::<u32>(),
+    ) {
+        // The server must be able to reconstruct the hash for Retrans
+        // addressing (Section IV-B1) from the request identity alone.
+        let a = PmnetHeader::request(
+            PacketType::UpdateReq, session, seq, Addr(client), Addr(server), 0, 1,
+        );
+        let b = PmnetHeader::request(
+            PacketType::Retrans, session, seq, Addr(client), Addr(server), 0, 1,
+        );
+        prop_assert_eq!(a.hash, b.hash);
+        prop_assert_eq!(a.hash, a.compute_hash(Addr(server)));
+    }
+
+    #[test]
+    fn kv_frames_round_trip(
+        key in prop::collection::vec(any::<u8>(), 0..64),
+        value in prop::collection::vec(any::<u8>(), 0..200),
+        found in any::<bool>(),
+    ) {
+        let frames = [
+            KvFrame::Get { key: key.clone() },
+            KvFrame::Set { key: key.clone(), value: value.clone() },
+            KvFrame::Del { key: key.clone() },
+            KvFrame::Value { key, value, found },
+        ];
+        for f in frames {
+            prop_assert_eq!(KvFrame::decode(&f.encode()), Some(f));
+        }
+    }
+
+    #[test]
+    fn kv_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = KvFrame::decode(&bytes);
+    }
+}

@@ -1,0 +1,147 @@
+//! The wire unit: a UDP/TCP datagram with an opaque payload.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::Addr;
+
+/// Ethernet + IPv4 + UDP header bytes added to every payload on the wire.
+pub const ETH_IP_UDP_OVERHEAD: u32 = 14 + 20 + 8;
+
+/// Extra header bytes TCP carries over UDP (20-byte TCP header vs 8-byte
+/// UDP header).
+pub const TCP_EXTRA_OVERHEAD: u32 = 12;
+
+/// Transport protocol of a [`Packet`].
+///
+/// The PMNet protocol is UDP-based (Section IV-A2); the paper's Redis /
+/// Twitter / TPCC baselines run over TCP, which we model as per-packet
+/// header overhead plus the reliable-delivery behaviour implemented by the
+/// endpoint libraries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// User Datagram Protocol.
+    Udp,
+    /// Transmission Control Protocol (modeled).
+    Tcp,
+}
+
+/// A network packet.
+///
+/// Payloads are opaque [`Bytes`]; endpoints and PMNet devices parse them
+/// with the codecs in `pmnet-core`, mirroring how a programmable data plane
+/// parses raw frames.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source host address.
+    pub src: Addr,
+    /// Destination host address.
+    pub dst: Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Constructs a UDP packet.
+    pub fn udp(src: Addr, dst: Addr, src_port: u16, dst_port: u16, payload: Bytes) -> Packet {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: Proto::Udp,
+            payload,
+        }
+    }
+
+    /// Constructs a TCP packet.
+    pub fn tcp(src: Addr, dst: Addr, src_port: u16, dst_port: u16, payload: Bytes) -> Packet {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: Proto::Tcp,
+            payload,
+        }
+    }
+
+    /// Total bytes this packet occupies on the wire, including link/network/
+    /// transport headers. This is the size used for serialization delay and
+    /// queue occupancy.
+    pub fn wire_bytes(&self) -> u32 {
+        let hdr = match self.proto {
+            Proto::Udp => ETH_IP_UDP_OVERHEAD,
+            Proto::Tcp => ETH_IP_UDP_OVERHEAD + TCP_EXTRA_OVERHEAD,
+        };
+        hdr + self.payload.len() as u32
+    }
+
+    /// A reply template: swaps src/dst addresses and ports, keeping the
+    /// protocol, with the given payload.
+    pub fn reply_with(&self, payload: Bytes) -> Packet {
+        Packet {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+            payload,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} {:?} {}B",
+            self.src,
+            self.src_port,
+            self.dst,
+            self.dst_port,
+            self.proto,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_headers() {
+        let p = Packet::udp(Addr(1), Addr(2), 100, 200, Bytes::from(vec![0u8; 100]));
+        assert_eq!(p.wire_bytes(), 100 + 42);
+        let t = Packet::tcp(Addr(1), Addr(2), 100, 200, Bytes::from(vec![0u8; 100]));
+        assert_eq!(t.wire_bytes(), 100 + 54);
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let p = Packet::udp(Addr(1), Addr(2), 100, 200, Bytes::new());
+        let r = p.reply_with(Bytes::from_static(b"ok"));
+        assert_eq!(r.src, Addr(2));
+        assert_eq!(r.dst, Addr(1));
+        assert_eq!(r.src_port, 200);
+        assert_eq!(r.dst_port, 100);
+        assert_eq!(&r.payload[..], b"ok");
+        assert_eq!(r.proto, Proto::Udp);
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let p = Packet::udp(Addr(1), Addr(2), 7, 8, Bytes::new());
+        let s = p.to_string();
+        assert!(s.contains("10.0.0.1:7"));
+        assert!(s.contains("10.0.0.2:8"));
+    }
+}

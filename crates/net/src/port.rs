@@ -1,0 +1,382 @@
+//! Ports and links: bandwidth, propagation, FIFO egress queueing, and fault
+//! injection.
+//!
+//! Each directed port models the egress side of a link attachment. A packet
+//! transmitted on a busy port waits behind the in-flight bytes; the waiting
+//! time is exactly the queueing delay that produces the paper's Figure 16
+//! latency spike at 10 Gbps saturation and part of its tail latency story.
+
+use std::fmt;
+
+use pmnet_sim::{Dur, NodeId, SimRng, Time};
+
+use crate::Packet;
+
+/// A port index local to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortNo(pub u8);
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Static parameters of a (full-duplex, symmetric) link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Dur,
+    /// Maximum tolerated queueing delay; packets that would wait longer are
+    /// tail-dropped (models a finite egress buffer).
+    pub max_queue: Dur,
+    /// Probability a packet is dropped in flight (fault injection).
+    pub drop_prob: f64,
+    /// Probability a packet is delayed by an extra random amount, causing
+    /// reordering relative to its successors (fault injection; Fig. 7a).
+    pub reorder_prob: f64,
+    /// Maximum extra delay applied to reordered packets.
+    pub reorder_extra: Dur,
+}
+
+impl LinkSpec {
+    /// The testbed's 10 Gbps data-center link (Section V-A) with in-rack
+    /// propagation delay and a generous egress buffer.
+    pub fn ten_gbps() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            propagation: Dur::nanos(300),
+            max_queue: Dur::millis(5),
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra: Dur::ZERO,
+        }
+    }
+
+    /// A 100 Gbps link (Section VII scaling discussion).
+    pub fn hundred_gbps() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: 100_000_000_000,
+            ..LinkSpec::ten_gbps()
+        }
+    }
+
+    /// Returns a copy with the given drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> LinkSpec {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Returns a copy with the given reordering behaviour.
+    pub fn with_reordering(mut self, p: f64, extra: Dur) -> LinkSpec {
+        self.reorder_prob = p;
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// Returns a copy with the given maximum queueing delay.
+    pub fn with_max_queue(mut self, q: Dur) -> LinkSpec {
+        self.max_queue = q;
+        self
+    }
+
+    /// Serialization delay of `bytes` on this link.
+    pub fn serialization(&self, bytes: u32) -> Dur {
+        Dur::for_bytes_at(u64::from(bytes), self.bandwidth_bps)
+    }
+}
+
+/// Traffic counters kept per egress port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Packets successfully transmitted.
+    pub tx_packets: u64,
+    /// Wire bytes successfully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped because the egress queue was full.
+    pub dropped_overflow: u64,
+    /// Packets dropped by fault injection.
+    pub dropped_fault: u64,
+    /// Packets delayed for reordering by fault injection.
+    pub reordered: u64,
+}
+
+#[derive(Debug)]
+struct Port {
+    peer_node: NodeId,
+    peer_port: PortNo,
+    spec: LinkSpec,
+    busy_until: Time,
+    counters: PortCounters,
+}
+
+/// The outcome of offering a packet to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxOutcome {
+    /// Packet will arrive at `(node, port)` at the given time.
+    Deliver {
+        /// Arrival instant at the peer.
+        at: Time,
+        /// Peer node.
+        node: NodeId,
+        /// Peer ingress port.
+        port: PortNo,
+    },
+    /// Packet was dropped (queue overflow or fault).
+    Dropped,
+}
+
+/// All ports in the world, indexed by `(node, port)`.
+///
+/// The table is owned by the runtime; nodes access it through
+/// [`Ctx::send`](crate::Ctx::send).
+#[derive(Debug, Default)]
+pub struct PortTable {
+    ports: Vec<Vec<Port>>,
+}
+
+impl PortTable {
+    pub(crate) fn new() -> PortTable {
+        PortTable::default()
+    }
+
+    pub(crate) fn ensure_node(&mut self, id: NodeId) {
+        while self.ports.len() <= id.index() {
+            self.ports.push(Vec::new());
+        }
+    }
+
+    /// Connects `a` and `b` with a symmetric link, returning the port
+    /// numbers allocated on each side.
+    pub(crate) fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortNo, PortNo) {
+        self.ensure_node(a);
+        self.ensure_node(b);
+        let pa = PortNo(u8::try_from(self.ports[a.index()].len()).expect("too many ports"));
+        let pb = PortNo(u8::try_from(self.ports[b.index()].len()).expect("too many ports"));
+        self.ports[a.index()].push(Port {
+            peer_node: b,
+            peer_port: pb,
+            spec,
+            busy_until: Time::ZERO,
+            counters: PortCounters::default(),
+        });
+        self.ports[b.index()].push(Port {
+            peer_node: a,
+            peer_port: pa,
+            spec,
+            busy_until: Time::ZERO,
+            counters: PortCounters::default(),
+        });
+        (pa, pb)
+    }
+
+    /// Number of ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.ports.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// The neighbour reachable through `(node, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn peer_of(&self, node: NodeId, port: PortNo) -> (NodeId, PortNo) {
+        let p = &self.ports[node.index()][port.0 as usize];
+        (p.peer_node, p.peer_port)
+    }
+
+    /// Counters for `(node, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn counters(&self, node: NodeId, port: PortNo) -> PortCounters {
+        self.ports[node.index()][port.0 as usize].counters
+    }
+
+    /// Offers `packet` to the egress of `(node, port)` at time `now`,
+    /// computing queueing/serialization/propagation and fault injection.
+    pub(crate) fn transmit(
+        &mut self,
+        now: Time,
+        rng: &mut SimRng,
+        node: NodeId,
+        port: PortNo,
+        packet: &Packet,
+    ) -> TxOutcome {
+        let p = &mut self.ports[node.index()][port.0 as usize];
+        if rng.chance(p.spec.drop_prob) {
+            p.counters.dropped_fault += 1;
+            return TxOutcome::Dropped;
+        }
+        let start = now.max(p.busy_until);
+        if start - now > p.spec.max_queue {
+            p.counters.dropped_overflow += 1;
+            return TxOutcome::Dropped;
+        }
+        let ser = p.spec.serialization(packet.wire_bytes());
+        p.busy_until = start + ser;
+        let mut arrival = start + ser + p.spec.propagation;
+        if rng.chance(p.spec.reorder_prob) {
+            let extra = p.spec.reorder_extra.as_nanos();
+            if extra > 0 {
+                arrival += Dur::nanos(rng.uniform_u64(0..extra));
+            }
+            p.counters.reordered += 1;
+        }
+        p.counters.tx_packets += 1;
+        p.counters.tx_bytes += u64::from(packet.wire_bytes());
+        TxOutcome::Deliver {
+            at: arrival,
+            node: p.peer_node,
+            port: p.peer_port,
+        }
+    }
+
+    /// Iterates over all `(node, port, peer)` edges (each link appears
+    /// twice, once per direction).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, PortNo, NodeId)> + '_ {
+        self.ports.iter().enumerate().flat_map(|(n, ports)| {
+            ports
+                .iter()
+                .enumerate()
+                .map(move |(i, p)| (NodeId(n as u32), PortNo(i as u8), p.peer_node))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+    use bytes::Bytes;
+
+    fn pkt(bytes: usize) -> Packet {
+        Packet::udp(Addr(1), Addr(2), 1, 2, Bytes::from(vec![0u8; bytes]))
+    }
+
+    fn table() -> (PortTable, NodeId, NodeId) {
+        let mut t = PortTable::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.connect(a, b, LinkSpec::ten_gbps());
+        (t, a, b)
+    }
+
+    #[test]
+    fn connect_allocates_symmetric_ports() {
+        let (t, a, b) = table();
+        assert_eq!(t.port_count(a), 1);
+        assert_eq!(t.port_count(b), 1);
+        assert_eq!(t.peer_of(a, PortNo(0)), (b, PortNo(0)));
+        assert_eq!(t.peer_of(b, PortNo(0)), (a, PortNo(0)));
+    }
+
+    #[test]
+    fn idle_port_delivers_after_serialization_and_propagation() {
+        let (mut t, a, _) = table();
+        let mut rng = SimRng::seed(0);
+        // 58 B payload -> 100 B wire -> 80 ns serialization + 300 ns prop.
+        let out = t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(58));
+        match out {
+            TxOutcome::Deliver { at, node, port } => {
+                assert_eq!(at, Time::from_nanos(380));
+                assert_eq!(node, NodeId(1));
+                assert_eq!(port, PortNo(0));
+            }
+            TxOutcome::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn busy_port_queues_back_to_back() {
+        let (mut t, a, _) = table();
+        let mut rng = SimRng::seed(0);
+        let p = pkt(1458); // 1500 B wire -> 1200 ns serialization
+        let first = t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &p);
+        let second = t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &p);
+        let (t1, t2) = match (first, second) {
+            (TxOutcome::Deliver { at: t1, .. }, TxOutcome::Deliver { at: t2, .. }) => (t1, t2),
+            other => panic!("unexpected: {other:?}"),
+        };
+        // Second packet waits for the first to finish serializing.
+        assert_eq!(t2 - t1, Dur::nanos(1200));
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let (mut t, a, _) = table();
+        let mut rng = SimRng::seed(0);
+        // Shrink the queue so the second full-size packet overflows.
+        t.ports[0][0].spec.max_queue = Dur::nanos(1000);
+        let p = pkt(1458);
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &p),
+            TxOutcome::Deliver { .. }
+        ));
+        // Queue delay would be 1200 ns > 1000 ns cap.
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &p),
+            TxOutcome::Dropped
+        ));
+        assert_eq!(t.counters(a, PortNo(0)).dropped_overflow, 1);
+        assert_eq!(t.counters(a, PortNo(0)).tx_packets, 1);
+    }
+
+    #[test]
+    fn fault_drop_probability_one_always_drops() {
+        let mut t = PortTable::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.connect(a, b, LinkSpec::ten_gbps().with_drop_prob(1.0));
+        let mut rng = SimRng::seed(0);
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(10)),
+            TxOutcome::Dropped
+        ));
+        assert_eq!(t.counters(a, PortNo(0)).dropped_fault, 1);
+    }
+
+    #[test]
+    fn reordering_adds_bounded_extra_delay() {
+        let mut t = PortTable::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.connect(
+            a,
+            b,
+            LinkSpec::ten_gbps().with_reordering(1.0, Dur::micros(10)),
+        );
+        let mut rng = SimRng::seed(7);
+        let base = Time::from_nanos(380); // from idle-port test, 100 B wire
+        for _ in 0..50 {
+            // Reset busy state each round so the baseline stays constant.
+            t.ports[0][0].busy_until = Time::ZERO;
+            match t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(58)) {
+                TxOutcome::Deliver { at, .. } => {
+                    assert!(at >= base && at <= base + Dur::micros(10), "{at}");
+                }
+                TxOutcome::Dropped => panic!("unexpected drop"),
+            }
+        }
+        assert_eq!(t.counters(a, PortNo(0)).reordered, 50);
+    }
+
+    #[test]
+    fn edges_enumerates_both_directions() {
+        let (t, a, b) = table();
+        let edges: Vec<_> = t.edges().collect();
+        assert!(edges.contains(&(a, PortNo(0), b)));
+        assert!(edges.contains(&(b, PortNo(0), a)));
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn hundred_gig_is_ten_times_faster() {
+        let ten = LinkSpec::ten_gbps();
+        let hundred = LinkSpec::hundred_gbps();
+        assert_eq!(
+            ten.serialization(1000).as_nanos(),
+            10 * hundred.serialization(1000).as_nanos()
+        );
+    }
+}

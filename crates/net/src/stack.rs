@@ -1,0 +1,125 @@
+//! Host network-stack latency models.
+//!
+//! Figure 2 of the paper breaks an update request's RTT into client stack,
+//! network, server stack, and server processing; Figure 22 repeats the
+//! microbenchmark with a kernel-bypass stack (libVMA). A [`StackProfile`]
+//! captures one direction of one host's stack as
+//! `base + per_byte * payload + jitter (+ occasional hiccup)` — enough to
+//! reproduce both the breakdown and the tail behaviour.
+
+use pmnet_sim::{Dur, SimRng};
+
+/// Latency model for one host network stack (applied symmetrically to
+/// transmit and receive unless configured otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackProfile {
+    /// Fixed cost per packet traversal (syscall, softirq, copies).
+    pub base: Dur,
+    /// Additional cost per payload byte (copies, checksums).
+    pub per_byte: Dur,
+    /// Uniform jitter fraction applied to the sampled cost (±frac).
+    pub jitter_frac: f64,
+    /// Probability of a scheduling hiccup on a traversal.
+    pub hiccup_prob: f64,
+    /// Mean duration of a hiccup (exponentially distributed); models
+    /// context switches / softirq contention that create the latency tail.
+    pub hiccup_mean: Dur,
+}
+
+impl StackProfile {
+    /// A stack with only a fixed per-packet cost (no jitter), useful in
+    /// deterministic tests.
+    pub fn fixed(base: Dur) -> StackProfile {
+        StackProfile {
+            base,
+            per_byte: Dur::ZERO,
+            jitter_frac: 0.0,
+            hiccup_prob: 0.0,
+            hiccup_mean: Dur::ZERO,
+        }
+    }
+
+    /// Builder-style: sets the per-byte cost.
+    pub fn with_per_byte(mut self, d: Dur) -> StackProfile {
+        self.per_byte = d;
+        self
+    }
+
+    /// Builder-style: sets jitter fraction.
+    pub fn with_jitter(mut self, frac: f64) -> StackProfile {
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Builder-style: sets the hiccup model.
+    pub fn with_hiccups(mut self, prob: f64, mean: Dur) -> StackProfile {
+        self.hiccup_prob = prob;
+        self.hiccup_mean = mean;
+        self
+    }
+
+    /// Samples the cost of moving a `payload_bytes`-byte packet through
+    /// this stack once.
+    pub fn sample(&self, rng: &mut SimRng, payload_bytes: u32) -> Dur {
+        let deterministic = self.base + self.per_byte * u64::from(payload_bytes);
+        let mut d = if self.jitter_frac > 0.0 {
+            rng.jittered(deterministic, self.jitter_frac)
+        } else {
+            deterministic
+        };
+        if self.hiccup_prob > 0.0 && rng.chance(self.hiccup_prob) {
+            d += rng.exponential(self.hiccup_mean);
+        }
+        d
+    }
+
+    /// The deterministic (jitter-free) cost for `payload_bytes`, useful for
+    /// analytical checks.
+    pub fn nominal(&self, payload_bytes: u32) -> Dur {
+        self.base + self.per_byte * u64::from(payload_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_profile_is_deterministic() {
+        let p = StackProfile::fixed(Dur::micros(8));
+        let mut rng = SimRng::seed(0);
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng, 1000), Dur::micros(8));
+        }
+    }
+
+    #[test]
+    fn per_byte_scales_with_payload() {
+        let p = StackProfile::fixed(Dur::micros(1)).with_per_byte(Dur::nanos(2));
+        assert_eq!(p.nominal(500), Dur::micros(2));
+        let mut rng = SimRng::seed(0);
+        assert_eq!(p.sample(&mut rng, 500), Dur::micros(2));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let p = StackProfile::fixed(Dur::micros(10)).with_jitter(0.1);
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1000 {
+            let d = p.sample(&mut rng, 0);
+            assert!(d >= Dur::micros(9) && d <= Dur::micros(11), "{d}");
+        }
+    }
+
+    #[test]
+    fn hiccups_create_a_tail() {
+        let p = StackProfile::fixed(Dur::micros(10)).with_hiccups(0.05, Dur::micros(100));
+        let mut rng = SimRng::seed(2);
+        let n = 10_000;
+        let slow = (0..n)
+            .filter(|_| p.sample(&mut rng, 0) > Dur::micros(20))
+            .count();
+        let frac = slow as f64 / n as f64;
+        assert!(frac > 0.02 && frac < 0.08, "tail fraction {frac}");
+    }
+}

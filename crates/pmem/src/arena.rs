@@ -1,0 +1,462 @@
+//! A byte-addressable persistent-memory arena with cache-line-granular
+//! crash semantics.
+//!
+//! Real persistent memory sits behind a volatile write-back cache: a store
+//! only becomes durable once its cache line is flushed (`clwb`) and the
+//! flush is ordered by a fence (`sfence`) — *or* whenever the cache decides
+//! to evict the line on its own. The adversarial consequence: at a crash,
+//! any subset of un-fenced dirty lines may have reached the media.
+//!
+//! [`PmArena`] models exactly that. Stores mark lines dirty while
+//! remembering their last durable contents; [`PmArena::flush`] +
+//! [`PmArena::fence`] commit lines; [`PmArena::crash`] durably keeps a
+//! random subset of the remaining dirty lines and reverts the rest. Crash-
+//! consistency property tests in [`crate::PersistentKv`] drive recovery
+//! across many random subsets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pmnet_sim::SimRng;
+
+/// Cache-line size used for persistence granularity.
+pub const LINE: usize = 64;
+
+/// An offset into a [`PmArena`] (a "persistent pointer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PmPtr(pub u64);
+
+impl PmPtr {
+    /// The null pointer (offset 0 is reserved and never allocated).
+    pub const NULL: PmPtr = PmPtr(0);
+
+    /// True if this is the reserved null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The byte offset.
+    pub fn offset(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dirty-line bookkeeping: the last durable contents of a line, plus
+/// whether a flush for it has been issued since the last fence.
+#[derive(Debug, Clone)]
+struct DirtyLine {
+    durable: Vec<u8>,
+    flushed: bool,
+}
+
+/// Counters of persistence operations (inputs to [`crate::CostModel`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Lines flushed (`clwb` equivalents).
+    pub flushes: u64,
+    /// Fences issued (`sfence` equivalents).
+    pub fences: u64,
+    /// Bytes written by stores.
+    pub bytes_written: u64,
+    /// Bytes read by loads.
+    pub bytes_read: u64,
+}
+
+/// A simulated persistent-memory region with a bump/free-list allocator.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_pmem::PmArena;
+/// use pmnet_sim::SimRng;
+///
+/// let mut pm = PmArena::new(4096);
+/// let p = pm.alloc(8).unwrap();
+/// pm.write_u64(p, 42);
+/// pm.flush(p, 8);
+/// pm.fence();
+/// // A crash cannot lose fenced data.
+/// pm.crash(&mut SimRng::seed(0));
+/// assert_eq!(pm.read_u64(p), 42);
+/// ```
+pub struct PmArena {
+    data: Vec<u8>,
+    dirty: HashMap<usize, DirtyLine>,
+    next_free: usize,
+    free_lists: HashMap<usize, Vec<usize>>,
+    root: u64,
+    stats: ArenaStats,
+}
+
+impl fmt::Debug for PmArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmArena")
+            .field("capacity", &self.data.len())
+            .field("allocated", &self.next_free)
+            .field("dirty_lines", &self.dirty.len())
+            .finish()
+    }
+}
+
+impl PmArena {
+    /// Creates an arena of `capacity` bytes (rounded up to a line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PmArena {
+        assert!(capacity > 0, "arena capacity must be positive");
+        let capacity = capacity.div_ceil(LINE) * LINE;
+        PmArena {
+            data: vec![0; capacity],
+            dirty: HashMap::new(),
+            // Offset 0 is reserved so PmPtr::NULL is never a valid object.
+            next_free: LINE,
+            free_lists: HashMap::new(),
+            root: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes handed out by the allocator (highwater, ignoring free lists).
+    pub fn allocated(&self) -> usize {
+        self.next_free
+    }
+
+    /// Persistence-operation counters since the last [`take_stats`].
+    ///
+    /// [`take_stats`]: PmArena::take_stats
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Returns and resets the persistence counters.
+    pub fn take_stats(&mut self) -> ArenaStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn size_class(len: usize) -> usize {
+        len.next_power_of_two().max(8)
+    }
+
+    /// Allocates `len` bytes, reusing freed blocks of the same size class.
+    /// Returns `None` when the arena is exhausted.
+    pub fn alloc(&mut self, len: usize) -> Option<PmPtr> {
+        assert!(len > 0, "zero-length allocation");
+        let class = Self::size_class(len);
+        if let Some(off) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            return Some(PmPtr(off as u64));
+        }
+        if self.next_free + class > self.data.len() {
+            return None;
+        }
+        let off = self.next_free;
+        self.next_free += class;
+        Some(PmPtr(off as u64))
+    }
+
+    /// Returns a block to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is null.
+    pub fn free(&mut self, ptr: PmPtr, len: usize) {
+        assert!(!ptr.is_null(), "freeing null pointer");
+        let class = Self::size_class(len);
+        self.free_lists.entry(class).or_default().push(ptr.offset());
+    }
+
+    fn mark_dirty(&mut self, start: usize, len: usize) {
+        let first = start / LINE;
+        let last = (start + len - 1) / LINE;
+        for line in first..=last {
+            self.dirty.entry(line).or_insert_with(|| DirtyLine {
+                durable: self.data[line * LINE..(line + 1) * LINE].to_vec(),
+                flushed: false,
+            });
+            // A new store to an already-flushed-but-unfenced line reopens
+            // it: the line's durability is again unordered.
+            if let Some(d) = self.dirty.get_mut(&line) {
+                d.flushed = false;
+            }
+        }
+    }
+
+    /// Stores `bytes` at `ptr` (volatile until flushed and fenced).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn write(&mut self, ptr: PmPtr, bytes: &[u8]) {
+        let start = ptr.offset();
+        assert!(
+            start + bytes.len() <= self.data.len(),
+            "write out of bounds: {start}+{} > {}",
+            bytes.len(),
+            self.data.len()
+        );
+        self.mark_dirty(start, bytes.len());
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        self.stats.bytes_written += bytes.len() as u64;
+    }
+
+    /// Loads `len` bytes at `ptr` (sees the latest stores, durable or not,
+    /// exactly like a CPU load).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn read(&mut self, ptr: PmPtr, len: usize) -> &[u8] {
+        let start = ptr.offset();
+        assert!(start + len <= self.data.len(), "read out of bounds");
+        self.stats.bytes_read += len as u64;
+        &self.data[start..start + len]
+    }
+
+    /// Stores a little-endian u64.
+    pub fn write_u64(&mut self, ptr: PmPtr, v: u64) {
+        self.write(ptr, &v.to_le_bytes());
+    }
+
+    /// Loads a little-endian u64.
+    pub fn read_u64(&mut self, ptr: PmPtr) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.read(ptr, 8));
+        u64::from_le_bytes(b)
+    }
+
+    /// Issues flushes (`clwb`) for the lines covering `[ptr, ptr+len)`.
+    /// Flushed lines become durable at the next [`fence`].
+    ///
+    /// [`fence`]: PmArena::fence
+    pub fn flush(&mut self, ptr: PmPtr, len: usize) {
+        assert!(len > 0, "zero-length flush");
+        let start = ptr.offset();
+        let first = start / LINE;
+        let last = (start + len - 1) / LINE;
+        for line in first..=last {
+            if let Some(d) = self.dirty.get_mut(&line) {
+                if !d.flushed {
+                    d.flushed = true;
+                    self.stats.flushes += 1;
+                }
+            }
+        }
+    }
+
+    /// Orders all issued flushes (`sfence`): every flushed line becomes
+    /// durable.
+    pub fn fence(&mut self) {
+        self.dirty.retain(|_, d| !d.flushed);
+        self.stats.fences += 1;
+    }
+
+    /// Convenience: flush the range and fence.
+    pub fn persist(&mut self, ptr: PmPtr, len: usize) {
+        self.flush(ptr, len);
+        self.fence();
+    }
+
+    /// Sets the durable root pointer (flushed and fenced immediately; real
+    /// PM roots live at a fixed offset — we model the same atomicity).
+    pub fn set_root(&mut self, v: u64) {
+        self.root = v;
+        self.stats.flushes += 1;
+        self.stats.fences += 1;
+    }
+
+    /// Reads the root pointer.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Simulates a power failure: each dirty line independently either
+    /// reached the media (kept) or did not (reverted to its last durable
+    /// contents). Returns the number of lines that were lost.
+    ///
+    /// After `crash`, the arena contents are exactly what a recovery
+    /// procedure would find on the media.
+    pub fn crash(&mut self, rng: &mut SimRng) -> usize {
+        let mut lost = 0;
+        let mut lines: Vec<usize> = self.dirty.keys().copied().collect();
+        lines.sort_unstable(); // determinism: HashMap order is arbitrary
+        for line in lines {
+            let d = self.dirty.remove(&line).expect("line vanished");
+            // 50/50 is the most adversarial-ish mix for testing; callers
+            // that need all-lost or all-kept can fence first.
+            if rng.chance(0.5) {
+                self.data[line * LINE..(line + 1) * LINE].copy_from_slice(&d.durable);
+                lost += 1;
+            }
+        }
+        lost
+    }
+
+    /// Like [`crash`](PmArena::crash) but *all* unflushed data is lost —
+    /// the worst case.
+    pub fn crash_losing_all(&mut self) -> usize {
+        let mut lost = 0;
+        let mut lines: Vec<usize> = self.dirty.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let d = self.dirty.remove(&line).expect("line vanished");
+            self.data[line * LINE..(line + 1) * LINE].copy_from_slice(&d.durable);
+            lost += 1;
+        }
+        lost
+    }
+
+    /// Number of currently dirty (not yet durable) lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_never_returns_null_and_respects_capacity() {
+        let mut pm = PmArena::new(256);
+        let a = pm.alloc(8).unwrap();
+        assert!(!a.is_null());
+        // 64 reserved + 8->8 class... exhaust it.
+        let mut count = 1;
+        while pm.alloc(64).is_some() {
+            count += 1;
+            assert!(count < 100, "allocator never exhausts");
+        }
+    }
+
+    #[test]
+    fn free_list_reuses_blocks() {
+        let mut pm = PmArena::new(1024);
+        let a = pm.alloc(100).unwrap();
+        pm.free(a, 100);
+        let b = pm.alloc(100).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut pm = PmArena::new(1024);
+        let p = pm.alloc(16).unwrap();
+        pm.write(p, b"hello persistent");
+        assert_eq!(pm.read(p, 16), b"hello persistent");
+        pm.write_u64(p, 0xDEAD_BEEF);
+        assert_eq!(pm.read_u64(p), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn unflushed_data_is_lost_on_worst_case_crash() {
+        let mut pm = PmArena::new(1024);
+        let p = pm.alloc(8).unwrap();
+        pm.write_u64(p, 1);
+        pm.persist(p, 8);
+        pm.write_u64(p, 2); // not flushed
+        let lost = pm.crash_losing_all();
+        assert_eq!(lost, 1);
+        assert_eq!(pm.read_u64(p), 1);
+    }
+
+    #[test]
+    fn flushed_but_unfenced_data_may_be_lost() {
+        let mut pm = PmArena::new(1024);
+        let p = pm.alloc(8).unwrap();
+        pm.write_u64(p, 7);
+        pm.flush(p, 8);
+        // No fence: still dirty.
+        assert_eq!(pm.dirty_lines(), 1);
+        pm.crash_losing_all();
+        assert_eq!(pm.read_u64(p), 0);
+    }
+
+    #[test]
+    fn fenced_data_survives_any_crash() {
+        let mut rng = SimRng::seed(1);
+        for seed in 0..20 {
+            let mut pm = PmArena::new(1024);
+            let p = pm.alloc(8).unwrap();
+            pm.write_u64(p, seed);
+            pm.persist(p, 8);
+            pm.crash(&mut rng);
+            assert_eq!(pm.read_u64(p), seed);
+        }
+    }
+
+    #[test]
+    fn store_after_flush_reopens_line() {
+        let mut pm = PmArena::new(1024);
+        let p = pm.alloc(8).unwrap();
+        pm.write_u64(p, 1);
+        pm.flush(p, 8);
+        pm.write_u64(p, 2); // reopens the line
+        pm.fence(); // the reopened line is NOT committed by this fence
+        assert_eq!(pm.dirty_lines(), 1);
+        pm.crash_losing_all();
+        assert_eq!(pm.read_u64(p), 0, "neither store was durable");
+    }
+
+    #[test]
+    fn random_crash_keeps_a_subset() {
+        let mut pm = PmArena::new(64 * 100);
+        let mut ptrs = Vec::new();
+        for i in 0..50u64 {
+            let p = pm.alloc(64).unwrap();
+            pm.write_u64(p, i + 1);
+            ptrs.push(p);
+        }
+        let mut rng = SimRng::seed(3);
+        let lost = pm.crash(&mut rng);
+        assert!(lost > 5 && lost < 45, "lost={lost} should be ~half");
+        // Each surviving line has its full write; each lost line is zero.
+        for (i, p) in ptrs.iter().enumerate() {
+            let v = pm.read_u64(*p);
+            assert!(v == 0 || v == i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn root_pointer_is_durable() {
+        let mut pm = PmArena::new(1024);
+        pm.set_root(99);
+        pm.crash_losing_all();
+        assert_eq!(pm.root(), 99);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut pm = PmArena::new(1024);
+        let p = pm.alloc(8).unwrap();
+        pm.write_u64(p, 1);
+        pm.flush(p, 8);
+        pm.fence();
+        let _ = pm.read_u64(p);
+        let s = pm.take_stats();
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.bytes_read, 8);
+        assert_eq!(pm.stats(), ArenaStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let mut pm = PmArena::new(64);
+        pm.write(PmPtr(60), &[0u8; 16]);
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none() {
+        let mut pm = PmArena::new(128);
+        assert!(pm.alloc(64).is_some());
+        assert!(pm.alloc(64).is_none());
+    }
+}

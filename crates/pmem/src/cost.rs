@@ -1,0 +1,133 @@
+//! Converts measured work (index traversal + persistence operations) into
+//! simulated service time.
+//!
+//! The paper's server request handler runs a PMDK workload on Optane; its
+//! processing time is what PMNet moves off the critical path. Rather than
+//! hard-coding a per-workload constant, the reproduction derives each
+//! request's handler time from the work the real index structure and WAL
+//! actually performed, using per-operation costs calibrated against
+//! published Optane characteristics (Izraelevitz et al. [49], Wang et
+//! al. [107]).
+
+use pmnet_sim::Dur;
+
+use crate::kv::OpStats;
+use crate::ArenaStats;
+
+/// Per-operation cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost per index node visited (pointer chase, likely cache miss).
+    pub per_node: Dur,
+    /// Cost per key comparison.
+    pub per_comparison: Dur,
+    /// Cost per byte moved by the index (copies).
+    pub per_index_byte: Dur,
+    /// Cost per PM line flush (`clwb` + Optane write path).
+    pub per_flush: Dur,
+    /// Cost per fence (`sfence` drain).
+    pub per_fence: Dur,
+    /// Cost per byte written to PM.
+    pub per_pm_byte: Dur,
+    /// Fixed request overhead (dispatch, parse, reply formatting).
+    pub base: Dur,
+}
+
+impl CostModel {
+    /// Costs calibrated for a PM-backed key-value server on Optane-class
+    /// media: ~100 ns per pointer chase into PM, ~400 ns per flushed line,
+    /// and a fixed per-operation overhead covering dispatch plus the
+    /// PMDK-style transaction begin/commit path (which dominates small
+    /// writes on real Optane, per Izraelevitz et al., paper ref. 49).
+    pub fn optane_server() -> CostModel {
+        CostModel {
+            per_node: Dur::nanos(100),
+            per_comparison: Dur::nanos(5),
+            per_index_byte: Dur::nanos(1),
+            per_flush: Dur::nanos(400),
+            per_fence: Dur::nanos(150),
+            per_pm_byte: Dur::from_nanos_f64(0.4), // 2.5 GB/s media bandwidth
+            base: Dur::micros(6),
+        }
+    }
+
+    /// The handler time implied by the given index and arena work.
+    pub fn service_time(&self, idx: OpStats, pm: ArenaStats) -> Dur {
+        self.base
+            + self.per_node * idx.nodes_visited
+            + self.per_comparison * idx.key_comparisons
+            + self.per_index_byte * idx.bytes_moved
+            + self.per_flush * pm.flushes
+            + self.per_fence * pm.fences
+            + self.per_pm_byte * pm.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_work_costs_the_base() {
+        let m = CostModel::optane_server();
+        assert_eq!(
+            m.service_time(OpStats::default(), ArenaStats::default()),
+            m.base
+        );
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_work() {
+        let m = CostModel::optane_server();
+        let small = m.service_time(
+            OpStats {
+                nodes_visited: 5,
+                key_comparisons: 10,
+                bytes_moved: 100,
+            },
+            ArenaStats {
+                flushes: 2,
+                fences: 1,
+                bytes_written: 120,
+                bytes_read: 0,
+            },
+        );
+        let big = m.service_time(
+            OpStats {
+                nodes_visited: 50,
+                key_comparisons: 100,
+                bytes_moved: 1000,
+            },
+            ArenaStats {
+                flushes: 20,
+                fences: 10,
+                bytes_written: 1200,
+                bytes_read: 0,
+            },
+        );
+        assert!(big > small);
+        assert!(small > m.base);
+    }
+
+    #[test]
+    fn realistic_update_lands_in_microsecond_range() {
+        // A 100 B update through a modest tree: handler time should be in
+        // the single-digit-microsecond ballpark the paper's breakdown
+        // implies for PM-backed stores.
+        let m = CostModel::optane_server();
+        let t = m.service_time(
+            OpStats {
+                nodes_visited: 8,
+                key_comparisons: 30,
+                bytes_moved: 220,
+            },
+            ArenaStats {
+                flushes: 3,
+                fences: 1,
+                bytes_written: 130,
+                bytes_read: 0,
+            },
+        );
+        assert!(t >= Dur::micros(6) && t <= Dur::micros(14), "{t}");
+    }
+}

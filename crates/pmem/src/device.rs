@@ -1,0 +1,247 @@
+//! Timing and capacity model of a persistent-memory module.
+//!
+//! Models the PM attached to a PMNet device (the FPGA's battery-backed
+//! DRAM: 273 ns write latency, 2.5 GB/s — Sections V-A and VII) as a single
+//! serial resource: accesses occupy the module for
+//! `latency + bytes/bandwidth` and queue behind one another. The PMNet
+//! device bounds this queue with the Eq. 2 BDP-sized log queue; queue
+//! occupancy is exposed so callers can enforce that bound.
+
+use pmnet_sim::{Dur, Time};
+
+/// Static parameters of a PM module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmDeviceConfig {
+    /// Fixed latency of a write (device DRAM write through the FPGA DMA
+    /// engine: 273 ns, Section V-A).
+    pub write_latency: Dur,
+    /// Fixed latency of a read (Eq. 2 uses 100 ns as the PM access time).
+    pub read_latency: Dur,
+    /// Sustained bandwidth in bytes per second (2.5 GB/s, Section VII).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Usable capacity in bytes (the VCU118 board has 2 GB, Section V-A).
+    pub capacity_bytes: u64,
+}
+
+impl PmDeviceConfig {
+    /// The paper's FPGA board PM (Section V-A/VII).
+    pub fn fpga_board() -> PmDeviceConfig {
+        PmDeviceConfig {
+            write_latency: Dur::nanos(273),
+            read_latency: Dur::nanos(100),
+            bandwidth_bytes_per_sec: 2_500_000_000,
+            capacity_bytes: 2 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Returns a copy with a different write latency (for the media-sweep
+    /// ablation: NVDIMM / STT-RAM / slower Optane generations).
+    pub fn with_write_latency(mut self, d: Dur) -> PmDeviceConfig {
+        self.write_latency = d;
+        self
+    }
+
+    /// Returns a copy with a different capacity.
+    pub fn with_capacity(mut self, bytes: u64) -> PmDeviceConfig {
+        self.capacity_bytes = bytes;
+        self
+    }
+}
+
+/// Access counters of a [`PmDevice`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmDeviceCounters {
+    /// Completed writes.
+    pub writes: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+/// A PM module as a serial timed resource with capacity accounting.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_pmem::{PmDevice, PmDeviceConfig};
+/// use pmnet_sim::{Dur, Time};
+///
+/// let mut pm = PmDevice::new(PmDeviceConfig::fpga_board());
+/// let done = pm.schedule_write(Time::ZERO, 100);
+/// // 273 ns latency + 100 B / 2.5 GB/s = 40 ns occupancy.
+/// assert_eq!(done, Time::ZERO + Dur::nanos(313));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmDevice {
+    config: PmDeviceConfig,
+    busy_until: Time,
+    used_bytes: u64,
+    counters: PmDeviceCounters,
+}
+
+impl PmDevice {
+    /// Creates an idle, empty device.
+    pub fn new(config: PmDeviceConfig) -> PmDevice {
+        PmDevice {
+            config,
+            busy_until: Time::ZERO,
+            used_bytes: 0,
+            counters: PmDeviceCounters::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> PmDeviceConfig {
+        self.config
+    }
+
+    /// Access counters.
+    pub fn counters(&self) -> PmDeviceCounters {
+        self.counters
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Free capacity in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.config.capacity_bytes - self.used_bytes
+    }
+
+    /// How long a newly offered access would wait before starting.
+    pub fn queue_delay(&self, now: Time) -> Dur {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Bytes of work currently queued ahead of a new access, expressed via
+    /// the device bandwidth (used to enforce the Eq. 2 log-queue bound).
+    pub fn queued_bytes(&self, now: Time) -> u64 {
+        let d = self.queue_delay(now).as_secs_f64();
+        (d * self.config.bandwidth_bytes_per_sec as f64) as u64
+    }
+
+    fn occupy(&mut self, now: Time, latency: Dur, bytes: u32) -> Time {
+        // `for_bytes_at` takes a bit-rate; the device bandwidth is in bytes.
+        let transfer = Dur::for_bytes_at(u64::from(bytes), self.config.bandwidth_bytes_per_sec * 8);
+        let start = now.max(self.busy_until);
+        self.busy_until = start + transfer;
+        self.busy_until + latency
+    }
+
+    /// Schedules a `bytes`-byte write starting no earlier than `now`;
+    /// returns the completion (persistence) instant.
+    pub fn schedule_write(&mut self, now: Time, bytes: u32) -> Time {
+        let done = self.occupy(now, self.config.write_latency, bytes);
+        self.counters.writes += 1;
+        self.counters.bytes_written += u64::from(bytes);
+        done
+    }
+
+    /// Schedules a `bytes`-byte read starting no earlier than `now`;
+    /// returns the completion instant.
+    pub fn schedule_read(&mut self, now: Time, bytes: u32) -> Time {
+        let done = self.occupy(now, self.config.read_latency, bytes);
+        self.counters.reads += 1;
+        self.counters.bytes_read += u64::from(bytes);
+        done
+    }
+
+    /// Reserves `bytes` of capacity; returns false if the device is full.
+    pub fn alloc(&mut self, bytes: u64) -> bool {
+        if self.free_bytes() >= bytes {
+            self.used_bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `bytes` of capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than was allocated.
+    pub fn release(&mut self, bytes: u64) {
+        assert!(bytes <= self.used_bytes, "release underflow");
+        self.used_bytes -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> PmDevice {
+        PmDevice::new(PmDeviceConfig::fpga_board())
+    }
+
+    #[test]
+    fn single_write_latency_matches_paper() {
+        let mut pm = dev();
+        // 100 B: 40 ns transfer at 2.5 GB/s + 273 ns latency.
+        assert_eq!(pm.schedule_write(Time::ZERO, 100), Time::from_nanos(313));
+    }
+
+    #[test]
+    fn writes_serialize_on_the_device() {
+        let mut pm = dev();
+        let d1 = pm.schedule_write(Time::ZERO, 1000); // transfer 400 ns
+        let d2 = pm.schedule_write(Time::ZERO, 1000);
+        assert_eq!(d1, Time::from_nanos(673));
+        // Second starts after first transfer (400 ns), not after d1.
+        assert_eq!(d2, Time::from_nanos(1073));
+    }
+
+    #[test]
+    fn queue_delay_reflects_backlog() {
+        let mut pm = dev();
+        assert_eq!(pm.queue_delay(Time::ZERO), Dur::ZERO);
+        pm.schedule_write(Time::ZERO, 2500); // 1 us transfer
+        assert_eq!(pm.queue_delay(Time::ZERO), Dur::micros(1));
+        assert_eq!(pm.queued_bytes(Time::ZERO), 2500);
+        // Once time passes the backlog, delay decays to zero.
+        assert_eq!(pm.queue_delay(Time::from_nanos(2_000)), Dur::ZERO);
+    }
+
+    #[test]
+    fn reads_use_read_latency() {
+        let mut pm = dev();
+        assert_eq!(pm.schedule_read(Time::ZERO, 100), Time::from_nanos(140));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut pm = PmDevice::new(PmDeviceConfig::fpga_board().with_capacity(1000));
+        assert!(pm.alloc(600));
+        assert!(!pm.alloc(500));
+        assert!(pm.alloc(400));
+        assert_eq!(pm.free_bytes(), 0);
+        pm.release(1000);
+        assert_eq!(pm.used_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn over_release_panics() {
+        let mut pm = dev();
+        pm.release(1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut pm = dev();
+        pm.schedule_write(Time::ZERO, 10);
+        pm.schedule_write(Time::ZERO, 20);
+        pm.schedule_read(Time::ZERO, 5);
+        let c = pm.counters();
+        assert_eq!(c.writes, 2);
+        assert_eq!(c.bytes_written, 30);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.bytes_read, 5);
+    }
+}

@@ -1,0 +1,491 @@
+//! A crash-consistent key-value store: index structure + WAL + checkpoint.
+//!
+//! Every mutation is first appended to the [`Wal`] (durably) and then
+//! applied to the in-memory index. A checkpoint serializes the full index
+//! into the arena and truncates the log. Recovery loads the last durable
+//! checkpoint and replays the log over it. This is the redo discipline the
+//! paper's server applications rely on, and the machinery PMNet's own
+//! in-network redo log cooperates with after a failure (Section IV-E:
+//! the server's last applied sequence number must itself be recoverable —
+//! it is stored through this same path).
+
+use std::fmt;
+
+use pmnet_sim::SimRng;
+
+use crate::kv::{KvStore, OpStats};
+use crate::{ArenaStats, PmArena, PmPtr, Wal};
+
+/// A mutating operation on a [`PersistentKv`] (also its WAL record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert or replace a key.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Delete a key.
+    Del {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl KvOp {
+    /// Serializes to a WAL record.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvOp::Put { key, value } => {
+                let mut v = Vec::with_capacity(1 + 4 + key.len() + value.len());
+                v.push(1);
+                v.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                v.extend_from_slice(key);
+                v.extend_from_slice(value);
+                v
+            }
+            KvOp::Del { key } => {
+                let mut v = Vec::with_capacity(1 + 4 + key.len());
+                v.push(2);
+                v.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                v.extend_from_slice(key);
+                v
+            }
+        }
+    }
+
+    /// Parses a WAL record.
+    ///
+    /// Returns `None` for malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<KvOp> {
+        if bytes.len() < 5 {
+            return None;
+        }
+        let tag = bytes[0];
+        let klen = u32::from_le_bytes(bytes[1..5].try_into().ok()?) as usize;
+        if bytes.len() < 5 + klen {
+            return None;
+        }
+        let key = bytes[5..5 + klen].to_vec();
+        match tag {
+            1 => Some(KvOp::Put {
+                key,
+                value: bytes[5 + klen..].to_vec(),
+            }),
+            2 if bytes.len() == 5 + klen => Some(KvOp::Del { key }),
+            _ => None,
+        }
+    }
+}
+
+/// Layout of the durable root word: `(checkpoint_ptr, wal_ptr)` packed into
+/// two u64 halves is impossible in one word, so the root points at a small
+/// superblock holding both.
+const SUPERBLOCK_LEN: usize = 32;
+
+/// A crash-consistent KV store over a [`PmArena`].
+pub struct PersistentKv {
+    arena: PmArena,
+    wal: Wal,
+    index: Box<dyn KvStore>,
+    checkpoint_ptr: PmPtr,
+    checkpoint_cap: usize,
+    ops_since_checkpoint: u64,
+    applied: u64,
+}
+
+impl fmt::Debug for PersistentKv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistentKv")
+            .field("index", &self.index.name())
+            .field("len", &self.index.len())
+            .field("wal_used", &self.wal.used())
+            .finish()
+    }
+}
+
+impl PersistentKv {
+    /// Creates a fresh store with the given index structure, arena size and
+    /// WAL/checkpoint region sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena cannot hold the regions.
+    pub fn create(
+        index: Box<dyn KvStore>,
+        arena_bytes: usize,
+        wal_bytes: usize,
+        checkpoint_bytes: usize,
+    ) -> PersistentKv {
+        let mut arena = PmArena::new(arena_bytes);
+        let superblock = arena.alloc(SUPERBLOCK_LEN).expect("arena too small");
+        let wal = Wal::create(&mut arena, wal_bytes).expect("arena too small for WAL");
+        let checkpoint_ptr = arena
+            .alloc(checkpoint_bytes)
+            .expect("arena too small for checkpoint");
+        // Empty checkpoint: length 0, durable.
+        arena.write(checkpoint_ptr, &0u64.to_le_bytes());
+        arena.persist(checkpoint_ptr, 8);
+        // Superblock: wal region, wal cap, checkpoint region, checkpoint cap.
+        arena.write_u64(superblock, wal.region().0);
+        arena.write_u64(PmPtr(superblock.0 + 8), wal_bytes as u64);
+        arena.write_u64(PmPtr(superblock.0 + 16), checkpoint_ptr.0);
+        arena.write_u64(PmPtr(superblock.0 + 24), checkpoint_bytes as u64);
+        arena.persist(superblock, SUPERBLOCK_LEN);
+        arena.set_root(superblock.0);
+        PersistentKv {
+            arena,
+            wal,
+            index,
+            checkpoint_ptr,
+            checkpoint_cap: checkpoint_bytes,
+            ops_since_checkpoint: 0,
+            applied: 0,
+        }
+    }
+
+    /// A convenient default sizing for tests and workloads.
+    pub fn with_defaults(index: Box<dyn KvStore>) -> PersistentKv {
+        PersistentKv::create(index, 64 << 20, 16 << 20, 32 << 20)
+    }
+
+    /// The index structure's paper name.
+    pub fn index_name(&self) -> &'static str {
+        self.index.name()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.len() == 0
+    }
+
+    /// Total mutations applied since creation/recovery.
+    pub fn applied_ops(&self) -> u64 {
+        self.applied
+    }
+
+    /// Reads a key (no durability interaction).
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.index.get(key)
+    }
+
+    /// Applies a mutation durably: WAL append (flush+fence) then index
+    /// update. Returns the previous value, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WAL fills and an automatic checkpoint cannot free it
+    /// (store misconfiguration).
+    pub fn apply(&mut self, op: &KvOp) -> Option<Vec<u8>> {
+        let record = op.encode();
+        if !self.wal.append(&mut self.arena, &record) {
+            self.checkpoint();
+            assert!(
+                self.wal.append(&mut self.arena, &record),
+                "WAL cannot hold a single record"
+            );
+        }
+        self.ops_since_checkpoint += 1;
+        self.applied += 1;
+        match op {
+            KvOp::Put { key, value } => self.index.insert(key, value),
+            KvOp::Del { key } => self.index.remove(key),
+        }
+    }
+
+    /// Serializes the full index into the checkpoint region and truncates
+    /// the WAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serialized index exceeds the checkpoint region.
+    pub fn checkpoint(&mut self) {
+        let mut blob = Vec::new();
+        self.index.for_each(&mut |k, v| {
+            blob.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            blob.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            blob.extend_from_slice(k);
+            blob.extend_from_slice(v);
+        });
+        assert!(
+            blob.len() + 8 <= self.checkpoint_cap,
+            "checkpoint region too small: need {}",
+            blob.len() + 8
+        );
+        // Write payload first, then the length word, so a torn checkpoint
+        // is never exposed (the old length keeps pointing at old data only
+        // if lengths were equal — we accept the standard double-buffer
+        // simplification of writing length last with a fence between).
+        let data_ptr = PmPtr(self.checkpoint_ptr.0 + 8);
+        if !blob.is_empty() {
+            self.arena.write(data_ptr, &blob);
+            self.arena.persist(data_ptr, blob.len());
+        }
+        self.arena
+            .write(self.checkpoint_ptr, &(blob.len() as u64).to_le_bytes());
+        self.arena.persist(self.checkpoint_ptr, 8);
+        self.wal.reset(&mut self.arena);
+        self.ops_since_checkpoint = 0;
+    }
+
+    /// Mutations applied since the last checkpoint.
+    pub fn ops_since_checkpoint(&self) -> u64 {
+        self.ops_since_checkpoint
+    }
+
+    /// Simulates a power failure, consuming the store and returning the
+    /// surviving arena (as found on the media).
+    pub fn crash(mut self, rng: &mut SimRng) -> PmArena {
+        self.arena.crash(rng);
+        self.arena
+    }
+
+    /// Recovers a store from a crashed arena: loads the last checkpoint
+    /// into a fresh index and replays the WAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's superblock is unreadable (which fenced writes
+    /// make impossible in this model).
+    pub fn recover(mut arena: PmArena, mut index: Box<dyn KvStore>) -> PersistentKv {
+        let superblock = PmPtr(arena.root());
+        assert!(
+            !superblock.is_null(),
+            "no superblock: arena was never initialized"
+        );
+        let wal_region = PmPtr(arena.read_u64(superblock));
+        let wal_cap = arena.read_u64(PmPtr(superblock.0 + 8)) as usize;
+        let checkpoint_ptr = PmPtr(arena.read_u64(PmPtr(superblock.0 + 16)));
+        let checkpoint_cap = arena.read_u64(PmPtr(superblock.0 + 24)) as usize;
+        // Load checkpoint.
+        let blob_len = arena.read_u64(checkpoint_ptr) as usize;
+        let blob = arena.read(PmPtr(checkpoint_ptr.0 + 8), blob_len).to_vec();
+        let mut off = 0;
+        while off + 8 <= blob.len() {
+            let klen = u32::from_le_bytes(blob[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let vlen =
+                u32::from_le_bytes(blob[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
+            off += 8;
+            let key = &blob[off..off + klen];
+            off += klen;
+            let value = &blob[off..off + vlen];
+            off += vlen;
+            index.insert(key, value);
+        }
+        // Replay WAL.
+        let (wal, records) = Wal::recover(&mut arena, wal_region, wal_cap);
+        let mut applied = 0;
+        for r in &records {
+            let op = KvOp::decode(r).expect("WAL record passed CRC but failed to parse");
+            match op {
+                KvOp::Put { key, value } => {
+                    index.insert(&key, &value);
+                }
+                KvOp::Del { key } => {
+                    index.remove(&key);
+                }
+            }
+            applied += 1;
+        }
+        PersistentKv {
+            arena,
+            wal,
+            index,
+            checkpoint_ptr,
+            checkpoint_cap,
+            ops_since_checkpoint: applied,
+            applied,
+        }
+    }
+
+    /// The index's work counters since last taken (for service-time
+    /// modeling).
+    pub fn take_index_stats(&mut self) -> OpStats {
+        self.index.take_stats()
+    }
+
+    /// The arena's persistence counters since last taken.
+    pub fn take_arena_stats(&mut self) -> ArenaStats {
+        self.arena.take_stats()
+    }
+
+    /// Visits every pair (for assertions in tests).
+    pub fn for_each(&self, f: &mut dyn FnMut(&[u8], &[u8])) {
+        self.index.for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{all_stores, store_by_name};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn contents(kv: &PersistentKv) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut m = BTreeMap::new();
+        kv.for_each(&mut |k, v| {
+            m.insert(k.to_vec(), v.to_vec());
+        });
+        m
+    }
+
+    #[test]
+    fn op_encoding_round_trips() {
+        let ops = [
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"value".to_vec(),
+            },
+            KvOp::Put {
+                key: vec![],
+                value: vec![],
+            },
+            KvOp::Del {
+                key: b"gone".to_vec(),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(KvOp::decode(&op.encode()).as_ref(), Some(op));
+        }
+        assert_eq!(KvOp::decode(b""), None);
+        assert_eq!(KvOp::decode(&[9, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_every_applied_op() {
+        let mut rng = SimRng::seed(21);
+        for name in ["btree", "ctree", "rbtree", "hashmap", "skiplist"] {
+            let mut kv = PersistentKv::with_defaults(store_by_name(name, 1));
+            let mut model = BTreeMap::new();
+            for i in 0..200u32 {
+                let key = (i % 50).to_be_bytes().to_vec();
+                if i % 7 == 3 {
+                    kv.apply(&KvOp::Del { key: key.clone() });
+                    model.remove(&key);
+                } else {
+                    let value = i.to_le_bytes().to_vec();
+                    kv.apply(&KvOp::Put {
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
+                    model.insert(key, value);
+                }
+                if i == 100 {
+                    kv.checkpoint();
+                }
+            }
+            let arena = kv.crash(&mut rng);
+            let recovered = PersistentKv::recover(arena, store_by_name(name, 1));
+            assert_eq!(contents(&recovered), model, "{name}");
+        }
+    }
+
+    #[test]
+    fn recovery_with_no_checkpoint_replays_full_log() {
+        let mut kv = PersistentKv::with_defaults(store_by_name("hashmap", 0));
+        for i in 0..50u8 {
+            kv.apply(&KvOp::Put {
+                key: vec![i],
+                value: vec![i, i],
+            });
+        }
+        let arena = kv.crash(&mut SimRng::seed(5));
+        let r = PersistentKv::recover(arena, store_by_name("hashmap", 0));
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.applied_ops(), 50);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives() {
+        let mut kv = PersistentKv::with_defaults(store_by_name("btree", 0));
+        for i in 0..20u8 {
+            kv.apply(&KvOp::Put {
+                key: vec![i],
+                value: vec![i],
+            });
+        }
+        kv.checkpoint();
+        assert_eq!(kv.ops_since_checkpoint(), 0);
+        let arena = kv.crash(&mut SimRng::seed(9));
+        let r = PersistentKv::recover(arena, store_by_name("btree", 0));
+        assert_eq!(r.len(), 20);
+        // Nothing replayed: it all came from the checkpoint.
+        assert_eq!(r.applied_ops(), 0);
+    }
+
+    #[test]
+    fn wal_fills_trigger_automatic_checkpoint() {
+        let mut kv = PersistentKv::create(store_by_name("hashmap", 0), 1 << 20, 4096, 256 << 10);
+        for i in 0..200u32 {
+            kv.apply(&KvOp::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: vec![0; 64],
+            });
+        }
+        assert_eq!(kv.len(), 200);
+        assert!(
+            kv.ops_since_checkpoint() < 200,
+            "a checkpoint must have fired"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_crash_points_always_recover_consistently(
+            ops in prop::collection::vec(
+                (prop::collection::vec(0u8..6, 1..3), prop::option::of(prop::collection::vec(any::<u8>(), 0..12))),
+                1..60
+            ),
+            crash_after in 0usize..60,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = SimRng::seed(seed);
+            let mut kv = PersistentKv::with_defaults(store_by_name("btree", 0));
+            let mut model = BTreeMap::new();
+            for (i, (key, maybe_value)) in ops.iter().enumerate() {
+                if i == crash_after {
+                    break;
+                }
+                match maybe_value {
+                    Some(v) => {
+                        kv.apply(&KvOp::Put { key: key.clone(), value: v.clone() });
+                        model.insert(key.clone(), v.clone());
+                    }
+                    None => {
+                        kv.apply(&KvOp::Del { key: key.clone() });
+                        model.remove(key);
+                    }
+                }
+            }
+            let arena = kv.crash(&mut rng);
+            let recovered = PersistentKv::recover(arena, store_by_name("btree", 0));
+            // Every acknowledged (i.e. applied) op must be present after
+            // recovery: apply() fences before returning.
+            prop_assert_eq!(contents(&recovered), model);
+        }
+    }
+
+    #[test]
+    fn all_index_kinds_take_stats_through_the_wrapper() {
+        for index in all_stores(3) {
+            let mut kv = PersistentKv::with_defaults(index);
+            kv.apply(&KvOp::Put {
+                key: b"a".to_vec(),
+                value: b"b".to_vec(),
+            });
+            let idx = kv.take_index_stats();
+            let arena = kv.take_arena_stats();
+            assert!(idx.bytes_moved > 0);
+            assert!(arena.fences > 0, "WAL append must fence");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The future-event list: a priority queue of `(time, destination, message)`
+//! triples with stable FIFO ordering among simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::Time;
+
+/// Identifies a node (component) in the simulated system.
+///
+/// `NodeId` is an index into the world's node table; it is allocated by the
+/// runtime layer (`pmnet-net`) when components are added to a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    dest: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and, for
+        // ties, the earliest-scheduled event) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A generic discrete-event engine.
+///
+/// The engine owns the simulated clock and the future-event list. It knows
+/// nothing about what messages mean; the runtime layer pops events and
+/// routes them to node handlers.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (stable FIFO), which keeps simulations deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::{Engine, NodeId, Time, Dur};
+///
+/// let mut e: Engine<u32> = Engine::new();
+/// e.schedule_in(Dur::micros(1), 7, 42);
+/// let (at, dest, msg) = e.pop().unwrap();
+/// assert_eq!(at, Time::ZERO + Dur::micros(1));
+/// assert_eq!(dest, NodeId(7));
+/// assert_eq!(msg, 42);
+/// assert_eq!(e.now(), at);
+/// ```
+pub struct Engine<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    now: Time,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an empty engine with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `msg` for delivery to `dest` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: the simulated past is
+    /// immutable.
+    pub fn schedule(&mut self, at: Time, dest: impl Into<NodeId>, msg: M) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            dest: dest.into(),
+            msg,
+        });
+    }
+
+    /// Schedules `msg` for delivery to `dest` after `delay`.
+    pub fn schedule_in(&mut self, delay: crate::Dur, dest: impl Into<NodeId>, msg: M) {
+        let at = self.now + delay;
+        self.schedule(at, dest, msg);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the event list is empty (simulation complete).
+    pub fn pop(&mut self) -> Option<(Time, NodeId, M)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event list ordering violated");
+        self.now = ev.at;
+        self.delivered += 1;
+        Some((ev.at, ev.dest, ev.msg))
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl<M> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dur;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(Time::from_nanos(30), 0, "c");
+        e.schedule(Time::from_nanos(10), 0, "a");
+        e.schedule(Time::from_nanos(20), 0, "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, _, m)| m).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..100 {
+            e.schedule(Time::from_nanos(5), 0, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, _, m)| m).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_in(Dur::micros(5), 1, ());
+        assert_eq!(e.now(), Time::ZERO);
+        e.pop().unwrap();
+        assert_eq!(e.now(), Time::from_nanos(5_000));
+        assert!(e.pop().is_none());
+        // Clock stays put once drained.
+        assert_eq!(e.now(), Time::from_nanos(5_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule(Time::from_nanos(100), 0, ());
+        e.pop().unwrap();
+        e.schedule(Time::from_nanos(50), 0, ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule(Time::from_nanos(42), 0, ());
+        assert_eq!(e.peek_time(), Some(Time::from_nanos(42)));
+        assert_eq!(e.now(), Time::ZERO);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn delivered_counter_counts() {
+        let mut e: Engine<u8> = Engine::new();
+        for i in 0..10u8 {
+            e.schedule(Time::from_nanos(u64::from(i)), 2, i);
+        }
+        while e.pop().is_some() {}
+        assert_eq!(e.delivered(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! Seeded randomness for simulations.
+//!
+//! All stochastic behaviour in the reproduction (service-time jitter, key
+//! popularity, packet loss, …) draws from a single [`SimRng`] owned by the
+//! simulation, so a run is fully determined by its seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Dur;
+
+/// A deterministic random-number source with the distribution helpers the
+/// evaluation needs.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::SimRng;
+/// let mut a = SimRng::seed(7);
+/// let mut b = SimRng::seed(7);
+/// assert_eq!(a.uniform_u64(0..100), b.uniform_u64(0..100));
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// client its own stream without coupling their draws.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed(s)
+    }
+
+    /// A uniform integer in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn uniform_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(!range.is_empty(), "empty range");
+        self.inner.random_range(range)
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty collection");
+        self.inner.random_range(0..n)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// An exponentially distributed duration with the given mean
+    /// (inter-arrival times, service-time tails).
+    pub fn exponential(&mut self, mean: Dur) -> Dur {
+        let u: f64 = self.inner.random::<f64>();
+        // Inverse CDF; guard against ln(0).
+        let x = -(1.0 - u).max(f64::MIN_POSITIVE).ln();
+        Dur::from_nanos_f64(mean.as_nanos() as f64 * x)
+    }
+
+    /// A standard normal deviate (Box–Muller).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A lognormally distributed duration parameterized by its *median* and
+    /// the underlying normal's sigma. Lognormal service times are the
+    /// classic model for request handlers with occasional slow outliers —
+    /// exactly the tail behaviour Figure 20 measures.
+    pub fn lognormal(&mut self, median: Dur, sigma: f64) -> Dur {
+        let z = self.std_normal();
+        Dur::from_nanos_f64(median.as_nanos() as f64 * (sigma * z).exp())
+    }
+
+    /// A duration uniformly jittered in `[base * (1-frac), base * (1+frac)]`.
+    pub fn jittered(&mut self, base: Dur, frac: f64) -> Dur {
+        let f = 1.0 + frac * (2.0 * self.unit() - 1.0);
+        base.mul_f64(f.max(0.0))
+    }
+
+    /// Fills `buf` with random bytes (payload generation).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill(buf);
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(42);
+        let mut b = SimRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should diverge");
+    }
+
+    #[test]
+    fn forked_children_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed(9);
+        let mut root2 = SimRng::seed(9);
+        let mut c1 = root1.fork(5);
+        let mut c2 = root2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::seed(3);
+        let mean = Dur::micros(10);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exponential(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!(
+            (avg - expect).abs() / expect < 0.05,
+            "avg={avg} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut rng = SimRng::seed(4);
+        let median = Dur::micros(15);
+        let mut xs: Vec<u64> = (0..20_001)
+            .map(|_| rng.lognormal(median, 0.5).as_nanos())
+            .collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        let expect = median.as_nanos() as f64;
+        assert!((med - expect).abs() / expect < 0.05, "med={med}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn jittered_stays_in_band() {
+        let mut rng = SimRng::seed(6);
+        let base = Dur::micros(10);
+        for _ in 0..1000 {
+            let d = rng.jittered(base, 0.2);
+            assert!(d >= Dur::micros(8) && d <= Dur::micros(12), "{d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_uniform_range_panics() {
+        let mut rng = SimRng::seed(0);
+        let _ = rng.uniform_u64(5..5);
+    }
+}

@@ -1,0 +1,505 @@
+//! Measurement collection: latency histograms, percentile summaries, CDFs
+//! and throughput counters.
+//!
+//! Every figure in the paper's evaluation reduces to one of these: Fig. 15
+//! and 18 report mean latencies, Fig. 16 mean latency vs offered bandwidth,
+//! Fig. 19/22 throughput, Fig. 20 full CDFs with p50/p99 markers, Fig. 21
+//! normalized means.
+
+use std::fmt;
+
+use crate::{Dur, Time};
+
+/// A reservoir of duration samples supporting exact percentiles.
+///
+/// For the scales this reproduction runs at (10⁴–10⁶ samples per
+/// experiment), storing raw samples and sorting on demand is both exact and
+/// cheap; there is no need for an approximating sketch.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::{Dur, stats::LatencyHistogram};
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100 {
+///     h.record(Dur::micros(us));
+/// }
+/// assert_eq!(h.percentile(0.99), Dur::micros(99));
+/// assert_eq!(h.percentile(0.50), Dur::micros(50));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Dur) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sorted_samples(&mut self) -> &[u64] {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// The arithmetic mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn mean(&self) -> Dur {
+        assert!(!self.is_empty(), "mean of empty histogram");
+        let sum: u128 = self.samples.iter().map(|&x| x as u128).sum();
+        Dur::nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> Dur {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.is_empty(), "percentile of empty histogram");
+        let xs = self.sorted_samples();
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        Dur::nanos(xs[rank - 1])
+    }
+
+    /// Minimum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn min(&mut self) -> Dur {
+        Dur::nanos(*self.sorted_samples().first().expect("empty histogram"))
+    }
+
+    /// Maximum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn max(&mut self) -> Dur {
+        Dur::nanos(*self.sorted_samples().last().expect("empty histogram"))
+    }
+
+    /// A one-line summary (mean / p50 / p99 / p999 / max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
+    /// Extracts `points` evenly spaced CDF points `(latency, cumulative
+    /// fraction)` — the series plotted in Figure 20.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or `points == 0`.
+    pub fn cdf(&mut self, points: usize) -> Vec<(Dur, f64)> {
+        assert!(points > 0, "need at least one CDF point");
+        assert!(!self.is_empty(), "cdf of empty histogram");
+        let xs = self.sorted_samples();
+        let n = xs.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let rank = ((frac * n as f64).ceil() as usize).clamp(1, n);
+                (Dur::nanos(xs[rank - 1]), frac)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Snapshot statistics of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Dur,
+    /// Median.
+    pub p50: Dur,
+    /// 90th percentile.
+    pub p90: Dur,
+    /// 99th percentile (the paper's headline tail metric).
+    pub p99: Dur,
+    /// 99.9th percentile.
+    pub p999: Dur,
+    /// Minimum.
+    pub min: Dur,
+    /// Maximum.
+    pub max: Dur,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p90={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Counts completed operations over a window to derive throughput.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::{Time, Dur, stats::Throughput};
+/// let mut t = Throughput::new();
+/// t.start(Time::ZERO);
+/// t.record(10);
+/// t.finish(Time::ZERO + Dur::secs(2));
+/// assert_eq!(t.ops_per_sec(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Throughput {
+    ops: u64,
+    bytes: u64,
+    start: Option<Time>,
+    end: Option<Time>,
+}
+
+impl Throughput {
+    /// Creates an idle counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the beginning of the measurement window.
+    pub fn start(&mut self, at: Time) {
+        self.start = Some(at);
+    }
+
+    /// Records `n` completed operations.
+    pub fn record(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Records `n` bytes moved (for bandwidth figures).
+    pub fn record_bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Marks the end of the measurement window.
+    pub fn finish(&mut self, at: Time) {
+        self.end = Some(at);
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start`/`finish` were not both called.
+    pub fn window(&self) -> Dur {
+        let s = self.start.expect("throughput window not started");
+        let e = self.end.expect("throughput window not finished");
+        e - s
+    }
+
+    /// Operations per second over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero-length or unset.
+    pub fn ops_per_sec(&self) -> f64 {
+        let w = self.window().as_secs_f64();
+        assert!(w > 0.0, "zero-length throughput window");
+        self.ops as f64 / w
+    }
+
+    /// Bits per second moved over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero-length or unset.
+    pub fn bits_per_sec(&self) -> f64 {
+        let w = self.window().as_secs_f64();
+        assert!(w > 0.0, "zero-length throughput window");
+        self.bytes as f64 * 8.0 / w
+    }
+}
+
+/// Fixed-width time buckets counting events per window — the series behind
+/// timeline plots such as throughput during a failure/recovery episode.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::{Time, Dur, stats::TimeSeries};
+/// let mut ts = TimeSeries::new(Dur::millis(1));
+/// ts.record(Time::from_nanos(100), 1);
+/// ts.record(Time::ZERO + Dur::micros(900), 1);
+/// ts.record(Time::ZERO + Dur::millis(1) + Dur::micros(1), 5);
+/// assert_eq!(ts.buckets(), &[2, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    width: Dur,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: Dur) -> TimeSeries {
+        assert!(!width.is_zero(), "zero bucket width");
+        TimeSeries {
+            width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn width(&self) -> Dur {
+        self.width
+    }
+
+    /// Adds `count` events at instant `at`.
+    pub fn record(&mut self, at: Time, count: u64) {
+        let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += count;
+    }
+
+    /// The raw per-bucket counts (index i covers `[i*width, (i+1)*width)`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Per-bucket event *rates* in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.buckets.iter().map(|&c| c as f64 / w).collect()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Online mean/variance (Welford) for cheap running statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The running mean (0 if no observations).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=n {
+            h.record(Dur::nanos(i));
+        }
+        h
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = filled(100);
+        assert_eq!(h.mean(), Dur::nanos(50)); // (1+..+100)/100 = 50.5 -> 50 (integer div)
+        assert_eq!(h.percentile(0.5), Dur::nanos(50));
+        assert_eq!(h.percentile(0.99), Dur::nanos(99));
+        assert_eq!(h.percentile(1.0), Dur::nanos(100));
+        assert_eq!(h.min(), Dur::nanos(1));
+        assert_eq!(h.max(), Dur::nanos(100));
+    }
+
+    #[test]
+    fn percentile_of_single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Dur::micros(7));
+        assert_eq!(h.percentile(0.0), Dur::micros(7));
+        assert_eq!(h.percentile(0.5), Dur::micros(7));
+        assert_eq!(h.percentile(1.0), Dur::micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        LatencyHistogram::new().percentile(0.5);
+    }
+
+    #[test]
+    fn cdf_is_monotonic_and_spans() {
+        let mut h = filled(1000);
+        let cdf = h.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, Dur::nanos(1000));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = filled(10);
+        let b = filled(10);
+        a.merge(&b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.max(), Dur::nanos(10));
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let mut h = filled(1000);
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p99 <= s.p999 && s.p999 <= s.max);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut t = Throughput::new();
+        t.start(Time::ZERO);
+        t.record(100);
+        t.record_bytes(1_250_000); // 10 Mbit
+        t.finish(Time::ZERO + Dur::secs(1));
+        assert_eq!(t.ops_per_sec(), 100.0);
+        assert_eq!(t.bits_per_sec(), 10_000_000.0);
+        assert_eq!(t.ops(), 100);
+    }
+
+    #[test]
+    fn time_series_buckets_and_rates() {
+        let mut ts = TimeSeries::new(Dur::millis(10));
+        ts.record(Time::ZERO, 3);
+        ts.record(Time::ZERO + Dur::millis(9), 1);
+        ts.record(Time::ZERO + Dur::millis(25), 2);
+        assert_eq!(ts.buckets(), &[4, 0, 2]);
+        assert_eq!(ts.total(), 6);
+        let rates = ts.rates_per_sec();
+        assert_eq!(rates[0], 400.0);
+        assert_eq!(rates[1], 0.0);
+        assert_eq!(rates[2], 200.0);
+        assert_eq!(ts.width(), Dur::millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bucket width")]
+    fn zero_width_series_panics() {
+        let _ = TimeSeries::new(Dur::ZERO);
+    }
+
+    #[test]
+    fn running_stats_match_direct_computation() {
+        let mut r = Running::new();
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for &x in &xs {
+            r.add(x);
+        }
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((r.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn running_stats_degenerate_cases() {
+        let mut r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        r.add(3.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.stddev(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! A lightweight, optional event trace.
+//!
+//! Components can record `(time, source, label)` entries during a run; tests
+//! and debugging sessions read them back to understand a simulation's
+//! behaviour. Tracing is off by default and costs one branch per call when
+//! disabled.
+
+use std::fmt;
+
+use crate::{NodeId, Time};
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: Time,
+    /// The node that recorded it.
+    pub node: NodeId,
+    /// Free-form description.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.at, self.node, self.label)
+    }
+}
+
+/// Collects trace events when enabled.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::{NodeId, Time, trace::Trace};
+/// let mut t = Trace::enabled();
+/// t.record(Time::ZERO, NodeId(1), || "hello".to_string());
+/// assert_eq!(t.events().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Trace {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event; `label` is only evaluated when tracing is enabled.
+    pub fn record(&mut self, at: Time, node: NodeId, label: impl FnOnce() -> String) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                node,
+                label: label(),
+            });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose label contains `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.label.contains(needle))
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing_and_skips_label() {
+        let mut t = Trace::disabled();
+        let mut evaluated = false;
+        t.record(Time::ZERO, NodeId(0), || {
+            evaluated = true;
+            String::new()
+        });
+        assert!(!evaluated, "label closure must not run when disabled");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(Time::from_nanos(1), NodeId(0), || "a".into());
+        t.record(Time::from_nanos(2), NodeId(1), || "ab".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.matching("ab").count(), 1);
+        assert_eq!(t.matching("a").count(), 2);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: Time::from_nanos(1500),
+            node: NodeId(3),
+            label: "log".into(),
+        };
+        assert_eq!(e.to_string(), "[t+1.500us n3] log");
+    }
+}

@@ -1,0 +1,31 @@
+//! Evaluation workloads for the PMNet reproduction (Section VI-A2).
+//!
+//! The paper evaluates PMNet with:
+//!
+//! * five PMDK key-value stores — B-Tree, C-Tree, RB-Tree, Hashmap, Skip
+//!   list — driven by a YCSB-like client,
+//! * Intel's PM-optimized Redis,
+//! * a Twitter clone (Retwis) workload,
+//! * the TPCC transaction benchmark (whose locking exercises the
+//!   multi-client ordering path of Section III-C).
+//!
+//! This crate provides each as a pair of a [`pmnet_core::RequestSource`]
+//! (the client side) and a [`pmnet_core::RequestHandler`] (the server
+//! side, built on the crash-consistent stores of `pmnet-pmem`), plus the
+//! YCSB-style Zipfian generator and a [`WorkloadSpec`] registry the bench
+//! harness sweeps over.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kvhandler;
+mod spec;
+mod tpcc;
+mod twitter;
+mod ycsb;
+
+pub use kvhandler::KvHandler;
+pub use spec::WorkloadSpec;
+pub use tpcc::{TpccHandler, TpccSource};
+pub use twitter::{TwitterHandler, TwitterSource};
+pub use ycsb::{YcsbMix, YcsbSource, Zipfian};

@@ -1,0 +1,170 @@
+//! The workload registry the evaluation sweeps over (Figures 19/20).
+
+use pmnet_core::client::RequestSource;
+use pmnet_core::server::RequestHandler;
+use pmnet_sim::Dur;
+
+use crate::kvhandler::KvHandler;
+use crate::tpcc::{TpccHandler, TpccSource};
+use crate::twitter::{TwitterHandler, TwitterSource};
+use crate::ycsb::YcsbSource;
+
+/// The eight evaluated workloads (Section VI-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// PMDK B-Tree key-value store.
+    PmdkBtree,
+    /// PMDK C-Tree (crit-bit) key-value store.
+    PmdkCtree,
+    /// PMDK RB-Tree key-value store.
+    PmdkRbtree,
+    /// PMDK Hashmap key-value store.
+    PmdkHashmap,
+    /// PMDK Skip-list key-value store.
+    PmdkSkiplist,
+    /// Intel's PM-optimized Redis.
+    Redis,
+    /// The Twitter (Retwis) workload.
+    Twitter,
+    /// The TPCC transaction benchmark.
+    Tpcc,
+}
+
+impl WorkloadSpec {
+    /// All workloads, in the paper's figure order.
+    pub fn all() -> [WorkloadSpec; 8] {
+        [
+            WorkloadSpec::PmdkBtree,
+            WorkloadSpec::PmdkCtree,
+            WorkloadSpec::PmdkRbtree,
+            WorkloadSpec::PmdkHashmap,
+            WorkloadSpec::PmdkSkiplist,
+            WorkloadSpec::Redis,
+            WorkloadSpec::Twitter,
+            WorkloadSpec::Tpcc,
+        ]
+    }
+
+    /// The key-value workloads eligible for the read-caching experiment
+    /// (GET/SET interface only — Section VI-B4 excludes Twitter and TPCC).
+    pub fn cacheable() -> [WorkloadSpec; 6] {
+        [
+            WorkloadSpec::PmdkBtree,
+            WorkloadSpec::PmdkCtree,
+            WorkloadSpec::PmdkRbtree,
+            WorkloadSpec::PmdkHashmap,
+            WorkloadSpec::PmdkSkiplist,
+            WorkloadSpec::Redis,
+        ]
+    }
+
+    /// The workload's display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSpec::PmdkBtree => "btree",
+            WorkloadSpec::PmdkCtree => "ctree",
+            WorkloadSpec::PmdkRbtree => "rbtree",
+            WorkloadSpec::PmdkHashmap => "hashmap",
+            WorkloadSpec::PmdkSkiplist => "skiplist",
+            WorkloadSpec::Redis => "redis",
+            WorkloadSpec::Twitter => "twitter",
+            WorkloadSpec::Tpcc => "tpcc",
+        }
+    }
+
+    /// Whether the *baseline* for this workload speaks TCP (Redis, Twitter
+    /// and TPCC keep their best-performing native transport,
+    /// Section VI-A3; PMDK drivers use UDP).
+    pub fn baseline_uses_tcp(self) -> bool {
+        matches!(
+            self,
+            WorkloadSpec::Redis | WorkloadSpec::Twitter | WorkloadSpec::Tpcc
+        )
+    }
+
+    /// Builds the per-client request source. `client_idx` individualizes
+    /// streams; `n` is the request count and `update_ratio` the write
+    /// fraction.
+    pub fn make_source(
+        self,
+        n: usize,
+        update_ratio: f64,
+        client_idx: u32,
+    ) -> Box<dyn RequestSource> {
+        match self {
+            WorkloadSpec::PmdkBtree
+            | WorkloadSpec::PmdkCtree
+            | WorkloadSpec::PmdkRbtree
+            | WorkloadSpec::PmdkHashmap
+            | WorkloadSpec::PmdkSkiplist
+            | WorkloadSpec::Redis => Box::new(YcsbSource::new(n, 10_000, update_ratio, 80)),
+            WorkloadSpec::Twitter => {
+                Box::new(TwitterSource::new(n, 1000, update_ratio, client_idx))
+            }
+            WorkloadSpec::Tpcc => Box::new(TpccSource::new(n, update_ratio, client_idx)),
+        }
+    }
+
+    /// Builds the server-side request handler.
+    pub fn make_handler(self, seed: u64) -> Box<dyn RequestHandler> {
+        match self {
+            WorkloadSpec::PmdkBtree => Box::new(KvHandler::new("btree", seed)),
+            WorkloadSpec::PmdkCtree => Box::new(KvHandler::new("ctree", seed)),
+            WorkloadSpec::PmdkRbtree => Box::new(KvHandler::new("rbtree", seed)),
+            WorkloadSpec::PmdkHashmap => Box::new(KvHandler::new("hashmap", seed)),
+            WorkloadSpec::PmdkSkiplist => Box::new(KvHandler::new("skiplist", seed)),
+            // PM-Redis: hashmap backend plus RESP parsing / dispatch cost.
+            WorkloadSpec::Redis => {
+                Box::new(KvHandler::new("hashmap", seed).with_extra_cost(Dur::micros(10)))
+            }
+            WorkloadSpec::Twitter => Box::new(TwitterHandler::new(seed)),
+            WorkloadSpec::Tpcc => Box::new(TpccHandler::new(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmnet_sim::SimRng;
+
+    #[test]
+    fn registry_is_complete_and_named() {
+        let names: Vec<&str> = WorkloadSpec::all().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            ["btree", "ctree", "rbtree", "hashmap", "skiplist", "redis", "twitter", "tpcc"]
+        );
+    }
+
+    #[test]
+    fn tcp_baselines_match_the_paper() {
+        assert!(!WorkloadSpec::PmdkBtree.baseline_uses_tcp());
+        assert!(WorkloadSpec::Redis.baseline_uses_tcp());
+        assert!(WorkloadSpec::Twitter.baseline_uses_tcp());
+        assert!(WorkloadSpec::Tpcc.baseline_uses_tcp());
+    }
+
+    #[test]
+    fn cacheable_excludes_twitter_and_tpcc() {
+        let c = WorkloadSpec::cacheable();
+        assert!(!c.contains(&WorkloadSpec::Twitter));
+        assert!(!c.contains(&WorkloadSpec::Tpcc));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn every_spec_builds_a_working_source_and_handler() {
+        let mut rng = SimRng::seed(1);
+        for spec in WorkloadSpec::all() {
+            let mut src = spec.make_source(10, 0.5, 0);
+            let mut count = 0;
+            while src.next_request(&mut rng).is_some() {
+                count += 1;
+            }
+            assert_eq!(count, 10, "{}", spec.name());
+            let handler = spec.make_handler(2);
+            assert!(!format!("{handler:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The YCSB-like client (Section VI-A2): Zipfian key popularity over a
+//! fixed key space, a configurable update/read mix, and fixed-size
+//! payloads (100 B by default).
+
+use pmnet_core::client::{AppRequest, RequestKind, RequestSource};
+use pmnet_core::kvproto::KvFrame;
+use pmnet_sim::SimRng;
+
+/// A Zipfian sampler over `[0, n)` (the YCSB `ZipfianGenerator`).
+///
+/// ```
+/// use pmnet_workloads::Zipfian;
+/// use pmnet_sim::SimRng;
+/// let z = Zipfian::new(1000, 0.99);
+/// let mut rng = SimRng::seed(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` items with skew `theta` (YCSB default
+    /// 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one item index; item 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.n - 1)
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Unused fields referenced for completeness (`zeta2` participates in
+    /// `eta`; exposing it keeps the derivation checkable).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// The standard YCSB core workload mixes (minus E, whose scans the
+/// GET/SET-style stores do not expose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// Workload A: 50% updates / 50% reads (session store).
+    A,
+    /// Workload B: 5% updates / 95% reads (photo tagging).
+    B,
+    /// Workload C: 100% reads (user-profile cache).
+    C,
+    /// Workload D: 5% inserts / 95% reads of *recent* keys.
+    D,
+    /// Workload F: read-modify-write — each logical op is a read followed
+    /// by an update of the same key.
+    F,
+}
+
+/// The YCSB-like request source: SET (update) / GET (bypass) over a
+/// Zipfian-popular key space.
+#[derive(Debug)]
+pub struct YcsbSource {
+    remaining: usize,
+    zipf: Zipfian,
+    update_ratio: f64,
+    value_bytes: usize,
+    /// For workload D: keys inserted so far (reads target the newest).
+    inserted: u64,
+    mix: Option<YcsbMix>,
+    /// For workload F: the key read in the first half of an RMW, awaiting
+    /// its write half.
+    rmw_pending: Option<Vec<u8>>,
+}
+
+impl YcsbSource {
+    /// `n` requests over `keys` keys with the given update fraction and
+    /// value size.
+    pub fn new(n: usize, keys: u64, update_ratio: f64, value_bytes: usize) -> YcsbSource {
+        YcsbSource {
+            remaining: n,
+            zipf: Zipfian::new(keys, 0.99),
+            update_ratio,
+            value_bytes,
+            inserted: 0,
+            mix: None,
+            rmw_pending: None,
+        }
+    }
+
+    /// `n` requests following a standard YCSB core workload.
+    pub fn workload(mix: YcsbMix, n: usize, keys: u64) -> YcsbSource {
+        let update_ratio = match mix {
+            YcsbMix::A => 0.5,
+            YcsbMix::B | YcsbMix::D => 0.05,
+            YcsbMix::C => 0.0,
+            YcsbMix::F => 0.5, // each RMW is one read + one write
+        };
+        YcsbSource {
+            remaining: n,
+            zipf: Zipfian::new(keys, 0.99),
+            update_ratio,
+            value_bytes: 80,
+            inserted: 0,
+            mix: Some(mix),
+            rmw_pending: None,
+        }
+    }
+
+    /// The key encoding used by all KV workloads.
+    pub fn key_bytes(id: u64) -> Vec<u8> {
+        format!("user{id:012}").into_bytes()
+    }
+}
+
+impl RequestSource for YcsbSource {
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<AppRequest> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Workload F: the write half of a read-modify-write reuses the key
+        // the read half touched.
+        if let Some(key) = self.rmw_pending.take() {
+            let mut value = vec![0u8; self.value_bytes];
+            rng.fill_bytes(&mut value);
+            return Some(AppRequest {
+                kind: RequestKind::Update,
+                payload: KvFrame::Set { key, value }.encode(),
+            });
+        }
+        let key = match self.mix {
+            // Workload D reads the latest inserted keys ("read latest"):
+            // rank 0 of the popularity distribution is the newest insert.
+            Some(YcsbMix::D) if self.inserted > 0 => {
+                let back = self.zipf.sample(rng).min(self.inserted - 1);
+                Self::key_bytes(self.inserted - 1 - back)
+            }
+            _ => Self::key_bytes(self.zipf.sample(rng)),
+        };
+        if let Some(YcsbMix::F) = self.mix {
+            // First half of an RMW: the read.
+            self.rmw_pending = Some(key.clone());
+            return Some(AppRequest {
+                kind: RequestKind::Bypass,
+                payload: KvFrame::Get { key }.encode(),
+            });
+        }
+        if rng.chance(self.update_ratio) {
+            if let Some(YcsbMix::D) = self.mix {
+                // Workload D "updates" are inserts of fresh keys.
+                let key = Self::key_bytes(self.inserted);
+                self.inserted += 1;
+                let mut value = vec![0u8; self.value_bytes];
+                rng.fill_bytes(&mut value);
+                return Some(AppRequest {
+                    kind: RequestKind::Update,
+                    payload: KvFrame::Set { key, value }.encode(),
+                });
+            }
+            let mut value = vec![0u8; self.value_bytes];
+            rng.fill_bytes(&mut value);
+            Some(AppRequest {
+                kind: RequestKind::Update,
+                payload: KvFrame::Set { key, value }.encode(),
+            })
+        } else {
+            Some(AppRequest {
+                kind: RequestKind::Bypass,
+                payload: KvFrame::Get { key }.encode(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = SimRng::seed(2);
+        let n = 50_000;
+        let top10 = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        let frac = top10 as f64 / n as f64;
+        // YCSB zipfian(0.99) over 10k keys: top-10 keys get ~30% of draws.
+        assert!(frac > 0.2 && frac < 0.45, "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(100, 0.5);
+        let mut rng = SimRng::seed(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+        assert!(z.zeta2() > 1.0);
+        assert_eq!(z.n(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_keys_panics() {
+        let _ = Zipfian::new(0, 0.9);
+    }
+
+    #[test]
+    fn source_respects_count_and_ratio() {
+        let mut s = YcsbSource::new(1000, 100, 0.75, 80);
+        let mut rng = SimRng::seed(4);
+        let mut updates = 0;
+        let mut reads = 0;
+        while let Some(r) = s.next_request(&mut rng) {
+            match r.kind {
+                RequestKind::Update => {
+                    updates += 1;
+                    assert!(matches!(
+                        KvFrame::decode(&r.payload),
+                        Some(KvFrame::Set { .. })
+                    ));
+                }
+                RequestKind::Bypass => {
+                    reads += 1;
+                    assert!(matches!(
+                        KvFrame::decode(&r.payload),
+                        Some(KvFrame::Get { .. })
+                    ));
+                }
+            }
+        }
+        assert_eq!(updates + reads, 1000);
+        let ratio = updates as f64 / 1000.0;
+        assert!((ratio - 0.75).abs() < 0.06, "update ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_a_is_half_updates() {
+        let mut s = YcsbSource::workload(YcsbMix::A, 2000, 100);
+        let mut rng = SimRng::seed(6);
+        let mut updates = 0;
+        while let Some(r) = s.next_request(&mut rng) {
+            if r.kind == RequestKind::Update {
+                updates += 1;
+            }
+        }
+        let ratio = updates as f64 / 2000.0;
+        assert!((ratio - 0.5).abs() < 0.05, "{ratio}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut s = YcsbSource::workload(YcsbMix::C, 500, 100);
+        let mut rng = SimRng::seed(7);
+        while let Some(r) = s.next_request(&mut rng) {
+            assert_eq!(r.kind, RequestKind::Bypass);
+        }
+    }
+
+    #[test]
+    fn workload_d_reads_skew_to_recent_inserts() {
+        let mut s = YcsbSource::workload(YcsbMix::D, 5000, 1000);
+        let mut rng = SimRng::seed(8);
+        let mut reads_of_latest_decile = 0;
+        let mut reads = 0;
+        let mut newest: Option<Vec<u8>> = None;
+        let mut inserted: Vec<Vec<u8>> = Vec::new();
+        while let Some(r) = s.next_request(&mut rng) {
+            match KvFrame::decode(&r.payload) {
+                Some(KvFrame::Set { key, .. }) => {
+                    newest = Some(key.clone());
+                    inserted.push(key);
+                }
+                Some(KvFrame::Get { key }) => {
+                    if inserted.is_empty() {
+                        continue;
+                    }
+                    reads += 1;
+                    let tail = &inserted[inserted.len().saturating_sub(10)..];
+                    if tail.contains(&key) {
+                        reads_of_latest_decile += 1;
+                    }
+                }
+                _ => panic!("unexpected frame"),
+            }
+        }
+        let _ = newest;
+        assert!(reads > 0);
+        let frac = reads_of_latest_decile as f64 / reads as f64;
+        assert!(
+            frac > 0.3,
+            "read-latest must favour fresh keys: {frac} of {reads}"
+        );
+    }
+
+    #[test]
+    fn workload_f_alternates_read_then_write_of_same_key() {
+        let mut s = YcsbSource::workload(YcsbMix::F, 100, 50);
+        let mut rng = SimRng::seed(9);
+        let mut last_read_key: Option<Vec<u8>> = None;
+        while let Some(r) = s.next_request(&mut rng) {
+            match KvFrame::decode(&r.payload) {
+                Some(KvFrame::Get { key }) => {
+                    assert!(last_read_key.is_none(), "two reads in a row");
+                    last_read_key = Some(key);
+                }
+                Some(KvFrame::Set { key, .. }) => {
+                    assert_eq!(
+                        Some(key),
+                        last_read_key.take(),
+                        "write half must reuse the read key"
+                    );
+                }
+                _ => panic!("unexpected frame"),
+            }
+        }
+    }
+
+    #[test]
+    fn key_encoding_is_fixed_width() {
+        assert_eq!(YcsbSource::key_bytes(0).len(), 16);
+        assert_eq!(YcsbSource::key_bytes(999_999).len(), 16);
+        assert_ne!(YcsbSource::key_bytes(1), YcsbSource::key_bytes(2));
+    }
+}

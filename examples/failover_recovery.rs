@@ -1,0 +1,80 @@
+//! Server power-failure and recovery (Figure 3, Sections IV-E, VI-B6):
+//! the server loses power mid-workload; when it comes back, it polls the
+//! PMNet device, which resends every logged update in per-client order.
+//! No acknowledged update is lost.
+//!
+//! Run with: `cargo run --example failover_recovery`
+
+use pmnet::core::api::{update, ScriptSource};
+use pmnet::core::kvproto::KvFrame;
+use pmnet::core::server::ServerLib;
+use pmnet::core::system::{DesignPoint, SystemBuilder};
+use pmnet::core::{PmnetDevice, SystemConfig};
+use pmnet::sim::{Dur, Time};
+use pmnet::workloads::KvHandler;
+
+fn set(key: String, value: u32) -> pmnet::core::client::AppRequest {
+    update(
+        KvFrame::Set {
+            key: key.into_bytes(),
+            value: value.to_le_bytes().to_vec(),
+        }
+        .encode(),
+    )
+}
+
+fn main() {
+    println!("PMNet failover demo: cutting server power at t=2ms\n");
+    let script: Vec<_> = (0..300u32).map(|i| set(format!("key{i}"), i)).collect();
+    let mut sys = SystemBuilder::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+        .client(Box::new(ScriptSource::new(script)))
+        .handler_factory(|| Box::new(KvHandler::new("btree", 1)))
+        .build(99);
+    let server_id = sys.server;
+    let dev_id = sys.devices[0];
+    sys.world.schedule_crash(
+        server_id,
+        Time::ZERO + Dur::millis(2),
+        Some(Dur::millis(10)),
+    );
+    sys.run_clients(Dur::secs(60));
+    sys.world.run_for(Dur::millis(300));
+
+    let m = sys.metrics();
+    println!("client completed {} / 300 updates", m.completed);
+
+    let dev = sys.world.node::<PmnetDevice>(dev_id);
+    println!(
+        "device: {} entries logged, {} recovery resends, {} still pending",
+        dev.log_counters().logged,
+        dev.counters().recovery_resends,
+        dev.log_len(),
+    );
+
+    let server = sys.world.node_mut::<ServerLib>(server_id);
+    let rec = server.recovery().expect("server recovered");
+    println!(
+        "server: restored at {}, polled devices at {}, {} redo updates applied",
+        rec.restored_at, rec.polled_at, rec.redo_applied,
+    );
+    let c = server.counters();
+    println!(
+        "server: {} updates applied, {} duplicates dropped, {} make-up ACKs",
+        c.updates_applied, c.duplicates_dropped, c.make_up_acks,
+    );
+
+    let handler = server
+        .handler_mut()
+        .as_any_mut()
+        .downcast_mut::<KvHandler>()
+        .expect("kv handler");
+    let mut intact = 0;
+    for i in 0..300u32 {
+        if handler.peek(format!("key{i}").as_bytes()) == Some(i.to_le_bytes().to_vec()) {
+            intact += 1;
+        }
+    }
+    println!("\nserver state after recovery: {intact} / 300 keys intact");
+    assert_eq!(intact, 300, "an acknowledged update was lost!");
+    println!("every acknowledged update survived the power failure.");
+}

@@ -1,0 +1,54 @@
+//! # PMNet: In-Network Data Persistence — a Rust reproduction
+//!
+//! This is the facade crate of a full reproduction of *PMNet: In-Network
+//! Data Persistence* (ISCA 2021). PMNet puts persistent memory on a
+//! programmable network device (ToR switch or NIC); update requests are
+//! logged in the device's PM while being forwarded and acknowledged to the
+//! client **before** the server processes them — taking the server's
+//! network stack and request handling off the critical path. Logged
+//! requests double as redo logs for server recovery.
+//!
+//! The workspace layers (re-exported here):
+//!
+//! * [`sim`] — deterministic discrete-event kernel (time, events, RNG,
+//!   statistics),
+//! * [`net`] — the network substrate: packets, 10 Gbps links with FIFO
+//!   queueing, switches, host stack models,
+//! * [`pmem`] — the PM substrate: device timing, crash-semantics arena,
+//!   WAL, five persistent key-value structures,
+//! * [`core`] — PMNet itself: protocol, device MAT pipeline, client/server
+//!   libraries, read cache, replication, failure recovery, and the
+//!   [`core::system`] experiment builders,
+//! * [`workloads`] — the evaluation workloads: PMDK KV stores, PM-Redis,
+//!   Twitter (Retwis), TPCC, and the YCSB generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmnet::core::system::{DesignPoint, UpdateExperiment};
+//! use pmnet::core::SystemConfig;
+//!
+//! // 200 update requests from one client through a PMNet ToR switch.
+//! let metrics = UpdateExperiment::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+//!     .payload_bytes(100)
+//!     .requests_per_client(200)
+//!     .run(1);
+//! assert_eq!(metrics.completed, 200);
+//!
+//! // The same workload against the traditional client-server baseline is
+//! // several times slower: the full RTT sits on the critical path.
+//! let baseline = UpdateExperiment::new(DesignPoint::ClientServer, SystemConfig::default())
+//!     .payload_bytes(100)
+//!     .requests_per_client(200)
+//!     .run(1);
+//! assert!(baseline.latency.mean() > metrics.latency.mean().mul_f64(2.0));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every figure of the paper's evaluation.
+
+pub use pmnet_core as core;
+pub use pmnet_net as net;
+pub use pmnet_pmem as pmem;
+pub use pmnet_sim as sim;
+pub use pmnet_workloads as workloads;

@@ -1,0 +1,116 @@
+//! Table I conformance: the client/server software interface drives a
+//! complete session, and replies reach the application.
+
+use bytes::Bytes;
+use pmnet::core::api::{bypass, update, ScriptSource};
+use pmnet::core::client::ClientLib;
+use pmnet::core::kvproto::KvFrame;
+use pmnet::core::system::{DesignPoint, SystemBuilder};
+use pmnet::core::{RequestKind, SystemConfig};
+use pmnet::sim::Dur;
+use pmnet::workloads::KvHandler;
+
+#[test]
+fn table_one_interface_round_trip() {
+    // PMNet_start_session / PMNet_send_update / PMNet_bypass /
+    // PMNet_end_session on the client; PMNet_recv / PMNet_ack on the
+    // server — exercised through the library types that embody them.
+    let script = vec![
+        update(
+            KvFrame::Set {
+                key: b"answer".to_vec(),
+                value: b"42".to_vec(),
+            }
+            .encode(),
+        ),
+        bypass(
+            KvFrame::Get {
+                key: b"answer".to_vec(),
+            }
+            .encode(),
+        ),
+        bypass(
+            KvFrame::Get {
+                key: b"never-written".to_vec(),
+            }
+            .encode(),
+        ),
+    ];
+    let mut sys = SystemBuilder::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+        .client(Box::new(ScriptSource::new(script)))
+        .handler_factory(|| Box::new(KvHandler::new("btree", 1)))
+        .build(3);
+    sys.run_clients(Dur::secs(2));
+
+    let client_id = sys.clients[0];
+    let client = sys.world.node::<ClientLib>(client_id);
+    assert!(client.is_finished(), "PMNet_end_session: source drained");
+    assert_eq!(client.total_completed(), 3);
+
+    // Replies delivered to the application through on_complete.
+    // (ScriptSource records them; reach it via the records + the source.)
+    let kinds: Vec<RequestKind> = client.records().iter().map(|r| r.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            RequestKind::Update,
+            RequestKind::Bypass,
+            RequestKind::Bypass
+        ]
+    );
+
+    // The update completed sub-RTT (PMNet-ACK), far below the bypass
+    // round trips that had to reach the server.
+    let update_lat = client.records()[0].latency;
+    let read_lat = client.records()[1].latency;
+    assert!(
+        update_lat < read_lat,
+        "update {update_lat} should beat server-served read {read_lat}"
+    );
+}
+
+#[test]
+fn bypass_replies_carry_values_back_to_the_source() {
+    // Use a probe source we can reach after the run via the client.
+    #[derive(Debug, Default)]
+    struct Probe {
+        sent: usize,
+        replies: Vec<Option<Bytes>>,
+    }
+    impl pmnet::core::RequestSource for Probe {
+        fn next_request(
+            &mut self,
+            _rng: &mut pmnet::sim::SimRng,
+        ) -> Option<pmnet::core::client::AppRequest> {
+            let req = match self.sent {
+                0 => update(
+                    KvFrame::Set {
+                        key: b"k".to_vec(),
+                        value: b"hello".to_vec(),
+                    }
+                    .encode(),
+                ),
+                1 => bypass(KvFrame::Get { key: b"k".to_vec() }.encode()),
+                _ => return None,
+            };
+            self.sent += 1;
+            Some(req)
+        }
+        fn on_complete(&mut self, _req: &pmnet::core::client::AppRequest, reply: Option<&Bytes>) {
+            self.replies.push(reply.cloned());
+        }
+    }
+
+    let mut sys = SystemBuilder::new(DesignPoint::PmnetSwitch, SystemConfig::default())
+        .client(Box::new(Probe::default()))
+        .handler_factory(|| Box::new(KvHandler::new("hashmap", 2)))
+        .build(5);
+    sys.run_clients(Dur::secs(2));
+    // The probe lives inside the client node; we verify through behaviour:
+    // completion count and that the read got a reply (records say Bypass
+    // completed, which requires a reply by protocol).
+    let client = sys.world.node::<ClientLib>(sys.clients[0]);
+    assert_eq!(client.total_completed(), 2);
+    let read = client.records()[1];
+    assert_eq!(read.kind, RequestKind::Bypass);
+}
