@@ -1,0 +1,267 @@
+//! Seeded random fault-plan generation.
+//!
+//! The generator draws from [`pmnet_sim::SimRng`] only, so a campaign seed
+//! fully determines every plan it emits. It generates **transient** faults
+//! exclusively — crashes always restart, bursts always end — because the
+//! runner's liveness invariant (every client eventually finishes) is only
+//! checkable when the plan lets the system heal.
+
+use pmnet_core::system::DesignPoint;
+use pmnet_sim::{Dur, SimRng};
+
+use crate::plan::{Fault, FaultPlan, LinkTarget};
+
+/// How hard the generator leans on the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intensity {
+    /// One or two mild faults.
+    Light,
+    /// A few overlapping faults at moderate probabilities.
+    Medium,
+    /// Many overlapping faults, high impairment probabilities, repeated
+    /// crashes.
+    Heavy,
+}
+
+impl Intensity {
+    fn event_count(self, rng: &mut SimRng) -> usize {
+        let (lo, hi) = match self {
+            Intensity::Light => (1, 2),
+            Intensity::Medium => (2, 5),
+            Intensity::Heavy => (5, 10),
+        };
+        lo + rng.index(hi - lo + 1)
+    }
+
+    /// Upper bound for impairment probabilities, in per-mille.
+    fn max_permille(self) -> u32 {
+        match self {
+            Intensity::Light => 100,
+            Intensity::Medium => 300,
+            Intensity::Heavy => 600,
+        }
+    }
+}
+
+/// What the generator may aim at — derived from a design point without
+/// building the system, mirroring the `SystemBuilder` topology rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of clients (access links).
+    pub clients: usize,
+    /// Number of PMNet devices on the path.
+    pub devices: usize,
+    /// Number of backbone hops (merge switch to server, inclusive).
+    pub backbone_links: usize,
+}
+
+impl Topology {
+    /// The topology `SystemBuilder::build` produces for `design` with
+    /// `clients` clients. (The runner tolerates out-of-range targets by
+    /// ignoring them, so a stale mirror degrades to a no-op fault, not a
+    /// panic.)
+    pub fn for_design(design: DesignPoint, clients: usize) -> Topology {
+        let devices = match design {
+            DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => 1,
+            DesignPoint::PmnetReplicated { devices } => usize::from(devices),
+            _ => 0,
+        };
+        let backbone_links = match design {
+            // merge -> dev_0 .. dev_{n-1} -> server
+            DesignPoint::PmnetSwitch => 2,
+            DesignPoint::PmnetReplicated { devices } => usize::from(devices) + 1,
+            // merge -> tor -> dev -> server
+            DesignPoint::PmnetNic => 3,
+            // merge -> tor -> server
+            DesignPoint::ClientServer
+            | DesignPoint::ClientServerReplicated { .. }
+            | DesignPoint::ServerSideLog { .. }
+            | DesignPoint::ClientSideLog { .. } => 2,
+        };
+        Topology {
+            clients,
+            devices,
+            backbone_links,
+        }
+    }
+}
+
+fn pick_link(rng: &mut SimRng, topo: &Topology) -> LinkTarget {
+    // Backbone links carry every client's traffic, so weight them higher.
+    if topo.clients > 0 && rng.chance(0.35) {
+        LinkTarget::Access(rng.index(topo.clients))
+    } else {
+        LinkTarget::Backbone(rng.index(topo.backbone_links))
+    }
+}
+
+fn pick_dur(rng: &mut SimRng, lo_us: u64, hi_us: u64) -> Dur {
+    Dur::micros(rng.uniform_u64(lo_us..hi_us + 1))
+}
+
+fn pick_permille(rng: &mut SimRng, intensity: Intensity) -> u32 {
+    // At least 5% so the fault is not a statistical no-op.
+    50 + rng.uniform_u64(0..u64::from(intensity.max_permille() - 50) + 1) as u32
+}
+
+/// Generates one transient fault plan. Fault times land in the first 60%
+/// of `horizon` so the system always has healing room before the runner's
+/// deadline; burst and downtime windows are bounded well below `horizon`.
+pub fn generate_plan(
+    rng: &mut SimRng,
+    topo: &Topology,
+    intensity: Intensity,
+    horizon: Dur,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let n = intensity.event_count(rng);
+    let horizon_us = (horizon.as_nanos() / 1000).max(100);
+    let latest_us = horizon_us * 6 / 10;
+    // Crash downtimes: long enough to matter, short enough to heal.
+    let crash_down = |rng: &mut SimRng| Some(pick_dur(rng, 300, 2_000));
+    for _ in 0..n {
+        let at = Dur::micros(5 + rng.uniform_u64(0..latest_us));
+        // Nine fault kinds; device-targeted ones only when devices exist.
+        let kinds = if topo.devices > 0 { 9 } else { 6 };
+        let fault = match rng.index(kinds) {
+            0 => Fault::ServerCrash {
+                downtime: crash_down(rng),
+            },
+            1 => Fault::ClientCrash {
+                client: rng.index(topo.clients),
+                downtime: crash_down(rng),
+            },
+            2 => Fault::LinkFlap {
+                link: pick_link(rng, topo),
+                down_for: pick_dur(rng, 50, 400),
+            },
+            3 => Fault::DropBurst {
+                link: pick_link(rng, topo),
+                permille: pick_permille(rng, intensity),
+                dur: pick_dur(rng, 50, 500),
+            },
+            4 => Fault::DuplicateBurst {
+                link: pick_link(rng, topo),
+                permille: pick_permille(rng, intensity),
+                dur: pick_dur(rng, 50, 500),
+            },
+            5 => Fault::ReorderBurst {
+                link: pick_link(rng, topo),
+                permille: pick_permille(rng, intensity),
+                extra: pick_dur(rng, 20, 120),
+                dur: pick_dur(rng, 50, 500),
+            },
+            6 => Fault::CorruptBurst {
+                link: pick_link(rng, topo),
+                // Corruption is aggressive: cap lower so verification has
+                // clean copies to work with inside the burst.
+                permille: pick_permille(rng, intensity).min(250),
+                dur: pick_dur(rng, 50, 300),
+            },
+            7 => Fault::DeviceCrash {
+                device: rng.index(topo.devices),
+                downtime: crash_down(rng),
+            },
+            _ => Fault::PmSpike {
+                device: rng.index(topo.devices),
+                factor: 2 + rng.uniform_u64(0..49) as u32,
+                dur: pick_dur(rng, 100, 800),
+            },
+        };
+        plan.push(at, fault);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let topo = Topology::for_design(DesignPoint::PmnetSwitch, 3);
+        let a = generate_plan(
+            &mut SimRng::seed(9),
+            &topo,
+            Intensity::Medium,
+            Dur::millis(8),
+        );
+        let b = generate_plan(
+            &mut SimRng::seed(9),
+            &topo,
+            Intensity::Medium,
+            Dur::millis(8),
+        );
+        assert_eq!(a, b);
+        let c = generate_plan(
+            &mut SimRng::seed(10),
+            &topo,
+            Intensity::Medium,
+            Dur::millis(8),
+        );
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn generated_plans_are_transient_and_in_horizon() {
+        let topo = Topology::for_design(DesignPoint::PmnetNic, 4);
+        let mut rng = SimRng::seed(3);
+        for _ in 0..200 {
+            let p = generate_plan(&mut rng, &topo, Intensity::Heavy, Dur::millis(8));
+            assert!(!p.is_empty());
+            assert!(p.is_transient(), "generator must not emit permanent faults");
+            for e in &p.events {
+                assert!(e.at <= Dur::micros(5 + 8000 * 6 / 10));
+            }
+        }
+    }
+
+    #[test]
+    fn no_device_faults_without_devices() {
+        let topo = Topology::for_design(DesignPoint::ClientServer, 2);
+        assert_eq!(topo.devices, 0);
+        let mut rng = SimRng::seed(4);
+        for _ in 0..200 {
+            let p = generate_plan(&mut rng, &topo, Intensity::Heavy, Dur::millis(8));
+            for e in &p.events {
+                assert!(
+                    !matches!(e.fault, Fault::DeviceCrash { .. } | Fault::PmSpike { .. }),
+                    "device fault generated for a deviceless design: {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_event_count() {
+        let topo = Topology::for_design(DesignPoint::PmnetSwitch, 3);
+        let mut rng = SimRng::seed(5);
+        for _ in 0..100 {
+            let l = generate_plan(&mut rng, &topo, Intensity::Light, Dur::millis(8)).len();
+            assert!((1..=2).contains(&l));
+            let h = generate_plan(&mut rng, &topo, Intensity::Heavy, Dur::millis(8)).len();
+            assert!((5..=10).contains(&h));
+        }
+    }
+
+    #[test]
+    fn topology_mirror_matches_built_systems() {
+        use pmnet_core::system::SystemBuilder;
+        use pmnet_core::SystemConfig;
+        for design in [
+            DesignPoint::PmnetSwitch,
+            DesignPoint::PmnetNic,
+            DesignPoint::ClientServer,
+            DesignPoint::PmnetReplicated { devices: 3 },
+        ] {
+            let mut b = SystemBuilder::new(design, SystemConfig::default());
+            for _ in 0..2 {
+                b = b.client(Box::new(pmnet_core::system::MicroSource::updates(1, 16)));
+            }
+            let sys = b.build(1);
+            let topo = Topology::for_design(design, 2);
+            assert_eq!(topo.devices, sys.devices.len(), "{design:?}");
+            assert_eq!(topo.backbone_links, sys.path.len() - 1, "{design:?}");
+        }
+    }
+}

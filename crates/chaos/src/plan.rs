@@ -1,0 +1,635 @@
+//! The fault-plan DSL: a serializable schedule of timed fault events.
+//!
+//! A [`FaultPlan`] is the unit the whole harness operates on — the
+//! generator emits plans, the runner executes them against a built system,
+//! the shrinker deletes events from them, and the replay artifact stores
+//! them as text. Keeping the plan a plain value (no closures, no node ids)
+//! is what makes a failure replayable from nothing but a seed and a file.
+//!
+//! Plans are serialized to a line-oriented `key=value` text format (the
+//! build environment has no serde); durations are nanoseconds and
+//! probabilities are per-mille integers so round-trips are exact.
+
+use std::fmt;
+use std::str::FromStr;
+
+use pmnet_sim::Dur;
+
+/// A link on the standard topologies, named positionally so a plan stays
+/// meaningful across designs and across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTarget {
+    /// The access link of client `i` (client `i` to the merge switch).
+    Access(usize),
+    /// Backbone hop `i`: the link between `path[i]` and `path[i + 1]` of
+    /// the built system's merge-to-server path.
+    Backbone(usize),
+}
+
+impl fmt::Display for LinkTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkTarget::Access(i) => write!(f, "access:{i}"),
+            LinkTarget::Backbone(i) => write!(f, "backbone:{i}"),
+        }
+    }
+}
+
+impl FromStr for LinkTarget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LinkTarget, String> {
+        let (kind, idx) = s
+            .split_once(':')
+            .ok_or_else(|| format!("link target `{s}`: expected kind:index"))?;
+        let i: usize = idx
+            .parse()
+            .map_err(|_| format!("link target `{s}`: bad index"))?;
+        match kind {
+            "access" => Ok(LinkTarget::Access(i)),
+            "backbone" => Ok(LinkTarget::Backbone(i)),
+            _ => Err(format!("link target `{s}`: unknown kind `{kind}`")),
+        }
+    }
+}
+
+/// One injectable fault. Durations are relative to the event's start time;
+/// probabilities are per-mille (`0..=1000`) so plans serialize exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Power-fail the server; `downtime: None` means it never restarts.
+    ServerCrash {
+        /// Time until restart, if any.
+        downtime: Option<Dur>,
+    },
+    /// Power-fail PMNet device `device` (index into the built system's
+    /// device list).
+    DeviceCrash {
+        /// Device index.
+        device: usize,
+        /// Time until restart, if any.
+        downtime: Option<Dur>,
+    },
+    /// Crash client `client`; on restart it opens a fresh session and
+    /// reissues its remaining requests.
+    ClientCrash {
+        /// Client index.
+        client: usize,
+        /// Time until restart, if any.
+        downtime: Option<Dur>,
+    },
+    /// Administratively down a link, restoring it after `down_for`.
+    LinkFlap {
+        /// The link to flap.
+        link: LinkTarget,
+        /// How long it stays down.
+        down_for: Dur,
+    },
+    /// Random packet loss on a link for a bounded window.
+    DropBurst {
+        /// The impaired link.
+        link: LinkTarget,
+        /// Drop probability in per-mille.
+        permille: u32,
+        /// Burst duration.
+        dur: Dur,
+    },
+    /// Random packet duplication on a link for a bounded window.
+    DuplicateBurst {
+        /// The impaired link.
+        link: LinkTarget,
+        /// Duplication probability in per-mille.
+        permille: u32,
+        /// Burst duration.
+        dur: Dur,
+    },
+    /// Random extra delay (reordering) on a link for a bounded window.
+    ReorderBurst {
+        /// The impaired link.
+        link: LinkTarget,
+        /// Reorder probability in per-mille.
+        permille: u32,
+        /// Maximum extra delay of a reordered packet.
+        extra: Dur,
+        /// Burst duration.
+        dur: Dur,
+    },
+    /// Random single-bit payload corruption on a link for a bounded window.
+    CorruptBurst {
+        /// The impaired link.
+        link: LinkTarget,
+        /// Corruption probability in per-mille.
+        permille: u32,
+        /// Burst duration.
+        dur: Dur,
+    },
+    /// Degrade a PMNet device's PM module (latency and bandwidth scale by
+    /// `factor`) for a bounded window — a thermally throttled or failing
+    /// DIMM.
+    PmSpike {
+        /// Device index.
+        device: usize,
+        /// Slowdown multiplier (`>= 2` to be observable).
+        factor: u32,
+        /// Spike duration.
+        dur: Dur,
+    },
+}
+
+impl Fault {
+    /// Whether the fault heals on its own: bounded bursts, flaps that come
+    /// back up, crashes with a restart scheduled. A plan of transient
+    /// faults must leave the system able to finish every client's
+    /// workload — that is the liveness invariant the runner checks.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Fault::ServerCrash { downtime }
+            | Fault::DeviceCrash { downtime, .. }
+            | Fault::ClientCrash { downtime, .. } => downtime.is_some(),
+            Fault::LinkFlap { .. }
+            | Fault::DropBurst { .. }
+            | Fault::DuplicateBurst { .. }
+            | Fault::ReorderBurst { .. }
+            | Fault::CorruptBurst { .. }
+            | Fault::PmSpike { .. } => true,
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Injection time, relative to the start of the run.
+    pub at: Dur,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// An ordered schedule of fault events — the value the generator, runner,
+/// shrinker and artifact all exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The events, kept sorted by injection time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a fault-free control run).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Appends an event, keeping the schedule sorted by time (stable, so
+    /// same-instant events keep insertion order).
+    pub fn push(&mut self, at: Dur, fault: Fault) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, fault });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether every fault heals on its own (see [`Fault::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.events.iter().all(|e| e.fault.is_transient())
+    }
+
+    /// The plan restricted to the events selected by `keep` (same length
+    /// as `events`); used by the shrinker.
+    pub fn subset(&self, keep: &[bool]) -> FaultPlan {
+        assert_eq!(keep.len(), self.events.len(), "mask length mismatch");
+        FaultPlan {
+            events: self
+                .events
+                .iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(e, _)| *e)
+                .collect(),
+        }
+    }
+}
+
+fn dur_ns(d: Dur) -> u64 {
+    d.as_nanos()
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at={}", dur_ns(self.at))?;
+        match self.fault {
+            Fault::ServerCrash { downtime } => {
+                write!(f, " server-crash")?;
+                if let Some(d) = downtime {
+                    write!(f, " down={}", dur_ns(d))?;
+                }
+            }
+            Fault::DeviceCrash { device, downtime } => {
+                write!(f, " device-crash dev={device}")?;
+                if let Some(d) = downtime {
+                    write!(f, " down={}", dur_ns(d))?;
+                }
+            }
+            Fault::ClientCrash { client, downtime } => {
+                write!(f, " client-crash client={client}")?;
+                if let Some(d) = downtime {
+                    write!(f, " down={}", dur_ns(d))?;
+                }
+            }
+            Fault::LinkFlap { link, down_for } => {
+                write!(f, " link-flap link={link} down={}", dur_ns(down_for))?;
+            }
+            Fault::DropBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                write!(
+                    f,
+                    " drop-burst link={link} permille={permille} dur={}",
+                    dur_ns(dur)
+                )?;
+            }
+            Fault::DuplicateBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                write!(
+                    f,
+                    " dup-burst link={link} permille={permille} dur={}",
+                    dur_ns(dur)
+                )?;
+            }
+            Fault::ReorderBurst {
+                link,
+                permille,
+                extra,
+                dur,
+            } => {
+                write!(
+                    f,
+                    " reorder-burst link={link} permille={permille} extra={} dur={}",
+                    dur_ns(extra),
+                    dur_ns(dur)
+                )?;
+            }
+            Fault::CorruptBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                write!(
+                    f,
+                    " corrupt-burst link={link} permille={permille} dur={}",
+                    dur_ns(dur)
+                )?;
+            }
+            Fault::PmSpike {
+                device,
+                factor,
+                dur,
+            } => {
+                write!(
+                    f,
+                    " pm-spike dev={device} factor={factor} dur={}",
+                    dur_ns(dur)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses the `key=value` tail of an event line into lookup pairs.
+fn kv_pairs(tokens: &[&str]) -> Result<Vec<(String, String)>, String> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| format!("expected key=value, got `{t}`"))
+        })
+        .collect()
+}
+
+struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing `{key}=`"))
+    }
+
+    fn dur(&self, key: &str) -> Result<Dur, String> {
+        let ns: u64 = self
+            .req(key)?
+            .parse()
+            .map_err(|_| format!("bad `{key}=` (want nanoseconds)"))?;
+        Ok(Dur::nanos(ns))
+    }
+
+    fn dur_opt(&self, key: &str) -> Result<Option<Dur>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let ns: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad `{key}=` (want nanoseconds)"))?;
+                Ok(Some(Dur::nanos(ns)))
+            }
+        }
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("bad `{key}=` (want an index)"))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("bad `{key}=` (want an integer)"))
+    }
+
+    fn link(&self, key: &str) -> Result<LinkTarget, String> {
+        self.req(key)?.parse()
+    }
+
+    fn permille(&self) -> Result<u32, String> {
+        let p = self.u32("permille")?;
+        if p > 1000 {
+            return Err(format!("permille={p} out of range (0..=1000)"));
+        }
+        Ok(p)
+    }
+}
+
+impl FromStr for FaultEvent {
+    type Err = String;
+
+    fn from_str(line: &str) -> Result<FaultEvent, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(format!("event line `{line}`: too short"));
+        }
+        let at = {
+            let (k, v) = tokens[0]
+                .split_once('=')
+                .ok_or_else(|| format!("event line `{line}`: expected at=<ns> first"))?;
+            if k != "at" {
+                return Err(format!("event line `{line}`: expected at=<ns> first"));
+            }
+            let ns: u64 = v
+                .parse()
+                .map_err(|_| format!("event line `{line}`: bad at="))?;
+            Dur::nanos(ns)
+        };
+        let kind = tokens[1];
+        let f = Fields(kv_pairs(&tokens[2..]).map_err(|e| format!("event line `{line}`: {e}"))?);
+        let fault = (|| -> Result<Fault, String> {
+            match kind {
+                "server-crash" => Ok(Fault::ServerCrash {
+                    downtime: f.dur_opt("down")?,
+                }),
+                "device-crash" => Ok(Fault::DeviceCrash {
+                    device: f.usize("dev")?,
+                    downtime: f.dur_opt("down")?,
+                }),
+                "client-crash" => Ok(Fault::ClientCrash {
+                    client: f.usize("client")?,
+                    downtime: f.dur_opt("down")?,
+                }),
+                "link-flap" => Ok(Fault::LinkFlap {
+                    link: f.link("link")?,
+                    down_for: f.dur("down")?,
+                }),
+                "drop-burst" => Ok(Fault::DropBurst {
+                    link: f.link("link")?,
+                    permille: f.permille()?,
+                    dur: f.dur("dur")?,
+                }),
+                "dup-burst" => Ok(Fault::DuplicateBurst {
+                    link: f.link("link")?,
+                    permille: f.permille()?,
+                    dur: f.dur("dur")?,
+                }),
+                "reorder-burst" => Ok(Fault::ReorderBurst {
+                    link: f.link("link")?,
+                    permille: f.permille()?,
+                    extra: f.dur("extra")?,
+                    dur: f.dur("dur")?,
+                }),
+                "corrupt-burst" => Ok(Fault::CorruptBurst {
+                    link: f.link("link")?,
+                    permille: f.permille()?,
+                    dur: f.dur("dur")?,
+                }),
+                "pm-spike" => Ok(Fault::PmSpike {
+                    device: f.usize("dev")?,
+                    factor: f.u32("factor")?,
+                    dur: f.dur("dur")?,
+                }),
+                _ => Err(format!("unknown fault kind `{kind}`")),
+            }
+        })()
+        .map_err(|e| format!("event line `{line}`: {e}"))?;
+        Ok(FaultEvent { at, fault })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let e: FaultEvent = line.parse()?;
+            plan.push(e.at, e.fault);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        let mut p = FaultPlan::new();
+        p.push(
+            Dur::micros(300),
+            Fault::DropBurst {
+                link: LinkTarget::Backbone(1),
+                permille: 250,
+                dur: Dur::micros(120),
+            },
+        );
+        p.push(
+            Dur::micros(100),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(2)),
+            },
+        );
+        p.push(
+            Dur::micros(100),
+            Fault::ClientCrash {
+                client: 2,
+                downtime: None,
+            },
+        );
+        p.push(
+            Dur::micros(450),
+            Fault::ReorderBurst {
+                link: LinkTarget::Access(0),
+                permille: 400,
+                extra: Dur::micros(80),
+                dur: Dur::micros(200),
+            },
+        );
+        p.push(
+            Dur::micros(500),
+            Fault::PmSpike {
+                device: 0,
+                factor: 25,
+                dur: Dur::micros(700),
+            },
+        );
+        p.push(
+            Dur::micros(20),
+            Fault::LinkFlap {
+                link: LinkTarget::Backbone(0),
+                down_for: Dur::micros(90),
+            },
+        );
+        p.push(
+            Dur::micros(40),
+            Fault::DuplicateBurst {
+                link: LinkTarget::Access(1),
+                permille: 500,
+                dur: Dur::micros(60),
+            },
+        );
+        p.push(
+            Dur::micros(60),
+            Fault::CorruptBurst {
+                link: LinkTarget::Backbone(1),
+                permille: 90,
+                dur: Dur::micros(70),
+            },
+        );
+        p.push(
+            Dur::micros(80),
+            Fault::DeviceCrash {
+                device: 0,
+                downtime: Some(Dur::micros(600)),
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn push_keeps_events_sorted_and_stable() {
+        let p = sample();
+        let times: Vec<u64> = p.events.iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // The two t=100us events keep insertion order: crash first.
+        let at100: Vec<&FaultEvent> = p
+            .events
+            .iter()
+            .filter(|e| e.at == Dur::micros(100))
+            .collect();
+        assert!(matches!(at100[0].fault, Fault::ServerCrash { .. }));
+        assert!(matches!(at100[1].fault, Fault::ClientCrash { .. }));
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let p = sample();
+        let text = p.to_string();
+        let back: FaultPlan = text.parse().expect("parse back");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\nat=1000 server-crash down=5000\n";
+        let p: FaultPlan = text.parse().unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(
+            p.events[0].fault,
+            Fault::ServerCrash {
+                downtime: Some(Dur::nanos(5000))
+            }
+        );
+    }
+
+    #[test]
+    fn transient_classification() {
+        // Dropping the permanent client crash (sorted index 5: second of
+        // the two t=100us events) leaves only self-healing faults.
+        assert!(sample()
+            .subset(&[true, true, true, true, true, false, true, true, true])
+            .is_transient());
+        assert!(!sample().is_transient());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let e = "at=12 warp-core-breach".parse::<FaultEvent>().unwrap_err();
+        assert!(e.contains("unknown fault kind"), "{e}");
+        let e = "drop-burst link=access:0"
+            .parse::<FaultEvent>()
+            .unwrap_err();
+        assert!(e.contains("at=<ns>"), "{e}");
+        let e = "at=1 drop-burst link=access:0 permille=2000 dur=5"
+            .parse::<FaultEvent>()
+            .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        let e = "at=1 link-flap link=ring:3 down=5"
+            .parse::<FaultEvent>()
+            .unwrap_err();
+        assert!(e.contains("unknown kind"), "{e}");
+    }
+
+    #[test]
+    fn subset_selects_by_mask() {
+        let p = sample();
+        let mut keep = vec![false; p.len()];
+        keep[0] = true;
+        keep[4] = true;
+        let s = p.subset(&keep);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events[0], p.events[0]);
+        assert_eq!(s.events[1], p.events[4]);
+    }
+}

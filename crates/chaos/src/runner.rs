@@ -1,0 +1,571 @@
+//! Executes a fault plan against a freshly built system and checks the
+//! durability and liveness invariants.
+//!
+//! The runner is the bridge between the positional, value-typed
+//! [`FaultPlan`](crate::FaultPlan) world and the node-id world of a
+//! [`BuiltSystem`]: it builds the system for a [`Scenario`], translates
+//! every fault event into concrete `World` operations (crash schedules,
+//! link flaps, spec rewrites, PM slowdowns), interleaves them with the
+//! client workload, and renders a [`Verdict`]. Everything is derived from
+//! the scenario seed, so the same `(Scenario, FaultPlan)` pair always
+//! produces the same verdict — the property the shrinker and the
+//! campaign's determinism digest rely on.
+
+use pmnet_core::audit;
+use pmnet_core::client::ClientLib;
+use pmnet_core::device::PmnetDevice;
+use pmnet_core::server::ServerLib;
+use pmnet_core::system::{BuiltSystem, DesignPoint, MicroSource, SystemBuilder};
+use pmnet_core::SystemConfig;
+use pmnet_net::Addr;
+use pmnet_sim::{Dur, NodeId, Time};
+use pmnet_workloads::KvHandler;
+
+use crate::plan::{Fault, FaultPlan, LinkTarget};
+
+/// The workload and system a plan is executed against. Everything needed
+/// to rebuild the run bit-identically lives here (plus the plan itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// The system design under test.
+    pub design: DesignPoint,
+    /// Seed for the world and the workload.
+    pub seed: u64,
+    /// Number of clients.
+    pub clients: usize,
+    /// Update requests each client issues.
+    pub requests_per_client: usize,
+    /// Update payload size in bytes.
+    pub payload_bytes: usize,
+    /// Plant the deliberate dedup bug (`ServerLib::with_dedup_disabled`)
+    /// on the primary — used to prove the harness catches real
+    /// protocol-level defects.
+    pub plant_dedup_bug: bool,
+    /// Wall-clock (simulated) budget for the run.
+    pub deadline: Dur,
+    /// Extra settling time after the clients finish (or the deadline
+    /// passes) before invariants are checked.
+    pub drain: Dur,
+}
+
+impl Scenario {
+    /// The standard chaos workload: small, but with enough concurrency
+    /// and requests that loss, reordering and crashes all have protocol
+    /// state to interfere with.
+    pub fn standard(design: DesignPoint, seed: u64) -> Scenario {
+        Scenario {
+            design,
+            seed,
+            clients: 3,
+            requests_per_client: 40,
+            payload_bytes: 64,
+            plant_dedup_bug: false,
+            deadline: Dur::millis(200),
+            drain: Dur::millis(20),
+        }
+    }
+
+    /// Returns a copy with the dedup bug planted.
+    pub fn with_dedup_bug(mut self) -> Scenario {
+        self.plant_dedup_bug = true;
+        self
+    }
+
+    /// Builds the system this scenario describes (clients wired up, bug
+    /// planted if requested) without running anything.
+    pub fn build(&self) -> BuiltSystem {
+        let config = SystemConfig {
+            // Tight enough that a lost packet is retried well within the
+            // deadline, loose enough not to fire during normal operation.
+            client_timeout: Dur::millis(2),
+            ..SystemConfig::default()
+        };
+        let mut b = SystemBuilder::new(self.design, config);
+        for _ in 0..self.clients {
+            b = b.client(Box::new(MicroSource::updates(
+                self.requests_per_client,
+                self.payload_bytes,
+            )));
+        }
+        b = b.handler_factory(|| Box::new(KvHandler::new("btree", 5)));
+        if self.plant_dedup_bug {
+            b = b.map_server(ServerLib::with_dedup_disabled);
+        }
+        b.build(self.seed)
+    }
+}
+
+/// The outcome of one `(Scenario, FaultPlan)` execution. `PartialEq` over
+/// verdicts is exact, so campaign determinism can be asserted directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// Human-readable invariant violations (empty iff `passed`).
+    pub violations: Vec<String>,
+    /// Clients that finished their workload.
+    pub finished_clients: usize,
+    /// Acknowledged updates checked against the audit log.
+    pub acked: usize,
+    /// Updates the server applied (including redo).
+    pub applied: u64,
+    /// Redo (recovery replay) applies.
+    pub redo_applied: u64,
+    /// Duplicates the server's dedup filter absorbed.
+    pub duplicates_dropped: u64,
+    /// Corrupt packets dropped by verification, summed over the server
+    /// and every PMNet device.
+    pub corrupt_dropped: u64,
+    /// Client retransmission rounds.
+    pub client_retries: u64,
+    /// Simulated end time of the run, in nanoseconds.
+    pub end_ns: u64,
+}
+
+impl Verdict {
+    /// A stable one-line rendering used for campaign digests and logs.
+    pub fn digest_line(&self) -> String {
+        format!(
+            "passed={} violations={} finished={} acked={} applied={} redo={} dups={} corrupt={} retries={} end={}",
+            self.passed,
+            self.violations.len(),
+            self.finished_clients,
+            self.acked,
+            self.applied,
+            self.redo_applied,
+            self.duplicates_dropped,
+            self.corrupt_dropped,
+            self.client_retries,
+            self.end_ns,
+        )
+    }
+}
+
+/// A fault event lowered onto concrete world objects, scheduled at an
+/// absolute time. Burst-type faults lower to an apply/revert pair.
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    Link {
+        a: NodeId,
+        b: NodeId,
+        up: bool,
+    },
+    Drop {
+        a: NodeId,
+        b: NodeId,
+        prob: f64,
+    },
+    Duplicate {
+        a: NodeId,
+        b: NodeId,
+        prob: f64,
+    },
+    Reorder {
+        a: NodeId,
+        b: NodeId,
+        prob: f64,
+        extra: Dur,
+    },
+    Corrupt {
+        a: NodeId,
+        b: NodeId,
+        prob: f64,
+    },
+    Slowdown {
+        dev: NodeId,
+        factor: u32,
+    },
+}
+
+fn resolve_link(sys: &BuiltSystem, link: LinkTarget) -> Option<(NodeId, NodeId)> {
+    match link {
+        LinkTarget::Access(i) => sys.clients.get(i).map(|&c| (c, sys.merge)),
+        LinkTarget::Backbone(i) => {
+            if i + 1 < sys.path.len() {
+                Some((sys.path[i], sys.path[i + 1]))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Lowers the plan onto the built system: crashes are scheduled directly
+/// on the world; link and PM impairments become a time-sorted action list
+/// the run loop applies as the clock passes them. Events naming a node or
+/// link the topology doesn't have are ignored — a plan written for a
+/// bigger system degrades to fewer faults, never a panic.
+fn lower_plan(sys: &mut BuiltSystem, plan: &FaultPlan) -> Vec<(Time, Act)> {
+    let mut acts: Vec<(Time, Act)> = Vec::new();
+    for e in &plan.events {
+        let at = Time::ZERO + e.at;
+        match e.fault {
+            Fault::ServerCrash { downtime } => {
+                let server = sys.server;
+                sys.world.schedule_crash(server, at, downtime);
+            }
+            Fault::DeviceCrash { device, downtime } => {
+                if let Some(&dev) = sys.devices.get(device) {
+                    sys.world.schedule_crash(dev, at, downtime);
+                }
+            }
+            Fault::ClientCrash { client, downtime } => {
+                if let Some(&c) = sys.clients.get(client) {
+                    sys.world.schedule_crash(c, at, downtime);
+                }
+            }
+            Fault::LinkFlap { link, down_for } => {
+                if let Some((a, b)) = resolve_link(sys, link) {
+                    acts.push((at, Act::Link { a, b, up: false }));
+                    acts.push((at + down_for, Act::Link { a, b, up: true }));
+                }
+            }
+            Fault::DropBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                if let Some((a, b)) = resolve_link(sys, link) {
+                    let prob = f64::from(permille) / 1000.0;
+                    acts.push((at, Act::Drop { a, b, prob }));
+                    acts.push((at + dur, Act::Drop { a, b, prob: 0.0 }));
+                }
+            }
+            Fault::DuplicateBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                if let Some((a, b)) = resolve_link(sys, link) {
+                    let prob = f64::from(permille) / 1000.0;
+                    acts.push((at, Act::Duplicate { a, b, prob }));
+                    acts.push((at + dur, Act::Duplicate { a, b, prob: 0.0 }));
+                }
+            }
+            Fault::ReorderBurst {
+                link,
+                permille,
+                extra,
+                dur,
+            } => {
+                if let Some((a, b)) = resolve_link(sys, link) {
+                    let prob = f64::from(permille) / 1000.0;
+                    acts.push((at, Act::Reorder { a, b, prob, extra }));
+                    acts.push((
+                        at + dur,
+                        Act::Reorder {
+                            a,
+                            b,
+                            prob: 0.0,
+                            extra: Dur::ZERO,
+                        },
+                    ));
+                }
+            }
+            Fault::CorruptBurst {
+                link,
+                permille,
+                dur,
+            } => {
+                if let Some((a, b)) = resolve_link(sys, link) {
+                    let prob = f64::from(permille) / 1000.0;
+                    acts.push((at, Act::Corrupt { a, b, prob }));
+                    acts.push((at + dur, Act::Corrupt { a, b, prob: 0.0 }));
+                }
+            }
+            Fault::PmSpike {
+                device,
+                factor,
+                dur,
+            } => {
+                if let Some(&dev) = sys.devices.get(device) {
+                    let factor = factor.max(1);
+                    acts.push((at, Act::Slowdown { dev, factor }));
+                    acts.push((at + dur, Act::Slowdown { dev, factor: 1 }));
+                }
+            }
+        }
+    }
+    // Stable by time: simultaneous apply/revert pairs keep plan order.
+    acts.sort_by_key(|&(t, _)| t);
+    acts
+}
+
+fn apply_act(sys: &mut BuiltSystem, act: Act) {
+    match act {
+        Act::Link { a, b, up } => sys.world.set_link_up(a, b, up),
+        Act::Drop { a, b, prob } => sys
+            .world
+            .update_link_spec(a, b, move |s| s.with_drop_prob(prob)),
+        Act::Duplicate { a, b, prob } => sys
+            .world
+            .update_link_spec(a, b, move |s| s.with_duplicate_prob(prob)),
+        Act::Reorder { a, b, prob, extra } => sys
+            .world
+            .update_link_spec(a, b, move |s| s.with_reordering(prob, extra)),
+        Act::Corrupt { a, b, prob } => sys
+            .world
+            .update_link_spec(a, b, move |s| s.with_corrupt_prob(prob)),
+        Act::Slowdown { dev, factor } => sys
+            .world
+            .node_mut::<PmnetDevice>(dev)
+            .set_pm_slowdown(factor),
+    }
+}
+
+fn gather_acked(sys: &BuiltSystem) -> Vec<(Addr, u16, u32)> {
+    let mut acked = Vec::new();
+    for &c in &sys.clients {
+        let client = sys.world.node::<ClientLib>(c);
+        let addr = client.client_addr();
+        for &(session, seq) in client.acked_updates() {
+            acked.push((addr, session, seq));
+        }
+    }
+    acked
+}
+
+/// Runs `plan` against a fresh system built for `scenario` and checks the
+/// invariants:
+///
+/// 1. **Durability** — `audit::verify`: per-session apply order, no
+///    duplicate application, and no acknowledged update missing from the
+///    application log (across crashes).
+/// 2. **Liveness** — if the plan is transient (every fault heals), every
+///    client must finish its workload before the deadline; a wedged
+///    protocol shows up here instead of hanging the harness.
+pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
+    let mut sys = scenario.build();
+    let acts = lower_plan(&mut sys, plan);
+
+    for &c in &sys.clients.clone() {
+        sys.world.start_node(c);
+    }
+    let end = Time::ZERO + scenario.deadline;
+    let slice = Dur::millis(1);
+    let mut cursor = sys.world.now();
+    let mut next_act = 0;
+    while cursor < end {
+        let mut stop = (cursor + slice).min(end);
+        if let Some(&(t, _)) = acts.get(next_act) {
+            stop = stop.min(t.max(cursor));
+        }
+        sys.world.run_until(stop);
+        cursor = stop;
+        while let Some(&(t, act)) = acts.get(next_act) {
+            if t > cursor {
+                break;
+            }
+            apply_act(&mut sys, act);
+            next_act += 1;
+        }
+        if next_act == acts.len() {
+            let all_done = sys
+                .clients
+                .iter()
+                .all(|&c| sys.world.node::<ClientLib>(c).is_finished());
+            if all_done || sys.world.pending_events() == 0 {
+                break;
+            }
+        }
+    }
+    // Settle: let trailing ACKs, recovery replay and GC traffic finish.
+    sys.world.run_for(scenario.drain);
+
+    let mut violations = Vec::new();
+    let acked = gather_acked(&sys);
+    let server = sys.world.node::<ServerLib>(sys.server);
+    let (applied, redo_applied) = match audit::verify(server.audit_log(), &acked) {
+        Ok(report) => (report.applied as u64, report.redo as u64),
+        Err(vs) => {
+            for v in &vs {
+                violations.push(format!("audit: {v}"));
+            }
+            let redo = server.counters().redo_applied;
+            (server.counters().updates_applied, redo)
+        }
+    };
+
+    let mut finished_clients = 0;
+    for (i, &c) in sys.clients.iter().enumerate() {
+        let client = sys.world.node::<ClientLib>(c);
+        if client.is_finished() {
+            finished_clients += 1;
+        } else if plan.is_transient() {
+            violations.push(format!(
+                "liveness: client {i} finished only {}/{} requests under a \
+                 transient plan",
+                client.records().len(),
+                scenario.requests_per_client,
+            ));
+        }
+    }
+
+    let counters = server.counters();
+    let mut corrupt_dropped = counters.corrupt_dropped;
+    for &d in &sys.devices {
+        corrupt_dropped += sys.world.node::<PmnetDevice>(d).counters().corrupt_dropped;
+    }
+    let client_retries = sys
+        .clients
+        .iter()
+        .map(|&c| {
+            let client = sys.world.node::<ClientLib>(c);
+            client
+                .records()
+                .iter()
+                .map(|r| u64::from(r.retries))
+                .sum::<u64>()
+        })
+        .sum();
+
+    Verdict {
+        passed: violations.is_empty(),
+        violations,
+        finished_clients,
+        acked: acked.len(),
+        applied,
+        redo_applied,
+        duplicates_dropped: counters.duplicates_dropped,
+        corrupt_dropped,
+        client_retries,
+        end_ns: sys.world.now().as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    #[test]
+    fn fault_free_plan_passes_everywhere() {
+        for design in [
+            DesignPoint::PmnetSwitch,
+            DesignPoint::PmnetNic,
+            DesignPoint::ClientServer,
+        ] {
+            let v = run(&Scenario::standard(design, 11), &FaultPlan::new());
+            assert!(v.passed, "{design:?}: {:?}", v.violations);
+            assert_eq!(v.finished_clients, 3, "{design:?}");
+            assert_eq!(v.acked, 120, "{design:?}");
+        }
+    }
+
+    #[test]
+    fn same_inputs_give_identical_verdicts() {
+        let scenario = Scenario::standard(DesignPoint::PmnetSwitch, 21);
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(200),
+            Fault::DropBurst {
+                link: LinkTarget::Backbone(1),
+                permille: 300,
+                dur: Dur::micros(300),
+            },
+        );
+        plan.push(
+            Dur::millis(1),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        let a = run(&scenario, &plan);
+        let b = run(&scenario, &plan);
+        assert_eq!(a, b);
+        assert!(a.passed, "{:?}", a.violations);
+    }
+
+    #[test]
+    fn server_crash_forces_redo_replay() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(400),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        let v = run(&Scenario::standard(DesignPoint::PmnetSwitch, 31), &plan);
+        assert!(v.passed, "{:?}", v.violations);
+        assert!(v.redo_applied > 0, "recovery must replay from device PM");
+    }
+
+    #[test]
+    fn corrupt_burst_is_detected_and_repaired() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(100),
+            Fault::CorruptBurst {
+                link: LinkTarget::Backbone(0),
+                permille: 200,
+                dur: Dur::micros(400),
+            },
+        );
+        let v = run(&Scenario::standard(DesignPoint::PmnetSwitch, 41), &plan);
+        assert!(v.passed, "{:?}", v.violations);
+        assert!(
+            v.corrupt_dropped > 0,
+            "corruption must be caught, not absorbed"
+        );
+    }
+
+    #[test]
+    fn client_crash_with_restart_stays_live() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(300),
+            Fault::ClientCrash {
+                client: 1,
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        let v = run(&Scenario::standard(DesignPoint::PmnetSwitch, 51), &plan);
+        assert!(v.passed, "{:?}", v.violations);
+        assert_eq!(v.finished_clients, 3);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_ignored() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(100),
+            Fault::DeviceCrash {
+                device: 7,
+                downtime: Some(Dur::micros(500)),
+            },
+        );
+        plan.push(
+            Dur::micros(150),
+            Fault::LinkFlap {
+                link: LinkTarget::Backbone(99),
+                down_for: Dur::micros(100),
+            },
+        );
+        let v = run(&Scenario::standard(DesignPoint::ClientServer, 61), &plan);
+        assert!(v.passed, "{:?}", v.violations);
+    }
+
+    #[test]
+    fn planted_dedup_bug_is_caught_under_duplication() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(50),
+            Fault::DuplicateBurst {
+                link: LinkTarget::Backbone(0),
+                permille: 500,
+                dur: Dur::millis(2),
+            },
+        );
+        let scenario = Scenario::standard(DesignPoint::PmnetSwitch, 71).with_dedup_bug();
+        let v = run(&scenario, &plan);
+        assert!(!v.passed, "the planted bug must fail the audit");
+        assert!(
+            v.violations.iter().any(|s| s.contains("audit:")),
+            "{:?}",
+            v.violations
+        );
+        // The control run without the bug passes the same plan.
+        let control = run(&Scenario::standard(DesignPoint::PmnetSwitch, 71), &plan);
+        assert!(control.passed, "{:?}", control.violations);
+    }
+}

@@ -1,0 +1,202 @@
+//! Delta-debugging (ddmin) reduction of failing fault plans.
+//!
+//! When a campaign finds a plan that violates an invariant, the raw plan
+//! usually mixes the one or two events that matter with harmless noise.
+//! [`ddmin`] deletes events while the failure reproduces, converging on a
+//! 1-minimal plan: removing any single remaining event makes the failure
+//! disappear. Because runs are deterministic (see [`crate::runner::run`]),
+//! the oracle never flakes and the reduction is itself reproducible.
+
+use crate::plan::FaultPlan;
+use crate::runner::{run, Scenario, Verdict};
+
+/// Statistics of one shrink, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Oracle executions spent.
+    pub tests: usize,
+    /// Events in the original plan.
+    pub from_events: usize,
+    /// Events in the minimized plan.
+    pub to_events: usize,
+}
+
+/// Reduces `plan` to a 1-minimal failing plan using the classic ddmin
+/// algorithm. `still_fails` is the oracle: it must return `true` for the
+/// input plan (asserted) and for any plan that reproduces the failure.
+pub fn ddmin<F: FnMut(&FaultPlan) -> bool>(
+    plan: &FaultPlan,
+    mut still_fails: F,
+) -> (FaultPlan, ShrinkStats) {
+    let mut tests = 0;
+    let mut oracle = |p: &FaultPlan| {
+        tests += 1;
+        still_fails(p)
+    };
+    assert!(
+        oracle(plan),
+        "ddmin needs a failing input plan (the oracle returned false)"
+    );
+    let mut cur = plan.clone();
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let len = cur.len();
+        n = n.min(len);
+        let chunk = len.div_ceil(n);
+
+        // A failing smaller plan keeping chunk `i` (subset step) or
+        // dropping it (complement step), if one exists.
+        let mut first_failing = |complement: bool| {
+            (0..n).find_map(|i| {
+                let lo = i * chunk;
+                let hi = (lo + chunk).min(len);
+                if lo >= hi {
+                    return None;
+                }
+                let mut keep = vec![complement; len];
+                keep[lo..hi].fill(!complement);
+                let candidate = cur.subset(&keep);
+                (candidate.len() < len && oracle(&candidate)).then_some(candidate)
+            })
+        };
+
+        // Try each chunk alone: does a small subset already fail?
+        if let Some(candidate) = first_failing(false) {
+            cur = candidate;
+            n = 2;
+            continue;
+        }
+
+        // Try each complement: can one chunk be deleted?
+        if let Some(candidate) = first_failing(true) {
+            cur = candidate;
+            n = (n - 1).max(2);
+            continue;
+        }
+
+        if n >= len {
+            break; // 1-minimal: no single chunk (of any granularity) is removable.
+        }
+        n = (n * 2).min(len);
+    }
+    let stats = ShrinkStats {
+        tests,
+        from_events: plan.len(),
+        to_events: cur.len(),
+    };
+    (cur, stats)
+}
+
+/// Shrinks a plan that fails under `scenario`, using "the verdict does not
+/// pass" as the oracle. Returns the minimal plan, its (failing) verdict,
+/// and shrink statistics.
+pub fn shrink_failure(scenario: &Scenario, plan: &FaultPlan) -> (FaultPlan, Verdict, ShrinkStats) {
+    let (minimal, stats) = ddmin(plan, |p| !run(scenario, p).passed);
+    let verdict = run(scenario, &minimal);
+    debug_assert!(!verdict.passed, "minimized plan must still fail");
+    (minimal, verdict, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Fault, LinkTarget};
+    use pmnet_sim::Dur;
+
+    /// A synthetic oracle: the plan "fails" iff it contains both marker
+    /// events (a flap on backbone 0 and a server crash), regardless of
+    /// the noise around them.
+    fn needs_pair(p: &FaultPlan) -> bool {
+        let has_flap = p.events.iter().any(|e| {
+            matches!(
+                e.fault,
+                Fault::LinkFlap {
+                    link: LinkTarget::Backbone(0),
+                    ..
+                }
+            )
+        });
+        let has_crash = p
+            .events
+            .iter()
+            .any(|e| matches!(e.fault, Fault::ServerCrash { .. }));
+        has_flap && has_crash
+    }
+
+    fn noisy_plan() -> FaultPlan {
+        let mut p = FaultPlan::new();
+        for i in 0..6 {
+            p.push(
+                Dur::micros(10 + i * 10),
+                Fault::DropBurst {
+                    link: LinkTarget::Access(i as usize % 3),
+                    permille: 100,
+                    dur: Dur::micros(50),
+                },
+            );
+        }
+        p.push(
+            Dur::micros(35),
+            Fault::LinkFlap {
+                link: LinkTarget::Backbone(0),
+                down_for: Dur::micros(40),
+            },
+        );
+        p.push(
+            Dur::micros(75),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn ddmin_finds_the_minimal_pair() {
+        let plan = noisy_plan();
+        let (minimal, stats) = ddmin(&plan, needs_pair);
+        assert_eq!(minimal.len(), 2, "exactly the two markers: {minimal}");
+        assert!(needs_pair(&minimal));
+        assert_eq!(stats.from_events, 8);
+        assert_eq!(stats.to_events, 2);
+        assert!(stats.tests > 1);
+    }
+
+    #[test]
+    fn ddmin_on_single_event_plan_returns_it() {
+        let mut p = FaultPlan::new();
+        p.push(
+            Dur::micros(1),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        let (minimal, _) = ddmin(&p, |plan| {
+            plan.events
+                .iter()
+                .any(|e| matches!(e.fault, Fault::ServerCrash { .. }))
+        });
+        assert_eq!(minimal, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "failing input plan")]
+    fn ddmin_rejects_a_passing_input() {
+        let p = noisy_plan();
+        let _ = ddmin(&p, |_| false);
+    }
+
+    #[test]
+    fn ddmin_result_is_one_minimal() {
+        let plan = noisy_plan();
+        let (minimal, _) = ddmin(&plan, needs_pair);
+        for i in 0..minimal.len() {
+            let mut keep = vec![true; minimal.len()];
+            keep[i] = false;
+            assert!(
+                !needs_pair(&minimal.subset(&keep)),
+                "event {i} is removable — not 1-minimal"
+            );
+        }
+    }
+}

@@ -143,9 +143,13 @@ pub struct ClientLib {
     serial: u64,
     outstanding: Option<Outstanding>,
     records: Vec<CompletionRecord>,
-    acked_update_seqs: Vec<u32>,
+    acked_updates: Vec<(u16, u32)>,
     warmup: usize,
     finished: bool,
+    alive: bool,
+    /// Times this client has been power-cycled (observability for chaos
+    /// liveness checks).
+    crashes: u32,
 }
 
 impl ClientLib {
@@ -177,10 +181,17 @@ impl ClientLib {
             serial: 0,
             outstanding: None,
             records: Vec::new(),
-            acked_update_seqs: Vec::new(),
+            acked_updates: Vec::new(),
             warmup: 0,
             finished: false,
+            alive: true,
+            crashes: 0,
         }
+    }
+
+    /// Times this client has been power-cycled.
+    pub fn crashes(&self) -> u32 {
+        self.crashes
     }
 
     /// Uses TCP framing/costs for this client's traffic (baseline Redis /
@@ -223,10 +234,11 @@ impl ClientLib {
         self.addr
     }
 
-    /// Sequence numbers of every acknowledged update packet (audit input;
-    /// one entry per fragment).
-    pub fn acked_update_seqs(&self) -> &[u32] {
-        &self.acked_update_seqs
+    /// `(session, seq)` of every acknowledged update packet (audit input;
+    /// one entry per fragment). Session-qualified because a restarted
+    /// client opens a fresh session (see [`Msg::Restore`] handling).
+    pub fn acked_updates(&self) -> &[(u16, u32)] {
+        &self.acked_updates
     }
 
     /// A histogram of post-warm-up latencies, optionally filtered by kind.
@@ -360,8 +372,8 @@ impl ClientLib {
         }
         let out = self.outstanding.take().expect("request_done checked");
         if out.req.kind == RequestKind::Update {
-            self.acked_update_seqs
-                .extend(out.frags.iter().map(|f| f.header.seq));
+            self.acked_updates
+                .extend(out.frags.iter().map(|f| (f.header.session, f.header.seq)));
         }
         let latency = ctx.now() - out.issued_at + self.profile.app_overhead;
         self.records.push(CompletionRecord {
@@ -403,7 +415,8 @@ impl ClientLib {
                         self.server,
                         i as u16,
                         cnt,
-                    );
+                    )
+                    .with_payload(chunk);
                     frags.push(FragState {
                         header,
                         payload: req.payload.slice(i * max_frag..i * max_frag + chunk.len()),
@@ -428,7 +441,8 @@ impl ClientLib {
                     self.server,
                     0,
                     1,
-                );
+                )
+                .with_payload(&req.payload);
                 frags.push(FragState {
                     header,
                     payload: req.payload.clone(),
@@ -485,8 +499,12 @@ impl ClientLib {
         match header.ptype {
             PacketType::PmnetAck => {
                 for f in &mut out.frags {
+                    // The echoed hash doubles as an integrity check: a bit
+                    // flipped in the ACK's identity fields (or the hash
+                    // itself) breaks the match and the ACK is ignored.
                     if f.header.seq == header.seq
                         && f.header.session == header.session
+                        && f.header.hash == header.hash
                         && f.header.ptype == PacketType::UpdateReq
                     {
                         if header.device_id >= PEER_LOGGER_ID_BASE {
@@ -501,6 +519,7 @@ impl ClientLib {
                 for f in &mut out.frags {
                     if f.header.seq == header.seq
                         && f.header.session == header.session
+                        && f.header.hash == header.hash
                         && f.header.ptype == PacketType::UpdateReq
                     {
                         f.server_acked = true;
@@ -510,7 +529,9 @@ impl ClientLib {
             PacketType::AppReply | PacketType::CacheResp
                 if out.req.kind == RequestKind::Bypass
                     && out.frags.first().is_some_and(|f| {
-                        f.header.seq == header.seq && f.header.session == header.session
+                        f.header.seq == header.seq
+                            && f.header.session == header.session
+                            && f.header.hash == header.hash
                     }) =>
             {
                 out.reply = Some(payload);
@@ -521,7 +542,11 @@ impl ClientLib {
                 let frag: Option<(PmnetHeader, Bytes)> = out
                     .frags
                     .iter()
-                    .find(|f| f.header.seq == header.seq && f.header.session == header.session)
+                    .find(|f| {
+                        f.header.seq == header.seq
+                            && f.header.session == header.session
+                            && f.header.hash == header.hash
+                    })
                     .map(|f| (f.header, f.payload.clone()));
                 if let Some((h, p)) = frag {
                     let delay = self.tx_delay(ctx, p.len() as u32);
@@ -537,6 +562,42 @@ impl ClientLib {
 
 impl Node for ClientLib {
     fn on_msg(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        match msg {
+            // Idempotent power transitions: a second crash inside an
+            // existing downtime window (overlapping fault schedules) must
+            // not count another crash, and a stray restore while running
+            // must not reset the session mid-flight.
+            Msg::Crash if !self.alive => return,
+            Msg::Restore if self.alive => return,
+            Msg::Crash => {
+                self.alive = false;
+                self.crashes += 1;
+                // The in-flight request and its volatile retry state are
+                // lost. Completion and ACK records model results already
+                // handed to the application (and audited as acknowledged),
+                // so they survive the restart.
+                self.outstanding = None;
+                return;
+            }
+            Msg::Restore => {
+                self.alive = true;
+                // A restarted application opens a fresh session (Table I:
+                // `PMNet_start_session`): the crash may have abandoned an
+                // unsent sequence number, and the server must not wait on
+                // that hole forever. Striding by 1000 keeps restarted
+                // sessions from colliding with other clients' (which are
+                // small indices).
+                self.session = self.session.wrapping_add(1000);
+                self.update_seq = 0;
+                self.bypass_seq = 0;
+                // Resume the workload with the next request; the one that
+                // was in flight at the crash is abandoned.
+                self.issue_next(ctx);
+                return;
+            }
+            _ if !self.alive => return,
+            _ => {}
+        }
         match msg {
             Msg::Start => self.issue_next(ctx),
             Msg::Packet { port, packet } if port == POST_STACK => {
@@ -556,7 +617,10 @@ impl Node for ClientLib {
                 );
             }
             Msg::Timer(Timer { kind, a, .. }) => match kind {
-                TIMER_NEXT => self.issue_next(ctx),
+                // Guarded so a timer from before a crash can't double-issue
+                // after the restart re-primed the loop.
+                TIMER_NEXT if self.outstanding.is_none() && !self.finished => self.issue_next(ctx),
+                TIMER_NEXT => {}
                 TIMER_TIMEOUT => {
                     if let Some(out) = &mut self.outstanding {
                         if out.serial == a {
@@ -638,8 +702,8 @@ mod tests {
             Dur::millis(10),
             Box::new(FixedSource::updates(1, 4000)),
         );
-        // 1500 - 42 - 20 = 1438 per fragment -> 3 fragments for 4000 B.
-        assert_eq!(c.max_fragment_payload(), 1438);
+        // 1500 - 42 - 24 = 1434 per fragment -> 3 fragments for 4000 B.
+        assert_eq!(c.max_fragment_payload(), 1434);
         // Drive issue_next through a world in the integration tests; here
         // just check the arithmetic.
         assert_eq!(4000usize.div_ceil(c.max_fragment_payload()), 3);

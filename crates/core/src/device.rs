@@ -43,6 +43,9 @@ pub struct DeviceCounters {
     pub cache_responses: u64,
     /// Packets dropped for lack of a route.
     pub unroutable: u64,
+    /// PMNet requests dropped because the header hash or payload CRC
+    /// failed to verify (a bit flipped in flight).
+    pub corrupt_dropped: u64,
 }
 
 /// The PMNet device node.
@@ -103,6 +106,12 @@ impl PmnetDevice {
         self.counters
     }
 
+    /// Degrades (or restores, with `1`) the log PM's speed by `factor` —
+    /// a chaos-injection hook modeling a misbehaving module.
+    pub fn set_pm_slowdown(&mut self, factor: u32) {
+        self.log.pm_mut().set_slowdown(factor);
+    }
+
     /// Log counters.
     pub fn log_counters(&self) -> crate::logstore::LogCounters {
         self.log.counters()
@@ -157,6 +166,16 @@ impl PmnetDevice {
         payload: Bytes,
         packet: Packet,
     ) {
+        // A corrupted request must never be logged or acknowledged — an
+        // ACK would tell the client the update is persistent while the log
+        // holds (and would replay) a poisoned entry. Treat it as loss; the
+        // client's timeout resend repairs it. Redo resends skip the check
+        // here (they were verified when first logged) and are re-verified
+        // at the server.
+        if !header.is_redo() && !header.verify(packet.dst, &payload) {
+            self.counters.corrupt_dropped += 1;
+            return;
+        }
         // Egress: forward to the destination server immediately; logging
         // happens in parallel (Figure 3, steps 2–3).
         let server = packet.dst;
@@ -246,6 +265,12 @@ impl PmnetDevice {
     }
 
     fn handle_retrans(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        // A corrupted hash would address the wrong log entry; the server's
+        // gap timer re-arms and retransmits the request.
+        if !header.verify(packet.src, &[]) {
+            self.counters.corrupt_dropped += 1;
+            return;
+        }
         if let Some(entry) = self.log.lookup_for_retrans(header.hash) {
             // Serve the retransmission from the log and drop the request.
             let mut h = entry.header;
@@ -271,6 +296,10 @@ impl PmnetDevice {
         payload: Bytes,
         packet: Packet,
     ) {
+        if !header.verify(packet.dst, &payload) {
+            self.counters.corrupt_dropped += 1;
+            return;
+        }
         if let Some(cache) = &mut self.cache {
             if let Some(KvFrame::Get { key }) = KvFrame::decode(&payload) {
                 if let Some(value) = cache.lookup(&key) {
@@ -440,6 +469,10 @@ impl Node for PmnetDevice {
                     _ => {}
                 }
             }
+            // Idempotent power transitions (see the server note): a second
+            // crash inside an existing downtime window is a no-op.
+            Msg::Crash if !self.alive => {}
+            Msg::Restore if self.alive => {}
             Msg::Crash => {
                 self.alive = false;
                 self.epoch += 1;
@@ -496,7 +529,8 @@ mod tests {
     }
 
     fn update_packet(seq: u32, payload: &[u8]) -> (PmnetHeader, Packet) {
-        let h = PmnetHeader::request(PacketType::UpdateReq, 1, seq, Addr(1), Addr(9), 0, 1);
+        let h = PmnetHeader::request(PacketType::UpdateReq, 1, seq, Addr(1), Addr(9), 0, 1)
+            .with_payload(payload);
         let p = Packet::udp(Addr(1), Addr(9), 51001, 51000, h.encode(payload));
         (h, p)
     }
@@ -645,7 +679,8 @@ mod tests {
             key: b"k".to_vec(),
             value: b"v".to_vec(),
         };
-        let h = PmnetHeader::request(PacketType::UpdateReq, 1, 1, Addr(1), Addr(9), 0, 1);
+        let h = PmnetHeader::request(PacketType::UpdateReq, 1, 1, Addr(1), Addr(9), 0, 1)
+            .with_payload(&set.encode());
         w.inject(
             client,
             Packet::udp(Addr(1), Addr(9), 51001, 51000, h.encode(&set.encode())),
@@ -653,7 +688,8 @@ mod tests {
         w.run_for(pmnet_sim::Dur::millis(5));
         // GET k as a bypass: the device must answer from the cache.
         let get = KvFrame::Get { key: b"k".to_vec() };
-        let h2 = PmnetHeader::request(PacketType::BypassReq, 1, 1, Addr(1), Addr(9), 0, 1);
+        let h2 = PmnetHeader::request(PacketType::BypassReq, 1, 1, Addr(1), Addr(9), 0, 1)
+            .with_payload(&get.encode());
         w.inject(
             client,
             Packet::udp(Addr(1), Addr(9), 51001, 51000, h2.encode(&get.encode())),

@@ -120,7 +120,13 @@ impl LogStore {
         self.used_bytes
     }
 
-    /// Activity counters.
+    /// Mutable access to the PM timing model (fault injection: latency
+    /// spikes via [`PmDevice::set_slowdown`]).
+    pub fn pm_mut(&mut self) -> &mut PmDevice {
+        &mut self.pm
+    }
+
+    /// Log access counters.
     pub fn counters(&self) -> LogCounters {
         self.counters
     }

@@ -25,7 +25,7 @@ pub fn is_pmnet_port(port: u16) -> bool {
 }
 
 /// Encoded size of a [`PmnetHeader`] in bytes.
-pub const HEADER_LEN: usize = 20;
+pub const HEADER_LEN: usize = 24;
 
 /// Flag bit: this packet is a redo resend from a device log (recovery).
 pub const FLAG_REDO: u8 = 0x10;
@@ -82,6 +82,11 @@ pub struct PmnetHeader {
     pub seq: u32,
     /// CRC-32 identifying this request packet; the device's log index.
     pub hash: u32,
+    /// CRC-32 of the request payload (zero when there is none). `hash`
+    /// cannot cover the payload — the server must be able to recompute it
+    /// from identity fields alone to address device log entries in
+    /// `Retrans` requests — so payload integrity gets its own checksum.
+    pub pcrc: u32,
     /// The client (requester) address; kept in the header because ACKs and
     /// redo resends must reference the original endpoint regardless of the
     /// packet's current src/dst.
@@ -112,6 +117,7 @@ impl PmnetHeader {
             session,
             seq,
             hash: 0,
+            pcrc: 0,
             client,
             frag_idx,
             frag_cnt,
@@ -119,6 +125,13 @@ impl PmnetHeader {
         };
         h.hash = h.compute_hash(server);
         h
+    }
+
+    /// Stamps the payload checksum onto a request header (builder style).
+    #[must_use]
+    pub fn with_payload(mut self, payload: &[u8]) -> PmnetHeader {
+        self.pcrc = crc32(payload);
+        self
     }
 
     /// The CRC-32 `HashVal` of this header (Section IV-A1): computed over
@@ -134,6 +147,22 @@ impl PmnetHeader {
         crc32(&buf)
     }
 
+    /// True if `payload` matches the stamped checksum. Headers derived for
+    /// ACKs travel without a payload; an empty payload is always accepted.
+    pub fn payload_ok(&self, payload: &[u8]) -> bool {
+        payload.is_empty() || self.pcrc == crc32(payload)
+    }
+
+    /// End-to-end integrity check at a receiver that knows the server
+    /// address this request was (or claims to have been) sent to: the
+    /// identity hash must recompute and the payload checksum must match.
+    /// A failure means a bit flipped in flight — the packet must be
+    /// dropped, and loss recovery (timeouts, device entry retries, gap
+    /// retransmissions) takes over.
+    pub fn verify(&self, server: Addr, payload: &[u8]) -> bool {
+        self.hash == self.compute_hash(server) && self.payload_ok(payload)
+    }
+
     /// Encodes the header followed by `payload` into a datagram body.
     pub fn encode(&self, payload: &[u8]) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
@@ -141,6 +170,7 @@ impl PmnetHeader {
         buf.put_u16_le(self.session);
         buf.put_u32_le(self.seq);
         buf.put_u32_le(self.hash);
+        buf.put_u32_le(self.pcrc);
         buf.put_u32_le(self.client.0);
         buf.put_u16_le(self.frag_idx);
         buf.put_u16_le(self.frag_cnt);
@@ -167,10 +197,11 @@ impl PmnetHeader {
             session: u16::from_le_bytes([body[1], body[2]]),
             seq: u32::from_le_bytes([body[3], body[4], body[5], body[6]]),
             hash: u32::from_le_bytes([body[7], body[8], body[9], body[10]]),
-            client: Addr(u32::from_le_bytes([body[11], body[12], body[13], body[14]])),
-            frag_idx: u16::from_le_bytes([body[15], body[16]]),
-            frag_cnt: u16::from_le_bytes([body[17], body[18]]),
-            device_id: body[19],
+            pcrc: u32::from_le_bytes([body[11], body[12], body[13], body[14]]),
+            client: Addr(u32::from_le_bytes([body[15], body[16], body[17], body[18]])),
+            frag_idx: u16::from_le_bytes([body[19], body[20]]),
+            frag_cnt: u16::from_le_bytes([body[21], body[22]]),
+            device_id: body[23],
         };
         Some((header, body.slice(HEADER_LEN..)))
     }

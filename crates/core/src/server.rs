@@ -148,6 +148,9 @@ pub struct ServerCounters {
     pub reordered: u64,
     /// Redo-flagged (recovery) updates applied.
     pub redo_applied: u64,
+    /// Requests dropped because the header hash or payload CRC failed to
+    /// verify (a bit flipped in flight).
+    pub corrupt_dropped: u64,
 }
 
 /// Recovery bookkeeping exposed to the harness (Section VI-B6).
@@ -213,6 +216,7 @@ pub struct ServerLib {
     pending_replication: HashMap<(Addr, u16, u32), ReplState>,
     // A replica in a replication chain: apply but never talk to clients.
     silent_commit: bool,
+    dedup_disabled: bool,
     audit: AuditLog,
 }
 
@@ -273,8 +277,19 @@ impl ServerLib {
             replicate_to: Vec::new(),
             pending_replication: HashMap::new(),
             silent_commit: false,
+            dedup_disabled: false,
             audit: AuditLog::new(),
         }
+    }
+
+    /// **Fault-injection hook**: disables the duplicate-suppression branch
+    /// so redo resends and duplicated packets are applied again. Exists so
+    /// invariant checkers (e.g. the `pmnet-chaos` harness) can prove they
+    /// catch exactly-once violations; never enable it in a real run.
+    #[must_use]
+    pub fn with_dedup_disabled(mut self) -> ServerLib {
+        self.dedup_disabled = true;
+        self
     }
 
     /// Registers the PMNet devices to poll during recovery.
@@ -424,7 +439,7 @@ impl ServerLib {
         let key = (client, session);
         let expected = self.expected_seq(client, session);
         let seq = pending.header.seq;
-        if seq < expected {
+        if seq < expected && !self.dedup_disabled {
             // Duplicate or already-applied redo resend: drop and send a
             // make-up server-ACK so logs upstream get invalidated
             // (Section IV-E1 case 3).
@@ -664,10 +679,29 @@ impl ServerLib {
         );
     }
 
+    /// Integrity check for inbound requests. Replica copies arrive with
+    /// the header's `client` field rewritten to the primary (the hash is
+    /// deliberately left addressing the original request), so silent
+    /// replicas can only check the payload CRC; everyone else verifies
+    /// the full identity hash too.
+    fn verify_inbound(&self, header: &PmnetHeader, payload: &[u8]) -> bool {
+        if self.silent_commit {
+            header.payload_ok(payload)
+        } else {
+            header.verify(self.addr, payload)
+        }
+    }
+
     fn on_post_stack(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         let Some((header, payload)) = PmnetHeader::decode(&packet.payload) else {
             return;
         };
+        if matches!(header.ptype, PacketType::UpdateReq | PacketType::BypassReq)
+            && !self.verify_inbound(&header, &payload)
+        {
+            self.counters.corrupt_dropped += 1;
+            return;
+        }
         let pending = PendingPkt {
             header,
             payload,
@@ -685,8 +719,17 @@ impl ServerLib {
     fn on_kernel_stage(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         // Figure 17b early logging happens here, below user space.
         let decoded = PmnetHeader::decode(&packet.payload);
-        if let (Some(el), Some((header, _))) = (&mut self.early_log, &decoded) {
-            if header.ptype == PacketType::UpdateReq && !header.is_redo() {
+        if let (Some(el), Some((header, body))) = (&mut self.early_log, &decoded) {
+            // Never early-log a corrupted request: a poisoned log entry
+            // would be replayed verbatim on recovery. The packet still
+            // climbs the stack and is counted dropped at the post-stack
+            // check.
+            let clean = if self.silent_commit {
+                header.payload_ok(body)
+            } else {
+                header.verify(self.addr, body)
+            };
+            if header.ptype == PacketType::UpdateReq && !header.is_redo() && clean {
                 let persist_at = el.pm.schedule_write(ctx.now(), packet.wire_bytes());
                 let logger_id = el.logger_id;
                 let forward_to = el.forward_to.clone();
@@ -833,6 +876,11 @@ impl Node for ServerLib {
                     _ => {}
                 }
             }
+            // Power transitions are idempotent: overlapping crash windows
+            // (a second power cut while already dark) must not run crash or
+            // recovery handlers twice.
+            Msg::Crash if !self.alive => {}
+            Msg::Restore if self.alive => {}
             Msg::Crash => {
                 self.alive = false;
                 self.epoch += 1;

@@ -96,6 +96,12 @@ pub struct BuiltSystem {
     pub devices: Vec<NodeId>,
     /// Replica servers / peer loggers, if any.
     pub replicas: Vec<NodeId>,
+    /// The merge switch every client connects to.
+    pub merge: NodeId,
+    /// The backbone from the merge switch to the server, inclusive and in
+    /// order; consecutive pairs are the links on the client→server path.
+    /// Fault injectors (see `pmnet-chaos`) use this to aim link faults.
+    pub path: Vec<NodeId>,
 }
 
 /// Builds systems for a design point.
@@ -106,6 +112,7 @@ pub struct SystemBuilder {
     warmup: usize,
     sources: Vec<Box<dyn RequestSource>>,
     handler_factory: Box<dyn FnMut() -> Box<dyn RequestHandler>>,
+    map_server: Option<Box<dyn FnOnce(ServerLib) -> ServerLib>>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -127,7 +134,17 @@ impl SystemBuilder {
             warmup: 0,
             sources: Vec::new(),
             handler_factory: Box::new(|| Box::new(IdealHandler::new())),
+            map_server: None,
         }
+    }
+
+    /// Applies a final transformation to the **primary** server before it
+    /// is added to the world — e.g. planting a bug with
+    /// [`ServerLib::with_dedup_disabled`] so a checker can prove it
+    /// notices. Replicas are not affected.
+    pub fn map_server(mut self, f: impl FnOnce(ServerLib) -> ServerLib + 'static) -> SystemBuilder {
+        self.map_server = Some(Box::new(f));
+        self
     }
 
     /// Adds a client driven by `source`.
@@ -250,6 +267,9 @@ impl SystemBuilder {
                 }
                 _ => {}
             }
+            if let Some(f) = self.map_server.take() {
+                s = f(s);
+            }
             world.add_node(Box::new(s))
         };
 
@@ -261,6 +281,7 @@ impl SystemBuilder {
 
         // The path from merge switch to server, per design.
         let mut devices = Vec::new();
+        let mut path = vec![merge];
         match self.design {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetReplicated { .. } => {
                 let mut prev = merge;
@@ -273,9 +294,11 @@ impl SystemBuilder {
                     )));
                     world.connect(prev, dev, cfg.link);
                     devices.push(dev);
+                    path.push(dev);
                     prev = dev;
                 }
                 world.connect(prev, server, cfg.link);
+                path.push(server);
             }
             DesignPoint::PmnetNic => {
                 let tor = world.add_node(Box::new(Switch::new("tor")));
@@ -289,6 +312,7 @@ impl SystemBuilder {
                 world.connect(tor, dev, cfg.link);
                 world.connect(dev, server, cfg.link);
                 devices.push(dev);
+                path.extend([tor, dev, server]);
             }
             DesignPoint::ClientServer
             | DesignPoint::ClientServerReplicated { .. }
@@ -297,6 +321,7 @@ impl SystemBuilder {
                 let tor = world.add_node(Box::new(Switch::new("tor")));
                 world.connect(merge, tor, cfg.link);
                 world.connect(tor, server, cfg.link);
+                path.extend([tor, server]);
                 // Attach replicas / peer loggers.
                 match self.design {
                     DesignPoint::ClientServerReplicated { replicas: r } => {
@@ -361,6 +386,8 @@ impl SystemBuilder {
             server,
             devices,
             replicas,
+            merge,
+            path,
         }
     }
 }

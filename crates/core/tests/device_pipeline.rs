@@ -45,7 +45,8 @@ fn chain() -> (World, NodeId, NodeId, NodeId, NodeId) {
 }
 
 fn update_pkt(seq: u32, payload: &[u8]) -> (PmnetHeader, Packet) {
-    let h = PmnetHeader::request(PacketType::UpdateReq, 0, seq, CLIENT, SERVER, 0, 1);
+    let h = PmnetHeader::request(PacketType::UpdateReq, 0, seq, CLIENT, SERVER, 0, 1)
+        .with_payload(payload);
     let p = Packet::udp(CLIENT, SERVER, 51001, 51000, h.encode(payload));
     (h, p)
 }
@@ -124,10 +125,11 @@ fn pass_through_read_replies_fill_the_cache() {
     w.inject(NodeId(2), reply);
     w.run_for(Dur::millis(1));
     // A subsequent read for the same key hits the cache.
-    let get = PmnetHeader::request(PacketType::BypassReq, 0, 8, CLIENT, SERVER, 0, 1);
     let get_frame = KvFrame::Get {
         key: b"warm".to_vec(),
     };
+    let get = PmnetHeader::request(PacketType::BypassReq, 0, 8, CLIENT, SERVER, 0, 1)
+        .with_payload(&get_frame.encode());
     w.inject(
         client,
         Packet::udp(
@@ -212,7 +214,7 @@ fn pm_backlog_never_stalls_forwarding_at_line_rate() {
 }
 
 #[test]
-fn forged_hash_collision_bypasses_but_still_forwards() {
+fn hash_collision_bypasses_logging_but_still_forwards() {
     let cfg = SystemConfig::default();
     let mut w = World::new(47);
     let client = w.add_node(Box::new(EchoHost::sink(CLIENT)));
@@ -227,12 +229,20 @@ fn forged_hash_collision_bypasses_but_still_forwards() {
     w.connect(dev, server, cfg.link);
     w.populate_switch_routes();
 
-    let (h1, p1) = update_pkt(1, b"first");
+    // A genuine CRC-32 collision between two distinct identities, found by
+    // solving the CRC's linear kernel for client=1/server=9: (session 0,
+    // seq 0) and (session 1601, seq 121713) share HashVal 0xdf8a971b. Both
+    // packets verify — their hashes are correct for their own fields — but
+    // the log is indexed by hash, so the second must bypass, not clobber.
+    let h1 = PmnetHeader::request(PacketType::UpdateReq, 0, 0, CLIENT, SERVER, 0, 1)
+        .with_payload(b"first");
+    let p1 = Packet::udp(CLIENT, SERVER, 51001, 51000, h1.encode(b"first"));
     w.inject(client, p1);
     w.run_for(Dur::millis(1));
-    // Forge a different request carrying the same HashVal.
-    let mut h2 = PmnetHeader::request(PacketType::UpdateReq, 0, 2, CLIENT, SERVER, 0, 1);
-    h2.hash = h1.hash;
+    let h2 = PmnetHeader::request(PacketType::UpdateReq, 1601, 121_713, CLIENT, SERVER, 0, 1)
+        .with_payload(b"collider");
+    assert_eq!(h2.hash, h1.hash);
+    assert_eq!(h2.hash, 0xdf8a_971b);
     w.inject(
         client,
         Packet::udp(CLIENT, SERVER, 51001, 51000, h2.encode(b"collider")),
@@ -245,4 +255,50 @@ fn forged_hash_collision_bypasses_but_still_forwards() {
     // first got an ACK.
     assert_eq!(w.node::<EchoHost>(server).received(), 2);
     assert_eq!(w.node::<EchoHost>(client).received(), 1);
+}
+
+#[test]
+fn corrupted_update_is_dropped_not_logged_and_not_acked() {
+    let cfg = SystemConfig::default();
+    let mut w = World::new(59);
+    let client = w.add_node(Box::new(EchoHost::sink(CLIENT)));
+    let dev = w.add_node(Box::new(PmnetDevice::new(
+        "d",
+        1,
+        DEV1,
+        no_retry(cfg.device),
+    )));
+    let server = w.add_node(Box::new(EchoHost::sink(SERVER)));
+    w.connect(client, dev, cfg.link);
+    w.connect(dev, server, cfg.link);
+    w.populate_switch_routes();
+
+    // Flip one payload bit after stamping the checksum: the device must
+    // treat the packet as loss rather than persist a poisoned entry.
+    let (h, _) = update_pkt(1, b"pristine");
+    let mut body = h.encode(b"pristine").to_vec();
+    let last = body.len() - 1;
+    body[last] ^= 0x04;
+    w.inject(
+        client,
+        Packet::udp(CLIENT, SERVER, 51001, 51000, bytes::Bytes::from(body)),
+    );
+    w.run_for(Dur::millis(1));
+    let d = w.node::<PmnetDevice>(dev);
+    assert_eq!(d.counters().corrupt_dropped, 1);
+    assert_eq!(d.log_len(), 0);
+    assert_eq!(d.counters().acks_sent, 0);
+    assert_eq!(w.node::<EchoHost>(server).received(), 0);
+
+    // A header-field flip (here: the sequence number) is caught by the
+    // identity hash alone.
+    let mut body = h.encode(b"pristine").to_vec();
+    body[3] ^= 0x80; // low byte of `seq`
+    w.inject(
+        client,
+        Packet::udp(CLIENT, SERVER, 51001, 51000, bytes::Bytes::from(body)),
+    );
+    w.run_for(Dur::millis(1));
+    assert_eq!(w.node::<PmnetDevice>(dev).counters().corrupt_dropped, 2);
+    assert_eq!(w.node::<EchoHost>(server).received(), 0);
 }

@@ -45,12 +45,14 @@ fn world_with_server(
 }
 
 fn update_pkt(seq: u32, payload: &[u8]) -> Packet {
-    let h = PmnetHeader::request(PacketType::UpdateReq, 0, seq, CLIENT, SERVER, 0, 1);
+    let h = PmnetHeader::request(PacketType::UpdateReq, 0, seq, CLIENT, SERVER, 0, 1)
+        .with_payload(payload);
     Packet::udp(CLIENT, SERVER, 51001, 51000, h.encode(payload))
 }
 
 fn bypass_pkt(seq: u32) -> Packet {
-    let h = PmnetHeader::request(PacketType::BypassReq, 0, seq, CLIENT, SERVER, 0, 1);
+    let h = PmnetHeader::request(PacketType::BypassReq, 0, seq, CLIENT, SERVER, 0, 1)
+        .with_payload(b"O-read");
     Packet::udp(CLIENT, SERVER, 51001, 51000, h.encode(b"O-read"))
 }
 

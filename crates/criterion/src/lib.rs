@@ -1,0 +1,200 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the slice of criterion's API that
+//! `crates/bench/benches/micro_criterion.rs` uses: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass followed by a timed
+//! batch per sample, reporting the per-iteration minimum and mean — rather
+//! than criterion's full statistical pipeline. It is enough to keep the
+//! microbenchmarks runnable and comparable run-over-run offline.
+
+use std::time::Instant;
+
+/// Re-export for parity with upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in treats all
+/// variants identically (one setup per routine invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration, never amortized.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            iters_per_sample: 64,
+            per_iter_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: aim for samples of at least ~1ms or 64
+        // iterations, whichever is smaller in time.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        self.iters_per_sample = (1_000_000 / once).clamp(1, 64);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            self.per_iter_ns.push(ns / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self.per_iter_ns.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len() as f64;
+        println!("{name:<40} min {min:>12.1} ns/iter   mean {mean:>12.1} ns/iter");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks (upstream renders these
+    /// as `group/name`; the stand-in does the same in its report lines).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the stand-in
+    /// reports eagerly, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either upstream form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![0u8; 8],
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(runs >= 3);
+    }
+}

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A host-level network address (the moral equivalent of an IPv4 address).
 ///
 /// The simulation routes on `Addr` directly rather than modeling full IP:
@@ -14,9 +12,7 @@ use serde::{Deserialize, Serialize};
 /// use pmnet_net::Addr;
 /// assert_eq!(Addr(258).to_string(), "10.0.1.2");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u32);
 
 impl Addr {

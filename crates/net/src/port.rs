@@ -39,6 +39,22 @@ pub struct LinkSpec {
     pub reorder_prob: f64,
     /// Maximum extra delay applied to reordered packets.
     pub reorder_extra: Dur,
+    /// Probability a packet is delivered twice (fault injection): the copy
+    /// rides one serialization slot behind the original.
+    pub duplicate_prob: f64,
+    /// Probability one payload byte is flipped in flight (fault injection).
+    /// PMNet endpoints detect header corruption via the CRC-32 `hash`
+    /// field computed by the pmem CRC path and drop the packet.
+    pub corrupt_prob: f64,
+}
+
+/// Clamps a fault probability into `[0, 1]`; `NaN` becomes `0`.
+fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
 }
 
 impl LinkSpec {
@@ -52,6 +68,8 @@ impl LinkSpec {
             drop_prob: 0.0,
             reorder_prob: 0.0,
             reorder_extra: Dur::ZERO,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
         }
     }
 
@@ -63,16 +81,31 @@ impl LinkSpec {
         }
     }
 
-    /// Returns a copy with the given drop probability.
+    /// Returns a copy with the given drop probability, clamped to `[0, 1]`.
     pub fn with_drop_prob(mut self, p: f64) -> LinkSpec {
-        self.drop_prob = p;
+        self.drop_prob = clamp_prob(p);
         self
     }
 
-    /// Returns a copy with the given reordering behaviour.
+    /// Returns a copy with the given reordering behaviour; the probability
+    /// is clamped to `[0, 1]`.
     pub fn with_reordering(mut self, p: f64, extra: Dur) -> LinkSpec {
-        self.reorder_prob = p;
+        self.reorder_prob = clamp_prob(p);
         self.reorder_extra = extra;
+        self
+    }
+
+    /// Returns a copy with the given duplication probability, clamped to
+    /// `[0, 1]`.
+    pub fn with_duplicate_prob(mut self, p: f64) -> LinkSpec {
+        self.duplicate_prob = clamp_prob(p);
+        self
+    }
+
+    /// Returns a copy with the given payload-corruption probability,
+    /// clamped to `[0, 1]`.
+    pub fn with_corrupt_prob(mut self, p: f64) -> LinkSpec {
+        self.corrupt_prob = clamp_prob(p);
         self
     }
 
@@ -101,6 +134,12 @@ pub struct PortCounters {
     pub dropped_fault: u64,
     /// Packets delayed for reordering by fault injection.
     pub reordered: u64,
+    /// Packets dropped because the link was administratively down.
+    pub dropped_down: u64,
+    /// Extra copies delivered by duplication fault injection.
+    pub duplicated: u64,
+    /// Packets with a payload byte flipped by corruption fault injection.
+    pub corrupted: u64,
 }
 
 #[derive(Debug)]
@@ -110,6 +149,8 @@ struct Port {
     spec: LinkSpec,
     busy_until: Time,
     counters: PortCounters,
+    /// Administrative link state; a downed port drops everything offered.
+    up: bool,
 }
 
 /// The outcome of offering a packet to a port.
@@ -123,8 +164,14 @@ pub(crate) enum TxOutcome {
         node: NodeId,
         /// Peer ingress port.
         port: PortNo,
+        /// When duplication fault injection fired: the arrival instant of
+        /// the extra copy (one serialization slot behind the original).
+        duplicate_at: Option<Time>,
+        /// When corruption fault injection fired: `(payload byte offset,
+        /// xor mask)` the caller must apply to the delivered payload.
+        corrupt: Option<(usize, u8)>,
     },
-    /// Packet was dropped (queue overflow or fault).
+    /// Packet was dropped (queue overflow, fault, or downed link).
     Dropped,
 }
 
@@ -161,6 +208,7 @@ impl PortTable {
             spec,
             busy_until: Time::ZERO,
             counters: PortCounters::default(),
+            up: true,
         });
         self.ports[b.index()].push(Port {
             peer_node: a,
@@ -168,8 +216,90 @@ impl PortTable {
             spec,
             busy_until: Time::ZERO,
             counters: PortCounters::default(),
+            up: true,
         });
         (pa, pb)
+    }
+
+    /// Ports on `a` whose peer is `b` (parallel links yield several).
+    fn ports_towards(&self, a: NodeId, b: NodeId) -> Vec<PortNo> {
+        self.ports
+            .get(a.index())
+            .map(|ps| {
+                ps.iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.peer_node == b)
+                    .map(|(i, _)| PortNo(i as u8))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Brings the `a <-> b` link administratively up or down (both
+    /// directions). A downed link drops every packet offered to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let fwd = self.ports_towards(a, b);
+        let rev = self.ports_towards(b, a);
+        assert!(
+            !fwd.is_empty() && !rev.is_empty(),
+            "no link between {a} and {b}"
+        );
+        for p in fwd {
+            self.ports[a.index()][p.0 as usize].up = up;
+        }
+        for p in rev {
+            self.ports[b.index()][p.0 as usize].up = up;
+        }
+    }
+
+    /// Whether the `a -> b` direction is administratively up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        let fwd = self.ports_towards(a, b);
+        assert!(!fwd.is_empty(), "no link between {a} and {b}");
+        fwd.iter().all(|p| self.ports[a.index()][p.0 as usize].up)
+    }
+
+    /// Rewrites the `a <-> b` link's spec (both directions) through `f`.
+    /// Used by chaos schedules to start and end impairment bursts at run
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn update_link_spec(&mut self, a: NodeId, b: NodeId, f: impl Fn(LinkSpec) -> LinkSpec) {
+        let fwd = self.ports_towards(a, b);
+        let rev = self.ports_towards(b, a);
+        assert!(
+            !fwd.is_empty() && !rev.is_empty(),
+            "no link between {a} and {b}"
+        );
+        for p in fwd {
+            let port = &mut self.ports[a.index()][p.0 as usize];
+            port.spec = f(port.spec);
+        }
+        for p in rev {
+            let port = &mut self.ports[b.index()][p.0 as usize];
+            port.spec = f(port.spec);
+        }
+    }
+
+    /// The spec of the `a -> b` link direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn link_spec(&self, a: NodeId, b: NodeId) -> LinkSpec {
+        let fwd = self.ports_towards(a, b);
+        assert!(!fwd.is_empty(), "no link between {a} and {b}");
+        self.ports[a.index()][fwd[0].0 as usize].spec
     }
 
     /// Number of ports on `node`.
@@ -207,6 +337,10 @@ impl PortTable {
         packet: &Packet,
     ) -> TxOutcome {
         let p = &mut self.ports[node.index()][port.0 as usize];
+        if !p.up {
+            p.counters.dropped_down += 1;
+            return TxOutcome::Dropped;
+        }
         if rng.chance(p.spec.drop_prob) {
             p.counters.dropped_fault += 1;
             return TxOutcome::Dropped;
@@ -226,12 +360,30 @@ impl PortTable {
             }
             p.counters.reordered += 1;
         }
+        let duplicate_at = if rng.chance(p.spec.duplicate_prob) {
+            // The copy occupies the next serialization slot.
+            p.busy_until += ser;
+            p.counters.duplicated += 1;
+            Some(arrival + ser)
+        } else {
+            None
+        };
+        let corrupt = if !packet.payload.is_empty() && rng.chance(p.spec.corrupt_prob) {
+            p.counters.corrupted += 1;
+            let offset = rng.index(packet.payload.len());
+            let mask = 1u8 << rng.index(8);
+            Some((offset, mask))
+        } else {
+            None
+        };
         p.counters.tx_packets += 1;
         p.counters.tx_bytes += u64::from(packet.wire_bytes());
         TxOutcome::Deliver {
             at: arrival,
             node: p.peer_node,
             port: p.peer_port,
+            duplicate_at,
+            corrupt,
         }
     }
 
@@ -280,7 +432,7 @@ mod tests {
         // 58 B payload -> 100 B wire -> 80 ns serialization + 300 ns prop.
         let out = t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(58));
         match out {
-            TxOutcome::Deliver { at, node, port } => {
+            TxOutcome::Deliver { at, node, port, .. } => {
                 assert_eq!(at, Time::from_nanos(380));
                 assert_eq!(node, NodeId(1));
                 assert_eq!(port, PortNo(0));
@@ -368,6 +520,114 @@ mod tests {
         assert!(edges.contains(&(a, PortNo(0), b)));
         assert!(edges.contains(&(b, PortNo(0), a)));
         assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn probabilities_are_clamped_to_unit_interval() {
+        let s = LinkSpec::ten_gbps()
+            .with_drop_prob(1.7)
+            .with_reordering(-0.3, Dur::micros(1))
+            .with_duplicate_prob(42.0)
+            .with_corrupt_prob(f64::NAN);
+        assert_eq!(s.drop_prob, 1.0);
+        assert_eq!(s.reorder_prob, 0.0);
+        assert_eq!(s.duplicate_prob, 1.0);
+        assert_eq!(s.corrupt_prob, 0.0);
+        let t = LinkSpec::ten_gbps()
+            .with_drop_prob(0.25)
+            .with_duplicate_prob(0.5)
+            .with_corrupt_prob(1.0);
+        assert_eq!(t.drop_prob, 0.25);
+        assert_eq!(t.duplicate_prob, 0.5);
+        assert_eq!(t.corrupt_prob, 1.0);
+    }
+
+    #[test]
+    fn duplication_delivers_a_trailing_copy() {
+        let mut t = PortTable::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.connect(a, b, LinkSpec::ten_gbps().with_duplicate_prob(1.0));
+        let mut rng = SimRng::seed(1);
+        match t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(58)) {
+            TxOutcome::Deliver {
+                at, duplicate_at, ..
+            } => {
+                // 100 B wire -> 80 ns serialization; the copy rides one
+                // slot behind.
+                let dup = duplicate_at.expect("duplicate scheduled");
+                assert_eq!(dup - at, Dur::nanos(80));
+            }
+            TxOutcome::Dropped => panic!("unexpected drop"),
+        }
+        assert_eq!(t.counters(a, PortNo(0)).duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_reports_an_in_bounds_flip() {
+        let mut t = PortTable::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.connect(a, b, LinkSpec::ten_gbps().with_corrupt_prob(1.0));
+        let mut rng = SimRng::seed(2);
+        for _ in 0..32 {
+            t.ports[0][0].busy_until = Time::ZERO;
+            match t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(20)) {
+                TxOutcome::Deliver { corrupt, .. } => {
+                    let (offset, mask) = corrupt.expect("corruption chosen");
+                    assert!(offset < 20);
+                    assert!(mask.count_ones() == 1);
+                }
+                TxOutcome::Dropped => panic!("unexpected drop"),
+            }
+        }
+        assert_eq!(t.counters(a, PortNo(0)).corrupted, 32);
+        // Empty payloads cannot be corrupted.
+        t.ports[0][0].busy_until = Time::ZERO;
+        match t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(0)) {
+            TxOutcome::Deliver { corrupt, .. } => assert!(corrupt.is_none()),
+            TxOutcome::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn downed_link_drops_both_directions_until_restored() {
+        let (mut t, a, b) = table();
+        let mut rng = SimRng::seed(3);
+        assert!(t.link_is_up(a, b));
+        t.set_link_up(a, b, false);
+        assert!(!t.link_is_up(a, b));
+        assert!(!t.link_is_up(b, a));
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(10)),
+            TxOutcome::Dropped
+        ));
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, b, PortNo(0), &pkt(10)),
+            TxOutcome::Dropped
+        ));
+        assert_eq!(t.counters(a, PortNo(0)).dropped_down, 1);
+        assert_eq!(t.counters(b, PortNo(0)).dropped_down, 1);
+        t.set_link_up(a, b, true);
+        assert!(matches!(
+            t.transmit(Time::ZERO, &mut rng, a, PortNo(0), &pkt(10)),
+            TxOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn update_link_spec_rewrites_both_directions() {
+        let (mut t, a, b) = table();
+        t.update_link_spec(a, b, |s| s.with_drop_prob(0.5));
+        assert_eq!(t.link_spec(a, b).drop_prob, 0.5);
+        assert_eq!(t.link_spec(b, a).drop_prob, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn set_link_up_panics_without_a_link() {
+        let mut t = PortTable::new();
+        t.ensure_node(NodeId(0));
+        t.ensure_node(NodeId(1));
+        t.set_link_up(NodeId(0), NodeId(1), false);
     }
 
     #[test]

@@ -9,8 +9,65 @@ use std::fmt;
 use pmnet_sim::trace::Trace;
 use pmnet_sim::{Dur, Engine, NodeId, SimRng, Time};
 
+use bytes::Bytes;
+
 use crate::port::TxOutcome;
 use crate::{Addr, LinkSpec, Packet, PortNo, PortTable};
+
+/// Turns a [`TxOutcome`] into scheduled deliveries, applying corruption and
+/// duplication fault effects chosen by the link model.
+fn schedule_delivery(
+    engine: &mut Engine<Msg>,
+    trace: &mut Trace,
+    from: NodeId,
+    now: Time,
+    outcome: TxOutcome,
+    packet: Packet,
+) {
+    match outcome {
+        TxOutcome::Deliver {
+            at,
+            node,
+            port,
+            duplicate_at,
+            corrupt,
+        } => {
+            let delivered = match corrupt {
+                Some((offset, mask)) => {
+                    trace.record(now, from, || format!("corrupt@{offset} {packet}"));
+                    let mut bytes = packet.payload.to_vec();
+                    bytes[offset] ^= mask;
+                    let mut corrupted = packet;
+                    corrupted.payload = Bytes::from(bytes);
+                    corrupted
+                }
+                None => packet,
+            };
+            if let Some(dup_at) = duplicate_at {
+                trace.record(now, from, || format!("dup {delivered}"));
+                engine.schedule(
+                    dup_at,
+                    node,
+                    Msg::Packet {
+                        port,
+                        packet: delivered.clone(),
+                    },
+                );
+            }
+            engine.schedule(
+                at,
+                node,
+                Msg::Packet {
+                    port,
+                    packet: delivered,
+                },
+            );
+        }
+        TxOutcome::Dropped => {
+            trace.record(now, from, || format!("drop {packet}"));
+        }
+    }
+}
 
 /// A timer message a node schedules to itself (or to a peer component).
 ///
@@ -156,18 +213,17 @@ impl Ctx<'_> {
     /// packet (if not dropped) is delivered to the peer as
     /// [`Msg::Packet`].
     pub fn send(&mut self, port: PortNo, packet: Packet) {
-        match self
+        let outcome = self
             .ports
-            .transmit(self.now, self.rng, self.self_id, port, &packet)
-        {
-            TxOutcome::Deliver { at, node, port } => {
-                self.engine.schedule(at, node, Msg::Packet { port, packet });
-            }
-            TxOutcome::Dropped => {
-                let id = self.self_id;
-                self.trace.record(self.now, id, || format!("drop {packet}"));
-            }
-        }
+            .transmit(self.now, self.rng, self.self_id, port, &packet);
+        schedule_delivery(
+            self.engine,
+            self.trace,
+            self.self_id,
+            self.now,
+            outcome,
+            packet,
+        );
     }
 
     /// Transmits `packet` out of `port` after an internal processing delay
@@ -238,6 +294,12 @@ impl World {
         self.trace = Trace::enabled();
     }
 
+    /// Enables event tracing bounded to the `capacity` most recent events
+    /// (a ring buffer), so long runs keep memory flat.
+    pub fn enable_trace_bounded(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -301,17 +363,37 @@ impl World {
         }
     }
 
+    /// Brings the `a <-> b` link administratively up or down (both
+    /// directions), effective immediately. A downed link drops every packet
+    /// offered to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.ports.set_link_up(a, b, up);
+        self.trace.record(self.engine.now(), a, || {
+            format!("link {a}<->{b} {}", if up { "up" } else { "down" })
+        });
+    }
+
+    /// Rewrites the `a <-> b` link's spec (both directions), effective
+    /// immediately. Chaos schedules use this to start and end impairment
+    /// bursts (drop / duplicate / reorder / corrupt probabilities) at run
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects `a` and `b`.
+    pub fn update_link_spec(&mut self, a: NodeId, b: NodeId, f: impl Fn(LinkSpec) -> LinkSpec) {
+        self.ports.update_link_spec(a, b, f);
+    }
+
     fn dispatch(&mut self, at: Time, dest: NodeId, msg: Msg) {
         // PortTx is a runtime-internal deferred transmission.
         if let Msg::PortTx { port, packet } = msg {
-            match self.ports.transmit(at, &mut self.rng, dest, port, &packet) {
-                TxOutcome::Deliver { at, node, port } => {
-                    self.engine.schedule(at, node, Msg::Packet { port, packet });
-                }
-                TxOutcome::Dropped => {
-                    self.trace.record(at, dest, || format!("drop {packet}"));
-                }
-            }
+            let outcome = self.ports.transmit(at, &mut self.rng, dest, port, &packet);
+            schedule_delivery(&mut self.engine, &mut self.trace, dest, at, outcome, packet);
             return;
         }
         let node = &mut self.nodes[dest.index()];

@@ -80,6 +80,7 @@ pub struct PmDevice {
     busy_until: Time,
     used_bytes: u64,
     counters: PmDeviceCounters,
+    slowdown: u32,
 }
 
 impl PmDevice {
@@ -90,7 +91,26 @@ impl PmDevice {
             busy_until: Time::ZERO,
             used_bytes: 0,
             counters: PmDeviceCounters::default(),
+            slowdown: 1,
         }
+    }
+
+    /// Sets a transient latency/bandwidth degradation factor (`1` =
+    /// nominal). Fault injectors use this to model media slowdowns —
+    /// thermal throttling, wear, a misbehaving DIMM — without rebuilding
+    /// the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn set_slowdown(&mut self, factor: u32) {
+        assert!(factor > 0, "slowdown factor must be at least 1");
+        self.slowdown = factor;
+    }
+
+    /// The current slowdown factor.
+    pub fn slowdown(&self) -> u32 {
+        self.slowdown
     }
 
     /// The device configuration.
@@ -127,7 +147,11 @@ impl PmDevice {
 
     fn occupy(&mut self, now: Time, latency: Dur, bytes: u32) -> Time {
         // `for_bytes_at` takes a bit-rate; the device bandwidth is in bytes.
-        let transfer = Dur::for_bytes_at(u64::from(bytes), self.config.bandwidth_bytes_per_sec * 8);
+        let transfer = Dur::for_bytes_at(
+            u64::from(bytes) * u64::from(self.slowdown),
+            self.config.bandwidth_bytes_per_sec * 8,
+        );
+        let latency = latency * u64::from(self.slowdown);
         let start = now.max(self.busy_until);
         self.busy_until = start + transfer;
         self.busy_until + latency
@@ -230,6 +254,22 @@ mod tests {
     fn over_release_panics() {
         let mut pm = dev();
         pm.release(1);
+    }
+
+    #[test]
+    fn slowdown_scales_latency_and_transfer() {
+        let mut pm = dev();
+        pm.set_slowdown(10);
+        // 100 B: (40 ns transfer + 273 ns latency) x 10.
+        assert_eq!(pm.schedule_write(Time::ZERO, 100), Time::from_nanos(3130));
+        pm.set_slowdown(1);
+        assert_eq!(pm.queue_delay(Time::from_nanos(400)), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_slowdown_panics() {
+        dev().set_slowdown(0);
     }
 
     #[test]

@@ -23,6 +23,9 @@ enum Node {
     },
     Internal {
         keys: Vec<Vec<u8>>,
+        // Boxed so split/steal operations move a fixed-size pointer
+        // instead of the whole child enum (entries inline in `Leaf`).
+        #[allow(clippy::vec_box)]
         children: Vec<Box<Node>>,
     },
 }

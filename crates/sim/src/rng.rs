@@ -4,13 +4,14 @@
 //! popularity, packet loss, …) draws from a single [`SimRng`] owned by the
 //! simulation, so a run is fully determined by its seed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use crate::Dur;
 
 /// A deterministic random-number source with the distribution helpers the
 /// evaluation needs.
+///
+/// Internally a xoshiro256++ generator seeded through splitmix64 — a
+/// self-contained implementation so the simulator has no external
+/// dependencies and streams are stable across toolchains.
 ///
 /// # Example
 ///
@@ -20,23 +21,52 @@ use crate::Dur;
 /// let mut b = SimRng::seed(7);
 /// assert_eq!(a.uniform_u64(0..100), b.uniform_u64(0..100));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> SimRng {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// The core xoshiro256++ step.
+    fn step(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
     }
 
     /// Derives an independent child generator; useful for giving each
     /// client its own stream without coupling their draws.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.step() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed(s)
     }
 
@@ -47,7 +77,11 @@ impl SimRng {
     /// Panics if the range is empty.
     pub fn uniform_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
         assert!(!range.is_empty(), "empty range");
-        self.inner.random_range(range)
+        let span = range.end - range.start;
+        // Lemire widening-multiply rejection-free mapping; the bias is
+        // < 2^-64 per draw, far below the simulator's statistical needs.
+        let x = self.step();
+        range.start + ((x as u128 * span as u128) >> 64) as u64
     }
 
     /// A uniform `usize` in `[0, n)`.
@@ -57,12 +91,13 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick from an empty collection");
-        self.inner.random_range(0..n)
+        self.uniform_u64(0..n as u64) as usize
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits → the standard [0, 1) double construction.
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -72,14 +107,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// An exponentially distributed duration with the given mean
     /// (inter-arrival times, service-time tails).
     pub fn exponential(&mut self, mean: Dur) -> Dur {
-        let u: f64 = self.inner.random::<f64>();
+        let u: f64 = self.unit();
         // Inverse CDF; guard against ln(0).
         let x = -(1.0 - u).max(f64::MIN_POSITIVE).ln();
         Dur::from_nanos_f64(mean.as_nanos() as f64 * x)
@@ -87,8 +122,8 @@ impl SimRng {
 
     /// A standard normal deviate (Box–Muller).
     pub fn std_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.inner.random::<f64>();
+        let u1: f64 = self.unit().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -109,12 +144,15 @@ impl SimRng {
 
     /// Fills `buf` with random bytes (payload generation).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// A raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        self.step()
     }
 }
 

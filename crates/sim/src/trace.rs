@@ -3,8 +3,10 @@
 //! Components can record `(time, source, label)` entries during a run; tests
 //! and debugging sessions read them back to understand a simulation's
 //! behaviour. Tracing is off by default and costs one branch per call when
-//! disabled.
+//! disabled. A trace may be bounded to a ring of the most recent events so
+//! long campaigns (e.g. `pmnet-chaos` searches) keep memory flat.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::{NodeId, Time};
@@ -39,7 +41,10 @@ impl fmt::Display for TraceEvent {
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    /// `None` = unbounded; `Some(cap)` = ring of the `cap` newest events.
+    capacity: Option<usize>,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
 }
 
 impl Trace {
@@ -48,11 +53,27 @@ impl Trace {
         Trace::default()
     }
 
-    /// An enabled trace.
+    /// An enabled, unbounded trace.
     pub fn enabled() -> Trace {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            ..Trace::default()
+        }
+    }
+
+    /// An enabled trace that keeps only the `capacity` most recent events,
+    /// evicting the oldest once full (a ring buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        Trace {
+            enabled: true,
+            capacity: Some(capacity),
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
         }
     }
 
@@ -61,10 +82,26 @@ impl Trace {
         self.enabled
     }
 
+    /// The ring capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// How many events were evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Records an event; `label` is only evaluated when tracing is enabled.
     pub fn record(&mut self, at: Time, node: NodeId, label: impl FnOnce() -> String) {
         if self.enabled {
-            self.events.push(TraceEvent {
+            if let Some(cap) = self.capacity {
+                if self.events.len() == cap {
+                    self.events.pop_front();
+                    self.dropped += 1;
+                }
+            }
+            self.events.push_back(TraceEvent {
                 at,
                 node,
                 label: label(),
@@ -72,8 +109,8 @@ impl Trace {
         }
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
 
@@ -82,7 +119,7 @@ impl Trace {
         self.events.iter().filter(move |e| e.label.contains(needle))
     }
 
-    /// Drops all recorded events.
+    /// Drops all recorded events (the eviction counter is kept).
     pub fn clear(&mut self) {
         self.events.clear();
     }
@@ -114,6 +151,25 @@ mod tests {
         assert_eq!(t.matching("a").count(), 2);
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_keeps_only_the_newest() {
+        let mut t = Trace::bounded(3);
+        for i in 0..10u64 {
+            t.record(Time::from_nanos(i), NodeId(0), || format!("e{i}"));
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let labels: Vec<&str> = t.events().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["e7", "e8", "e9"]);
+        assert_eq!(t.capacity(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Trace::bounded(0);
     }
 
     #[test]

@@ -44,9 +44,19 @@
 //! assert!(baseline.latency.mean() > metrics.latency.mean().mul_f64(2.0));
 //! ```
 //!
+//! ## Chaos testing
+//!
+//! The [`chaos`] crate turns the durability claim into a search problem:
+//! seeded random fault schedules (crashes, flaps, loss/duplication/
+//! corruption bursts, PM slowdowns) run deterministically against any
+//! design point, verdicts are checked against the persistence audit, and
+//! failing schedules are ddmin-shrunk to minimal replayable artifacts.
+//! See `examples/chaos_search.rs`.
+//!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses regenerating every figure of the paper's evaluation.
 
+pub use pmnet_chaos as chaos;
 pub use pmnet_core as core;
 pub use pmnet_net as net;
 pub use pmnet_pmem as pmem;
