@@ -173,6 +173,56 @@ pub fn generate_plan(
     plan
 }
 
+/// Generates a transient plan aimed specifically at the recovery
+/// handshake: a server crash whose downtime and recovery window are
+/// blanketed by loss bursts on the backbone, so `RecoveryPoll`s, redo
+/// resends, redo acks and `RecoveryDone` notifications are all exposed
+/// to loss. Optionally a second, earlier burst disturbs the workload so
+/// the device log holds entries when the crash lands.
+pub fn generate_lossy_recovery_plan(rng: &mut SimRng, topo: &Topology, horizon: Dur) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let horizon_us = (horizon.as_nanos() / 1000).max(2_000);
+    // The crash lands in the first half so downtime + recovery + healing
+    // all fit before the runner's deadline.
+    let crash_at_us = 200 + rng.uniform_u64(0..horizon_us / 2);
+    let downtime = pick_dur(rng, 500, 1_500);
+    plan.push(
+        Dur::micros(crash_at_us),
+        Fault::ServerCrash {
+            downtime: Some(downtime),
+        },
+    );
+    // One to three loss bursts overlapping the crash/recovery window:
+    // they start before or right at the restore instant and extend into
+    // the poll/resend exchange.
+    let bursts = 1 + rng.index(3);
+    let restore_us = crash_at_us + downtime.as_nanos() / 1000;
+    for _ in 0..bursts {
+        let start = crash_at_us + rng.uniform_u64(0..(restore_us - crash_at_us) + 300);
+        plan.push(
+            Dur::micros(start),
+            Fault::DropBurst {
+                link: LinkTarget::Backbone(rng.index(topo.backbone_links)),
+                permille: 150 + rng.uniform_u64(0..350) as u32,
+                dur: pick_dur(rng, 200, 1_200),
+            },
+        );
+    }
+    // Half the plans also stress the pre-crash workload so the log is
+    // non-trivially populated when power fails.
+    if rng.chance(0.5) {
+        plan.push(
+            Dur::micros(5 + rng.uniform_u64(0..crash_at_us.max(6) - 5)),
+            Fault::DropBurst {
+                link: pick_link(rng, topo),
+                permille: pick_permille(rng, Intensity::Medium),
+                dur: pick_dur(rng, 100, 500),
+            },
+        );
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,8 +58,8 @@ pub mod runner;
 pub mod shrink;
 
 pub use artifact::Artifact;
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
-pub use generate::{generate_plan, Intensity, Topology};
+pub use campaign::{run_campaign, run_lossy_recovery_campaign, CampaignConfig, CampaignOutcome};
+pub use generate::{generate_lossy_recovery_plan, generate_plan, Intensity, Topology};
 pub use plan::{Fault, FaultEvent, FaultPlan, LinkTarget};
 pub use runner::{run, Scenario, Verdict};
 pub use shrink::{ddmin, shrink_failure, ShrinkStats};

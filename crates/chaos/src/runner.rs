@@ -13,11 +13,11 @@
 
 use pmnet_core::audit;
 use pmnet_core::client::ClientLib;
+use pmnet_core::config::RetryConfig;
 use pmnet_core::device::PmnetDevice;
 use pmnet_core::server::ServerLib;
 use pmnet_core::system::{BuiltSystem, DesignPoint, MicroSource, SystemBuilder};
 use pmnet_core::SystemConfig;
-use pmnet_net::Addr;
 use pmnet_sim::{Dur, NodeId, Time};
 use pmnet_workloads::KvHandler;
 
@@ -78,6 +78,16 @@ impl Scenario {
             // Tight enough that a lost packet is retried well within the
             // deadline, loose enough not to fire during normal operation.
             client_timeout: Dur::millis(2),
+            // Scaled to the compressed chaos timescale: the RTO can back
+            // off hard under a loss burst yet still leave the retry budget
+            // room to converge inside the deadline, and the settle window
+            // strictly exceeds the backoff cap.
+            retry: RetryConfig {
+                rto_min: Dur::micros(500),
+                rto_max: Dur::millis(8),
+                retry_budget: 16,
+                settle_window: Dur::millis(20),
+            },
             ..SystemConfig::default()
         };
         let mut b = SystemBuilder::new(self.design, config);
@@ -118,6 +128,10 @@ pub struct Verdict {
     pub corrupt_dropped: u64,
     /// Client retransmission rounds.
     pub client_retries: u64,
+    /// Updates abandoned after exhausting the retry budget.
+    pub failed_updates: u64,
+    /// Device log entries still staged after the drain window.
+    pub stranded_log_entries: u64,
     /// Simulated end time of the run, in nanoseconds.
     pub end_ns: u64,
 }
@@ -126,7 +140,7 @@ impl Verdict {
     /// A stable one-line rendering used for campaign digests and logs.
     pub fn digest_line(&self) -> String {
         format!(
-            "passed={} violations={} finished={} acked={} applied={} redo={} dups={} corrupt={} retries={} end={}",
+            "passed={} violations={} finished={} acked={} applied={} redo={} dups={} corrupt={} retries={} failed={} stranded={} end={}",
             self.passed,
             self.violations.len(),
             self.finished_clients,
@@ -136,6 +150,8 @@ impl Verdict {
             self.duplicates_dropped,
             self.corrupt_dropped,
             self.client_retries,
+            self.failed_updates,
+            self.stranded_log_entries,
             self.end_ns,
         )
     }
@@ -313,18 +329,6 @@ fn apply_act(sys: &mut BuiltSystem, act: Act) {
     }
 }
 
-fn gather_acked(sys: &BuiltSystem) -> Vec<(Addr, u16, u32)> {
-    let mut acked = Vec::new();
-    for &c in &sys.clients {
-        let client = sys.world.node::<ClientLib>(c);
-        let addr = client.client_addr();
-        for &(session, seq) in client.acked_updates() {
-            acked.push((addr, session, seq));
-        }
-    }
-    acked
-}
-
 /// Runs `plan` against a fresh system built for `scenario` and checks the
 /// invariants:
 ///
@@ -334,6 +338,11 @@ fn gather_acked(sys: &BuiltSystem) -> Vec<(Addr, u16, u32)> {
 /// 2. **Liveness** — if the plan is transient (every fault heals), every
 ///    client must finish its workload before the deadline; a wedged
 ///    protocol shows up here instead of hanging the harness.
+/// 3. **Convergence** — under a transient plan, once the drain window
+///    passes every device log has emptied (each staged entry was either
+///    invalidated by a fast-path server-ACK or confirmed by a redo ack)
+///    and the recovery barrier is closed (every registered device reported
+///    `RecoveryDone` after the last server restart).
 pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     let mut sys = scenario.build();
     let acts = lower_plan(&mut sys, plan);
@@ -373,8 +382,25 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     sys.world.run_for(scenario.drain);
 
     let mut violations = Vec::new();
-    let acked = gather_acked(&sys);
+    let acked = sys.acked_updates();
+    let stranded = sys.stranded_log_entries();
+    let retry_counters = sys.client_retry_counters();
     let server = sys.world.node::<ServerLib>(sys.server);
+    if plan.is_transient() {
+        if stranded > 0 {
+            violations.push(format!(
+                "convergence: {stranded} device log entries stranded after \
+                 the drain window"
+            ));
+        }
+        let pending = server.recovery_pending();
+        if pending > 0 {
+            violations.push(format!(
+                "convergence: recovery barrier still open, {pending} \
+                 devices never reported RecoveryDone"
+            ));
+        }
+    }
     let (applied, redo_applied) = match audit::verify(server.audit_log(), &acked) {
         Ok(report) => (report.applied as u64, report.redo as u64),
         Err(vs) => {
@@ -429,6 +455,8 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
         duplicates_dropped: counters.duplicates_dropped,
         corrupt_dropped,
         client_retries,
+        failed_updates: retry_counters.failed,
+        stranded_log_entries: stranded as u64,
         end_ns: sys.world.now().as_nanos(),
     }
 }
@@ -543,6 +571,33 @@ mod tests {
         );
         let v = run(&Scenario::standard(DesignPoint::ClientServer, 61), &plan);
         assert!(v.passed, "{:?}", v.violations);
+    }
+
+    #[test]
+    fn loss_over_a_crash_window_still_converges() {
+        // A drop burst blankets the server crash and the recovery window:
+        // RecoveryPolls, redo resends and redo acks are all exposed to
+        // loss, yet retransmission plus the recovery barrier must drain
+        // every device log and close the barrier before the drain passes.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Dur::micros(300),
+            Fault::DropBurst {
+                link: LinkTarget::Backbone(1),
+                permille: 400,
+                dur: Dur::millis(4),
+            },
+        );
+        plan.push(
+            Dur::micros(500),
+            Fault::ServerCrash {
+                downtime: Some(Dur::millis(1)),
+            },
+        );
+        let v = run(&Scenario::standard(DesignPoint::PmnetSwitch, 81), &plan);
+        assert!(v.passed, "{:?}", v.violations);
+        assert_eq!(v.stranded_log_entries, 0, "device logs must drain");
+        assert!(v.redo_applied > 0, "recovery must replay from device PM");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
 use pmnet_sim::stats::LatencyHistogram;
 use pmnet_sim::{Dur, SimRng, Time};
 
-use crate::config::{HostProfile, MTU_BYTES};
+use crate::config::{HostProfile, RetryConfig, MTU_BYTES};
 use crate::protocol::{PacketType, PmnetHeader, HEADER_LEN};
 
 /// Sentinel ingress port marking a packet that has finished traversing the
@@ -58,6 +58,17 @@ pub struct AppRequest {
     pub payload: Bytes,
 }
 
+/// Terminal fate of a request, as reported to the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The request reached its completion condition (persisted / replied).
+    Completed,
+    /// The retry budget was exhausted without completion: the client gave
+    /// up and moved on. The update was never acknowledged to the
+    /// application, so durability is not claimed for it.
+    Failed,
+}
+
 /// The workload driving a client: hands out requests and observes
 /// completions.
 pub trait RequestSource: fmt::Debug {
@@ -67,6 +78,93 @@ pub trait RequestSource: fmt::Debug {
     /// Called when a request completes; `reply` carries the response
     /// payload for bypass requests served by the server or a device cache.
     fn on_complete(&mut self, _req: &AppRequest, _reply: Option<&Bytes>) {}
+
+    /// Called exactly once per issued request with its terminal fate —
+    /// including [`UpdateOutcome::Failed`] when the retry budget ran out,
+    /// which `on_complete` never reports.
+    fn on_outcome(&mut self, _req: &AppRequest, _outcome: UpdateOutcome) {}
+}
+
+/// RFC 6298-style retransmission-timeout estimator with exponential
+/// backoff.
+///
+/// Maintains the smoothed RTT (`SRTT`) and RTT variance (`RTTVAR`) from
+/// completion-time samples, computes `RTO = SRTT + 4·RTTVAR` clamped to
+/// the configured `[rto_min, rto_max]` band, and doubles the effective
+/// timeout per unanswered retransmission round (Karn's algorithm: only
+/// un-retransmitted requests contribute samples, so a retransmitted ACK
+/// can't be mis-attributed to the wrong transmission).
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    initial: Dur,
+    cfg: RetryConfig,
+    srtt_ns: Option<u64>,
+    rttvar_ns: u64,
+    backoff_shift: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator seeded with `initial` (used until the first
+    /// RTT sample arrives), bounded by `cfg`'s RTO band.
+    pub fn new(initial: Dur, cfg: RetryConfig) -> RtoEstimator {
+        RtoEstimator {
+            initial,
+            cfg,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            backoff_shift: 0,
+        }
+    }
+
+    /// Feeds one RTT sample (from an un-retransmitted request) and clears
+    /// any accumulated backoff.
+    pub fn sample(&mut self, rtt: Dur) {
+        let r = rtt.as_nanos();
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = (3 * self.rttvar_ns + srtt.abs_diff(r)) / 4;
+                self.srtt_ns = Some((7 * srtt + r) / 8);
+            }
+        }
+        self.backoff_shift = 0;
+    }
+
+    /// The current effective RTO: the estimator's base value shifted left
+    /// by the backoff count, clamped to `[rto_min, rto_max]`.
+    pub fn current(&self) -> Dur {
+        let base = match self.srtt_ns {
+            Some(srtt) => srtt.saturating_add(4u64.saturating_mul(self.rttvar_ns)),
+            None => self.initial.as_nanos(),
+        };
+        let shifted = base.saturating_mul(1u64 << self.backoff_shift.min(20));
+        Dur::nanos(shifted)
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max)
+    }
+
+    /// Doubles the effective RTO (capped at `rto_max`) after an unanswered
+    /// round or a congestion signal.
+    pub fn back_off(&mut self) {
+        self.backoff_shift = (self.backoff_shift + 1).min(20);
+    }
+}
+
+/// Retransmission-path observability for one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientRetryCounters {
+    /// Retransmission rounds fired (each may resend several fragments).
+    pub retransmits: u64,
+    /// RTO doublings (timeouts plus congestion signals).
+    pub backoffs: u64,
+    /// Congestion-flagged server ACKs received (device log under
+    /// pressure — see [`crate::protocol::FLAG_CONGESTED`]).
+    pub congestion_signals: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub failed: u64,
 }
 
 /// How the client reaches persistence.
@@ -136,6 +234,9 @@ pub struct ClientLib {
     profile: HostProfile,
     use_tcp: bool,
     timeout: Dur,
+    retry: RetryConfig,
+    rto: RtoEstimator,
+    retry_counters: ClientRetryCounters,
     source: Box<dyn RequestSource>,
     session: u16,
     update_seq: u32,
@@ -163,6 +264,7 @@ impl ClientLib {
         mode: ClientMode,
         profile: HostProfile,
         timeout: Dur,
+        retry: RetryConfig,
         source: Box<dyn RequestSource>,
     ) -> ClientLib {
         ClientLib {
@@ -174,6 +276,9 @@ impl ClientLib {
             profile,
             use_tcp: false,
             timeout,
+            retry,
+            rto: RtoEstimator::new(timeout, retry),
+            retry_counters: ClientRetryCounters::default(),
             source,
             session,
             update_seq: 0,
@@ -192,6 +297,16 @@ impl ClientLib {
     /// Times this client has been power-cycled.
     pub fn crashes(&self) -> u32 {
         self.crashes
+    }
+
+    /// Retransmission/backoff/failure counters.
+    pub fn retry_counters(&self) -> ClientRetryCounters {
+        self.retry_counters
+    }
+
+    /// The current effective retransmission timeout.
+    pub fn current_rto(&self) -> Dur {
+        self.rto.current()
     }
 
     /// Uses TCP framing/costs for this client's traffic (baseline Redis /
@@ -375,6 +490,12 @@ impl ClientLib {
             self.acked_updates
                 .extend(out.frags.iter().map(|f| (f.header.session, f.header.seq)));
         }
+        // Karn's algorithm: only un-retransmitted requests yield RTT
+        // samples (a retransmitted ACK is ambiguous about which
+        // transmission it answers).
+        if out.attempt == 0 {
+            self.rto.sample(ctx.now() - out.issued_at);
+        }
         let latency = ctx.now() - out.issued_at + self.profile.app_overhead;
         self.records.push(CompletionRecord {
             kind: out.req.kind,
@@ -383,6 +504,7 @@ impl ClientLib {
             retries: out.attempt,
         });
         self.source.on_complete(&out.req, out.reply.as_ref());
+        self.source.on_outcome(&out.req, UpdateOutcome::Completed);
         ctx.timer_in(self.profile.app_overhead, Timer::of_kind(TIMER_NEXT));
     }
 
@@ -480,13 +602,23 @@ impl ClientLib {
             }
         }
         ctx.timer_in(
-            self.timeout,
+            self.rto.current(),
             Timer {
                 kind: TIMER_TIMEOUT,
                 a: serial,
                 b: 0,
             },
         );
+    }
+
+    /// Retry-budget exhausted: abandon the request without claiming
+    /// durability (it never entered `acked_updates` or the latency
+    /// records) and let the workload continue.
+    fn fail_outstanding(&mut self, ctx: &mut Ctx<'_>) {
+        let out = self.outstanding.take().expect("caller checked");
+        self.retry_counters.failed += 1;
+        self.source.on_outcome(&out.req, UpdateOutcome::Failed);
+        ctx.timer_in(self.profile.app_overhead, Timer::of_kind(TIMER_NEXT));
     }
 
     fn on_post_stack_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
@@ -516,6 +648,14 @@ impl ClientLib {
                 }
             }
             PacketType::ServerAck => {
+                // A congestion-flagged ACK means the device log bypassed
+                // this update under pressure (LogFull / QueueFull): widen
+                // the RTO so retransmissions don't hammer a full log.
+                if header.is_congested() {
+                    self.retry_counters.congestion_signals += 1;
+                    self.retry_counters.backoffs += 1;
+                    self.rto.back_off();
+                }
                 for f in &mut out.frags {
                     if f.header.seq == header.seq
                         && f.header.session == header.session
@@ -590,6 +730,8 @@ impl Node for ClientLib {
                 self.session = self.session.wrapping_add(1000);
                 self.update_seq = 0;
                 self.bypass_seq = 0;
+                // RTT history died with the process.
+                self.rto = RtoEstimator::new(self.timeout, self.retry);
                 // Resume the workload with the next request; the one that
                 // was in flight at the crash is abandoned.
                 self.issue_next(ctx);
@@ -624,10 +766,17 @@ impl Node for ClientLib {
                 TIMER_TIMEOUT => {
                     if let Some(out) = &mut self.outstanding {
                         if out.serial == a {
+                            if out.attempt >= self.retry.retry_budget {
+                                self.fail_outstanding(ctx);
+                                return;
+                            }
                             out.attempt += 1;
+                            self.retry_counters.retransmits += 1;
+                            self.retry_counters.backoffs += 1;
+                            self.rto.back_off();
                             self.send_fragments(ctx, true);
                             ctx.timer_in(
-                                self.timeout,
+                                self.rto.current(),
                                 Timer {
                                     kind: TIMER_TIMEOUT,
                                     a,
@@ -700,6 +849,7 @@ mod tests {
             ClientMode::Pmnet { needed_acks: 1 },
             HostProfile::kernel_client(),
             Dur::millis(10),
+            RetryConfig::default(),
             Box::new(FixedSource::updates(1, 4000)),
         );
         // 1500 - 42 - 24 = 1434 per fragment -> 3 fragments for 4000 B.
@@ -759,6 +909,63 @@ mod tests {
             &ClientMode::Pmnet { needed_acks: 3 },
             &g
         ));
+    }
+
+    #[test]
+    fn rto_estimator_follows_rfc_6298_arithmetic() {
+        let cfg = RetryConfig {
+            rto_min: Dur::micros(1),
+            rto_max: Dur::secs(10),
+            ..RetryConfig::default()
+        };
+        let mut e = RtoEstimator::new(Dur::millis(10), cfg);
+        // Before any sample the initial seed rules.
+        assert_eq!(e.current(), Dur::millis(10));
+        // First sample: SRTT = R, RTTVAR = R/2, RTO = R + 4·(R/2) = 3R.
+        e.sample(Dur::micros(100));
+        assert_eq!(e.current(), Dur::micros(300));
+        // A steady RTT collapses the variance toward zero, pulling the
+        // RTO down toward SRTT.
+        for _ in 0..64 {
+            e.sample(Dur::micros(100));
+        }
+        assert!(e.current() < Dur::micros(120));
+        assert!(e.current() >= Dur::micros(100));
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_clamps_to_the_cap() {
+        let cfg = RetryConfig {
+            rto_min: Dur::millis(1),
+            rto_max: Dur::millis(8),
+            settle_window: Dur::millis(20),
+            ..RetryConfig::default()
+        };
+        let mut e = RtoEstimator::new(Dur::millis(2), cfg);
+        assert_eq!(e.current(), Dur::millis(2));
+        e.back_off();
+        assert_eq!(e.current(), Dur::millis(4));
+        e.back_off();
+        assert_eq!(e.current(), Dur::millis(8));
+        e.back_off();
+        assert_eq!(e.current(), Dur::millis(8)); // capped
+                                                 // A fresh sample clears the backoff.
+        e.sample(Dur::micros(500));
+        assert_eq!(e.current(), Dur::millis(1).max(Dur::micros(1500)));
+    }
+
+    #[test]
+    fn rto_floor_is_enforced() {
+        let cfg = RetryConfig {
+            rto_min: Dur::millis(1),
+            ..RetryConfig::default()
+        };
+        let mut e = RtoEstimator::new(Dur::millis(10), cfg);
+        // A tiny, jitter-free RTT cannot drag the RTO below the floor.
+        for _ in 0..32 {
+            e.sample(Dur::nanos(200));
+        }
+        assert_eq!(e.current(), Dur::millis(1));
     }
 
     #[test]

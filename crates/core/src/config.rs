@@ -137,6 +137,12 @@ pub struct DeviceConfig {
     /// resends it to the server as a redo (repairs forwards lost with no
     /// follow-up traffic to trigger the server's gap detector).
     pub log_retry_timeout: Dur,
+    /// How long a recovery resend staged by a `RecoveryPoll` may sit
+    /// without the server's redo ACK before the device re-fires it
+    /// (doubling per attempt). A lost resend or a lost redo ACK would
+    /// otherwise strand the entry — and the server's recovery barrier —
+    /// forever.
+    pub recovery_resend_timeout: Dur,
 }
 
 impl DeviceConfig {
@@ -152,6 +158,7 @@ impl DeviceConfig {
             log_capacity_bytes: 4 * 625 * 1024,
             cache_entries: 0,
             log_retry_timeout: Dur::millis(5),
+            recovery_resend_timeout: Dur::millis(1),
         }
     }
 
@@ -175,6 +182,70 @@ impl DeviceConfig {
     }
 }
 
+/// Client retransmission/backoff policy (RFC 6298-style RTO estimation)
+/// and the system-wide convergence settle bound.
+///
+/// The client seeds its RTO from [`SystemConfig::client_timeout`] and
+/// thereafter adapts it from measured RTTs, clamped to
+/// `[rto_min, rto_max]` and doubled on every timeout (and on a
+/// congestion-flagged server ACK). After `retry_budget` unanswered
+/// retransmission rounds the request fails terminally — the workload sees
+/// [`crate::client::UpdateOutcome::Failed`] instead of an infinite retry
+/// loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Lower bound of the adaptive RTO (must be non-zero: a zero floor
+    /// lets a jitter-free RTT estimate collapse the timeout to nothing and
+    /// retransmit on every packet).
+    pub rto_min: Dur,
+    /// Upper bound of the adaptive RTO (backoff cap).
+    pub rto_max: Dur,
+    /// Retransmission rounds before a request fails terminally (≥ 1).
+    pub retry_budget: u32,
+    /// How long after the last fault/workload event the system is given to
+    /// converge (device logs drained, every acked update applied). Must
+    /// exceed `rto_max`, or a single maximally-backed-off retransmission
+    /// could not fit inside the window it is supposed to converge in.
+    pub settle_window: Dur,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            rto_min: Dur::millis(1),
+            rto_max: Dur::millis(80),
+            retry_budget: 16,
+            settle_window: Dur::millis(200),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Validates the knobs against each other; returns a description of
+    /// the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rto_min == Dur::ZERO {
+            return Err("retry.rto_min must be non-zero".into());
+        }
+        if self.rto_max < self.rto_min {
+            return Err(format!(
+                "retry.rto_max ({}) must be >= retry.rto_min ({})",
+                self.rto_max, self.rto_min
+            ));
+        }
+        if self.retry_budget == 0 {
+            return Err("retry.retry_budget must be >= 1".into());
+        }
+        if self.settle_window <= self.rto_max {
+            return Err(format!(
+                "retry.settle_window ({}) must exceed retry.rto_max ({})",
+                self.settle_window, self.rto_max
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Everything an experiment needs to assemble a system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
@@ -191,10 +262,24 @@ pub struct SystemConfig {
     pub server_workers: usize,
     /// Server-side PM cost model for handler service times.
     pub cost: CostModel,
-    /// Client retransmission timeout.
+    /// Client retransmission timeout (the *initial* RTO; the client's
+    /// estimator adapts from here within [`RetryConfig`]'s bounds).
     pub client_timeout: Dur,
     /// Server gap-detection delay before requesting a retransmission.
     pub gap_timeout: Dur,
+    /// Client retransmission/backoff policy and the convergence settle
+    /// bound.
+    pub retry: RetryConfig,
+    /// Base delay before the recovering server re-polls devices that have
+    /// not yet reported `RecoveryDone` (doubles per round).
+    pub recovery_poll_timeout: Dur,
+    /// Gap-detector retransmission rounds (with exponential backoff)
+    /// before the server skips an unrecoverable gap — a hole left by a
+    /// client that crashed before any copy of the missing packet became
+    /// durable. Without the bound, one stranded gap wedges the session's
+    /// reorder buffer (and every device log entry queued behind it)
+    /// forever.
+    pub gap_skip_rounds: u32,
 }
 
 impl Default for SystemConfig {
@@ -208,6 +293,9 @@ impl Default for SystemConfig {
             cost: CostModel::optane_server(),
             client_timeout: Dur::millis(10),
             gap_timeout: Dur::micros(100),
+            retry: RetryConfig::default(),
+            recovery_poll_timeout: Dur::micros(500),
+            gap_skip_rounds: 8,
         }
     }
 }
@@ -218,6 +306,32 @@ impl SystemConfig {
         self.client = HostProfile::bypass_client();
         self.server = HostProfile::bypass_server();
         self
+    }
+
+    /// Validates the retry/backoff/recovery knobs; the system builder
+    /// calls this before assembling a world so a nonsensical configuration
+    /// fails loudly instead of silently wedging or spinning.
+    pub fn validate(&self) -> Result<(), String> {
+        self.retry.validate()?;
+        if self.client_timeout == Dur::ZERO {
+            return Err("client_timeout must be non-zero".into());
+        }
+        if self.gap_timeout == Dur::ZERO {
+            return Err("gap_timeout must be non-zero".into());
+        }
+        if self.recovery_poll_timeout == Dur::ZERO {
+            return Err("recovery_poll_timeout must be non-zero".into());
+        }
+        if self.gap_skip_rounds == 0 {
+            return Err("gap_skip_rounds must be >= 1".into());
+        }
+        if self.device.recovery_resend_timeout == Dur::ZERO {
+            return Err("device.recovery_resend_timeout must be non-zero".into());
+        }
+        if self.device.log_retry_timeout == Dur::ZERO {
+            return Err("device.log_retry_timeout must be non-zero".into());
+        }
+        Ok(())
     }
 }
 
@@ -305,5 +419,77 @@ mod tests {
         assert_eq!(*PMNET_UDP_PORTS.start(), 51000);
         assert_eq!(*PMNET_UDP_PORTS.end(), 52000);
         assert_eq!(MTU_BYTES, 1500);
+    }
+
+    #[test]
+    fn default_retry_config_is_valid() {
+        assert_eq!(RetryConfig::default().validate(), Ok(()));
+        assert_eq!(SystemConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn retry_config_rejects_zero_rto_floor() {
+        let r = RetryConfig {
+            rto_min: Dur::ZERO,
+            ..RetryConfig::default()
+        };
+        assert!(r.validate().unwrap_err().contains("rto_min"));
+    }
+
+    #[test]
+    fn retry_config_rejects_inverted_rto_bounds() {
+        let r = RetryConfig {
+            rto_min: Dur::millis(10),
+            rto_max: Dur::millis(5),
+            ..RetryConfig::default()
+        };
+        assert!(r.validate().unwrap_err().contains("rto_max"));
+    }
+
+    #[test]
+    fn retry_config_rejects_zero_retry_budget() {
+        let r = RetryConfig {
+            retry_budget: 0,
+            ..RetryConfig::default()
+        };
+        assert!(r.validate().unwrap_err().contains("retry_budget"));
+    }
+
+    #[test]
+    fn retry_config_rejects_settle_window_inside_backoff_cap() {
+        let r = RetryConfig {
+            rto_max: Dur::millis(80),
+            settle_window: Dur::millis(80),
+            ..RetryConfig::default()
+        };
+        assert!(r.validate().unwrap_err().contains("settle_window"));
+    }
+
+    #[test]
+    fn system_config_validation_covers_recovery_knobs() {
+        let s = SystemConfig {
+            recovery_poll_timeout: Dur::ZERO,
+            ..SystemConfig::default()
+        };
+        assert!(s.validate().unwrap_err().contains("recovery_poll_timeout"));
+
+        let s = SystemConfig {
+            gap_skip_rounds: 0,
+            ..SystemConfig::default()
+        };
+        assert!(s.validate().unwrap_err().contains("gap_skip_rounds"));
+
+        let mut s = SystemConfig::default();
+        s.device.recovery_resend_timeout = Dur::ZERO;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .contains("recovery_resend_timeout"));
+
+        let s = SystemConfig {
+            client_timeout: Dur::ZERO,
+            ..SystemConfig::default()
+        };
+        assert!(s.validate().unwrap_err().contains("client_timeout"));
     }
 }

@@ -19,8 +19,8 @@ use std::collections::HashMap;
 use crate::cache::ReadCache;
 use crate::config::DeviceConfig;
 use crate::kvproto::KvFrame;
-use crate::logstore::{LogOutcome, LogStore};
-use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_REDO};
+use crate::logstore::{BypassReason, LogOutcome, LogStore};
+use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_CONGESTED, FLAG_REDO};
 
 const TIMER_PERSIST_DONE: u32 = 1;
 const TIMER_RECOVERY_RESEND: u32 = 2;
@@ -35,8 +35,17 @@ pub struct DeviceCounters {
     pub acks_sent: u64,
     /// Retransmissions served from the log.
     pub retrans_served: u64,
-    /// Recovery resends transmitted.
+    /// Recovery resends transmitted (including backoff re-fires).
     pub recovery_resends: u64,
+    /// Recovery resends re-fired because the server's redo ack had not
+    /// arrived within the backoff window (the retried subset of
+    /// `recovery_resends`).
+    pub recovery_resend_retries: u64,
+    /// `RecoveryDone` notifications sent to recovering servers.
+    pub recovery_done_sent: u64,
+    /// Update forwards stamped with [`FLAG_CONGESTED`] because the log
+    /// bypassed them under pressure (queue or capacity full).
+    pub congestion_flagged: u64,
     /// Unacknowledged log entries re-forwarded to the server.
     pub entry_retries: u64,
     /// Reads served from the cache.
@@ -61,10 +70,20 @@ pub struct PmnetDevice {
     counters: DeviceCounters,
     alive: bool,
     epoch: u64,
-    /// Recovery resends staged by a poll, keyed by a monotonically
-    /// increasing ticket carried in the pacing timer.
-    staged_resends: HashMap<u64, crate::logstore::LogEntry>,
-    next_ticket: u64,
+    /// Recovery resends staged by a poll, keyed by entry hash. An entry
+    /// stays staged — re-fired on a backoff timer — until the server's
+    /// redo ack invalidates it; when the last staged entry for a server
+    /// clears, the device emits `RecoveryDone`.
+    staged_resends: HashMap<u32, StagedResend>,
+}
+
+/// Book-keeping for one staged recovery resend.
+#[derive(Debug, Clone, Copy)]
+struct StagedResend {
+    /// The recovering server this entry is destined to.
+    server: Addr,
+    /// Transmissions fired so far (drives the backoff exponent).
+    attempts: u32,
 }
 
 impl PmnetDevice {
@@ -87,7 +106,6 @@ impl PmnetDevice {
             alive: true,
             epoch: 0,
             staged_resends: HashMap::new(),
-            next_ticket: 0,
         }
     }
 
@@ -176,26 +194,44 @@ impl PmnetDevice {
             self.counters.corrupt_dropped += 1;
             return;
         }
-        // Egress: forward to the destination server immediately; logging
-        // happens in parallel (Figure 3, steps 2–3).
         let server = packet.dst;
         let client_port = packet.src_port;
         let server_port = packet.dst_port;
-        self.forward(ctx, packet);
         if header.is_redo() {
             // A redo resend from an upstream device's log; it is already
             // persistent upstream and must not be re-acknowledged.
+            self.forward(ctx, packet);
             return;
         }
+        // Try the log first so a pressure bypass can be stamped on the
+        // forwarded copy; the forward still happens at `ctx.now()` either
+        // way, so the fast path's timing is unchanged (Figure 3: egress
+        // forward in parallel with PM logging).
         let arrival = ctx.now() + self.pipeline_for(payload.len());
-        match self.log.try_log(
+        let outcome = self.log.try_log(
             arrival,
             header,
             payload.clone(),
             server,
             client_port,
             server_port,
+        );
+        let mut packet = packet;
+        if matches!(
+            outcome,
+            LogOutcome::Bypass(BypassReason::QueueFull | BypassReason::LogFull)
         ) {
+            // Backpressure: the log could not hold this update. Flag the
+            // forwarded copy so the server's ACK tells the client to widen
+            // its RTO instead of hammering a full log. (Hash-collision
+            // bypasses are not pressure and stay unflagged.)
+            let mut h = header;
+            h.flags |= FLAG_CONGESTED;
+            packet.payload = h.encode(&payload);
+            self.counters.congestion_flagged += 1;
+        }
+        self.forward(ctx, packet);
+        match outcome {
             LogOutcome::Logged { ack_at } => {
                 ctx.timer_in(
                     ack_at.saturating_since(ctx.now()),
@@ -259,9 +295,28 @@ impl PmnetDevice {
                 }
             }
         }
+        // The redo ack is also the staged-resend confirmation: the server
+        // has applied (or deduplicated) this entry, so stop re-firing it
+        // and, if it was the last one outstanding for that server, report
+        // the log drained.
+        if let Some(staged) = self.staged_resends.remove(&header.hash) {
+            self.maybe_recovery_done(ctx, staged.server);
+        }
         // Forward toward the client; the next PMNet on the route may hold
         // its own copy of the log (Section IV-B1).
         self.forward(ctx, packet);
+    }
+
+    /// Emits `RecoveryDone` to `server` once no staged resend for it
+    /// remains. Safe to call eagerly: it re-checks the staging table.
+    fn maybe_recovery_done(&mut self, ctx: &mut Ctx<'_>, server: Addr) {
+        if self.staged_resends.values().any(|s| s.server == server) {
+            return;
+        }
+        let h = PmnetHeader::request(PacketType::RecoveryDone, 0, 0, self.addr, server, 0, 1);
+        let pkt = Packet::udp(self.addr, server, 51002, 51000, h.encode(&[]));
+        self.counters.recovery_done_sent += 1;
+        self.emit(ctx, server, pkt);
     }
 
     fn handle_retrans(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
@@ -347,26 +402,42 @@ impl PmnetDevice {
             self.forward(ctx, packet);
             return;
         }
-        // Resend every durable entry destined to the polling server, in
+        // Stage every durable entry destined to the polling server, in
         // (client, session, seq) order, paced by PM read completions
         // (Figure 3 recovery steps; Section VI-B6 measures this rate).
+        // Entries stay staged until the server's redo ack confirms
+        // application, so a repeated poll (the server re-polls with
+        // backoff until it hears `RecoveryDone`) is idempotent: already
+        // staged entries are owned by their backoff timers and are not
+        // staged twice.
         let server = packet.src;
         let entries = self.log.entries_for(server, ctx.now());
         for entry in entries {
+            if self.staged_resends.contains_key(&entry.header.hash) {
+                continue;
+            }
             let bytes = (entry.payload.len() + crate::protocol::HEADER_LEN) as u32;
             let ready = self.log.schedule_read(ctx.now(), bytes);
-            let ticket = self.next_ticket;
-            self.next_ticket += 1;
-            self.staged_resends.insert(ticket, entry);
+            self.staged_resends.insert(
+                entry.header.hash,
+                StagedResend {
+                    server,
+                    attempts: 0,
+                },
+            );
             ctx.timer_in(
                 ready.saturating_since(ctx.now()) + self.config.pipeline_delay,
                 Timer {
                     kind: TIMER_RECOVERY_RESEND,
-                    a: ticket,
+                    a: u64::from(entry.header.hash),
                     b: self.epoch,
                 },
             );
         }
+        // Nothing (left) to resend for this server: report the drain
+        // immediately. This also repairs a lost `RecoveryDone` — the
+        // server's next poll regenerates it.
+        self.maybe_recovery_done(ctx, server);
     }
 
     /// Re-forwards a still-unacknowledged log entry to its server as a
@@ -396,14 +467,18 @@ impl PmnetDevice {
         );
     }
 
-    fn fire_recovery_resend(&mut self, ctx: &mut Ctx<'_>, ticket: u64) {
-        let Some(entry) = self.staged_resends.remove(&ticket) else {
+    fn fire_recovery_resend(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
+        let Some(staged) = self.staged_resends.get(&hash).copied() else {
+            return; // confirmed by a redo ack since the timer was armed
+        };
+        // The entry may have been invalidated since the poll (e.g. the
+        // normal-path server ack raced the staging): nothing left to
+        // resend — clear the stage and maybe report the drain.
+        let Some(entry) = self.log.peek(hash).cloned() else {
+            self.staged_resends.remove(&hash);
+            self.maybe_recovery_done(ctx, staged.server);
             return;
         };
-        // The entry may have been invalidated since the poll.
-        if self.log.peek(entry.header.hash).is_none() {
-            return;
-        }
         let mut h = entry.header;
         h.flags |= FLAG_REDO;
         let pkt = Packet::udp(
@@ -414,7 +489,27 @@ impl PmnetDevice {
             h.encode(&entry.payload),
         );
         self.counters.recovery_resends += 1;
+        let attempts = {
+            let s = self.staged_resends.get_mut(&hash).expect("checked above");
+            s.attempts += 1;
+            s.attempts
+        };
+        if attempts > 1 {
+            self.counters.recovery_resend_retries += 1;
+        }
         self.emit(ctx, entry.server, pkt);
+        // Keep the entry staged: if the redo (or its ack) is lost, re-fire
+        // after an exponentially backed-off wait. The redo ack path
+        // (`handle_server_ack`) is what finally clears the stage.
+        let backoff = self.config.recovery_resend_timeout * (1u64 << (attempts - 1).min(4));
+        ctx.timer_in(
+            backoff,
+            Timer {
+                kind: TIMER_RECOVERY_RESEND,
+                a: u64::from(hash),
+                b: self.epoch,
+            },
+        );
     }
 
     fn handle_pmnet_packet(
@@ -431,9 +526,11 @@ impl PmnetDevice {
             PacketType::Retrans => self.handle_retrans(ctx, header, packet),
             PacketType::AppReply => self.handle_app_reply(ctx, payload, packet),
             PacketType::RecoveryPoll => self.handle_recovery_poll(ctx, packet),
-            // ACKs from other PMNets (and cache responses in flight) are
-            // forwarded along their path.
-            PacketType::PmnetAck | PacketType::CacheResp => self.forward(ctx, packet),
+            // ACKs from other PMNets, cache responses, and drain reports
+            // from devices further along the path are forwarded.
+            PacketType::PmnetAck | PacketType::CacheResp | PacketType::RecoveryDone => {
+                self.forward(ctx, packet)
+            }
         }
     }
 }
@@ -464,7 +561,7 @@ impl Node for PmnetDevice {
                 }
                 match kind {
                     TIMER_PERSIST_DONE => self.send_ack(ctx, a as u32),
-                    TIMER_RECOVERY_RESEND => self.fire_recovery_resend(ctx, a),
+                    TIMER_RECOVERY_RESEND => self.fire_recovery_resend(ctx, a as u32),
                     TIMER_ENTRY_RETRY => self.retry_entry(ctx, a as u32),
                     _ => {}
                 }
@@ -484,6 +581,21 @@ impl Node for PmnetDevice {
             }
             Msg::Restore => {
                 self.alive = true;
+                // Surviving (durable) entries lost their retry timers with
+                // the pre-crash epoch: re-arm them so an entry whose
+                // server ack was in flight during the outage still gets
+                // re-driven to the server instead of sitting in the log
+                // forever.
+                for hash in self.log.hashes() {
+                    ctx.timer_in(
+                        self.config.log_retry_timeout,
+                        Timer {
+                            kind: TIMER_ENTRY_RETRY,
+                            a: u64::from(hash),
+                            b: self.epoch,
+                        },
+                    );
+                }
             }
             _ => {}
         }
@@ -507,8 +619,9 @@ mod tests {
     /// client(EchoHost-sink) -- device -- server(EchoHost-sink)
     ///
     /// EchoHost servers never send server-ACKs, so the rig disables the
-    /// device's unacknowledged-entry retry to keep runs quiescent; the
-    /// retry behaviour has its own test below.
+    /// device's unacknowledged-entry retry and staged-resend re-fire to
+    /// keep runs quiescent; both retry behaviours have their own tests
+    /// below.
     fn rig(
         mut config: DeviceConfig,
     ) -> (
@@ -518,6 +631,7 @@ mod tests {
         pmnet_sim::NodeId,
     ) {
         config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        config.recovery_resend_timeout = pmnet_sim::Dur::secs(3600);
         let mut w = World::new(11);
         let client = w.add_node(Box::new(EchoHost::sink(Addr(1))));
         let server = w.add_node(Box::new(EchoHost::sink(Addr(9))));
@@ -667,6 +781,103 @@ mod tests {
         assert!(d.counters().entry_retries >= 3, "{:?}", d.counters());
         assert!(w.node::<EchoHost>(server).received() >= 4);
         // Still exactly one log entry (retries are redo copies).
+        assert_eq!(d.log_len(), 1);
+    }
+
+    #[test]
+    fn staged_resends_refire_until_the_redo_ack_confirms() {
+        let mut config = SystemConfig::default().device;
+        config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        config.recovery_resend_timeout = pmnet_sim::Dur::micros(50);
+        let mut w = World::new(11);
+        let client = w.add_node(Box::new(EchoHost::sink(Addr(1))));
+        let server = w.add_node(Box::new(EchoHost::sink(Addr(9))));
+        let dev = w.add_node(Box::new(PmnetDevice::new("pmnet0", 1, Addr(100), config)));
+        w.connect(client, dev, LinkSpec::ten_gbps());
+        w.connect(dev, server, LinkSpec::ten_gbps());
+        w.populate_switch_routes();
+        let (h, pkt) = update_packet(1, b"hello");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(1));
+        // The server "crashes and recovers", then polls; its redo acks
+        // never come back (EchoHost sink), so the device must keep
+        // re-firing the staged resend with backoff.
+        let poll = PmnetHeader::request(PacketType::RecoveryPoll, 0, 0, Addr(9), Addr(100), 0, 1);
+        w.inject(
+            server,
+            Packet::udp(Addr(9), Addr(100), 51000, 51002, poll.encode(&[])),
+        );
+        w.run_for(pmnet_sim::Dur::millis(2));
+        let d = w.node::<PmnetDevice>(dev);
+        assert!(d.counters().recovery_resends >= 3, "{:?}", d.counters());
+        assert!(
+            d.counters().recovery_resend_retries >= 2,
+            "{:?}",
+            d.counters()
+        );
+        assert_eq!(d.counters().recovery_done_sent, 0);
+        // The redo ack finally lands: the stage clears, RecoveryDone goes
+        // out, and the re-fire loop stops.
+        let ack = Packet::udp(Addr(9), Addr(1), 51000, 51001, h.server_ack().encode(&[]));
+        w.inject(server, ack);
+        w.run_for(pmnet_sim::Dur::millis(1));
+        let resends_at_ack = w.node::<PmnetDevice>(dev).counters().recovery_resends;
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().recovery_done_sent, 1);
+        assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(
+            w.node::<PmnetDevice>(dev).counters().recovery_resends,
+            resends_at_ack,
+            "re-fires must stop once the redo ack confirms"
+        );
+    }
+
+    #[test]
+    fn repeated_polls_are_idempotent_and_regenerate_recovery_done() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        // Poll an empty log: the device reports the drain immediately.
+        let poll = PmnetHeader::request(PacketType::RecoveryPoll, 0, 0, Addr(9), Addr(100), 0, 1);
+        let poll_pkt = || Packet::udp(Addr(9), Addr(100), 51000, 51002, poll.encode(&[]));
+        w.inject(server, poll_pkt());
+        w.run_for(pmnet_sim::Dur::millis(1));
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().recovery_done_sent, 1);
+        // A second poll (the first RecoveryDone may have been lost)
+        // regenerates the report.
+        w.inject(server, poll_pkt());
+        w.run_for(pmnet_sim::Dur::millis(1));
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().recovery_done_sent, 2);
+        // With an entry staged, repeated polls do not stage (or resend) it
+        // twice: the backoff timer owns it.
+        let (_, pkt) = update_packet(1, b"hello");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(1));
+        w.inject(server, poll_pkt());
+        w.inject(server, poll_pkt());
+        w.run_for(pmnet_sim::Dur::millis(2));
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.counters().recovery_resends, 1, "{:?}", d.counters());
+        // And no premature drain report while the entry is outstanding.
+        assert_eq!(d.counters().recovery_done_sent, 2);
+    }
+
+    #[test]
+    fn log_pressure_bypass_stamps_the_congestion_flag() {
+        // A one-entry log: the second distinct update bypasses on LogFull
+        // and its forwarded copy must carry the congestion flag.
+        let config = SystemConfig::default().device.with_log_capacity(1, 1 << 20);
+        let (mut w, client, dev, server) = rig(config);
+        let (_, p1) = update_packet(1, b"first");
+        let (_, p2) = update_packet(2, b"second");
+        w.inject(client, p1);
+        w.run_for(pmnet_sim::Dur::millis(1));
+        w.inject(client, p2);
+        w.run_for(pmnet_sim::Dur::millis(1));
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.log_counters().bypass_full, 1);
+        assert_eq!(d.counters().congestion_flagged, 1);
+        // Both copies were still forwarded to the server.
+        assert_eq!(w.node::<EchoHost>(server).received(), 2);
+        // Collision-free logged packets stay unflagged.
         assert_eq!(d.log_len(), 1);
     }
 

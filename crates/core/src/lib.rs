@@ -60,8 +60,11 @@ pub mod server;
 pub mod system;
 
 pub use cache::{CacheState, ReadCache};
-pub use client::{ClientLib, ClientMode, CompletionRecord, RequestKind, RequestSource};
-pub use config::{DeviceConfig, HostProfile, SystemConfig};
+pub use client::{
+    ClientLib, ClientMode, ClientRetryCounters, CompletionRecord, RequestKind, RequestSource,
+    RtoEstimator, UpdateOutcome,
+};
+pub use config::{DeviceConfig, HostProfile, RetryConfig, SystemConfig};
 pub use device::PmnetDevice;
 pub use logstore::{LogOutcome, LogStore};
 pub use protocol::{PacketType, PmnetHeader, PMNET_PORT_HI, PMNET_PORT_LO};

@@ -234,6 +234,13 @@ impl LogStore {
         v
     }
 
+    /// The hashes of every live entry, in unspecified order. Used by the
+    /// device's restart path to re-arm per-entry retry timers (the old
+    /// timers died with the pre-crash epoch).
+    pub fn hashes(&self) -> Vec<u32> {
+        self.entries.keys().copied().collect()
+    }
+
     /// Schedules a PM read of `bytes` (recovery resend pacing); returns the
     /// completion instant.
     pub fn schedule_read(&mut self, now: Time, bytes: u32) -> Time {

@@ -30,6 +30,12 @@ pub const HEADER_LEN: usize = 24;
 /// Flag bit: this packet is a redo resend from a device log (recovery).
 pub const FLAG_REDO: u8 = 0x10;
 
+/// Flag bit: a PMNet device forwarded the update without logging it
+/// because its log (or log queue) was full. The server's ACK carries the
+/// flag back to the client, which widens its retransmission timeout
+/// instead of hammering a device under pressure (backpressure).
+pub const FLAG_CONGESTED: u8 = 0x20;
+
 /// PMNet packet types (Section IV-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -51,6 +57,11 @@ pub enum PacketType {
     /// Server polls devices for logged requests during recovery
     /// (Section IV-E1).
     RecoveryPoll = 8,
+    /// A device reports that its per-server log has fully drained after a
+    /// recovery poll: every staged redo resend was confirmed by a server
+    /// ACK. The server's recovery barrier waits for one of these from
+    /// every registered device.
+    RecoveryDone = 9,
 }
 
 impl PacketType {
@@ -64,6 +75,7 @@ impl PacketType {
             6 => PacketType::CacheResp,
             7 => PacketType::AppReply,
             8 => PacketType::RecoveryPoll,
+            9 => PacketType::RecoveryDone,
             _ => return None,
         })
     }
@@ -217,11 +229,14 @@ impl PmnetHeader {
         }
     }
 
-    /// A derived server-ACK header for this request.
+    /// A derived server-ACK header for this request. The congestion flag
+    /// survives the derivation (the ACK is the only packet that travels
+    /// back to the client on the bypass path), the redo flag does not —
+    /// an ACK is an ACK regardless of how the update reached the server.
     pub fn server_ack(&self) -> PmnetHeader {
         PmnetHeader {
             ptype: PacketType::ServerAck,
-            flags: 0,
+            flags: self.flags & FLAG_CONGESTED,
             device_id: 0,
             ..*self
         }
@@ -230,6 +245,12 @@ impl PmnetHeader {
     /// True if this packet is a redo resend from a device log.
     pub fn is_redo(&self) -> bool {
         self.flags & FLAG_REDO != 0
+    }
+
+    /// True if a device marked this packet (or the request it answers) as
+    /// forwarded under log pressure.
+    pub fn is_congested(&self) -> bool {
+        self.flags & FLAG_CONGESTED != 0
     }
 }
 
@@ -289,6 +310,35 @@ mod tests {
         assert_ne!(base.hash, other_seq.hash);
         assert_ne!(base.hash, other_sess.hash);
         assert_ne!(base.hash, other_client.hash);
+    }
+
+    #[test]
+    fn congested_flag_round_trips_and_survives_the_server_ack() {
+        let mut h = sample();
+        h.flags = FLAG_CONGESTED;
+        let body = h.encode(b"");
+        let (h2, _) = PmnetHeader::decode(&body).unwrap();
+        assert!(h2.is_congested());
+        assert!(!h2.is_redo());
+        // The derived server-ACK keeps the congestion signal for the
+        // client but strips the redo flag.
+        let mut both = sample();
+        both.flags = FLAG_CONGESTED | FLAG_REDO;
+        let ack = both.server_ack();
+        assert!(ack.is_congested());
+        assert!(!ack.is_redo());
+        assert_eq!(ack.ptype, PacketType::ServerAck);
+        // A clean request derives a clean ACK.
+        assert!(!sample().server_ack().is_congested());
+    }
+
+    #[test]
+    fn recovery_done_round_trips() {
+        let h = PmnetHeader::request(PacketType::RecoveryDone, 0, 0, Addr(100), Addr(9), 0, 1);
+        let body = h.encode(&[]);
+        let (h2, _) = PmnetHeader::decode(&body).unwrap();
+        assert_eq!(h2.ptype, PacketType::RecoveryDone);
+        assert_eq!(h2.client, Addr(100));
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub struct ServerCounters {
     /// Requests dropped because the header hash or payload CRC failed to
     /// verify (a bit flipped in flight).
     pub corrupt_dropped: u64,
+    /// Unrecoverable gaps skipped after the bounded retransmission rounds
+    /// ran out (a crashed client stranded a hole no log can fill).
+    pub gaps_skipped: u64,
 }
 
 /// Recovery bookkeeping exposed to the harness (Section VI-B6).
@@ -164,6 +167,12 @@ pub struct RecoveryStats {
     pub redo_applied: u64,
     /// When the last redo update was applied.
     pub last_redo_at: Time,
+    /// Re-poll rounds fired because some device had not yet reported
+    /// `RecoveryDone` (0 when the first poll sufficed).
+    pub poll_retries: u64,
+    /// When the last registered device reported `RecoveryDone`
+    /// ([`Time::MAX`] while the recovery barrier is still open).
+    pub barrier_done_at: Time,
 }
 
 #[derive(Debug, Clone)]
@@ -205,7 +214,16 @@ pub struct ServerLib {
     next_job: u64,
     counters: ServerCounters,
     gap_timeout: Dur,
+    /// No-progress gap-detector rounds per stream (drives the exponential
+    /// re-arm and the bounded skip).
+    gap_rounds: HashMap<(Addr, u16), u32>,
+    gap_skip_rounds: u32,
     devices: Vec<Addr>,
+    /// Devices that have not yet reported `RecoveryDone` since the last
+    /// restore (the recovery barrier).
+    recovery_pending: Vec<Addr>,
+    recovery_poll_timeout: Dur,
+    poll_round: u32,
     alive: bool,
     epoch: u64,
     recovery: Option<RecoveryStats>,
@@ -269,7 +287,12 @@ impl ServerLib {
             next_job: 0,
             counters: ServerCounters::default(),
             gap_timeout,
+            gap_rounds: HashMap::new(),
+            gap_skip_rounds: 8,
             devices: Vec::new(),
+            recovery_pending: Vec::new(),
+            recovery_poll_timeout: Dur::micros(500),
+            poll_round: 0,
             alive: true,
             epoch: 0,
             recovery: None,
@@ -296,6 +319,29 @@ impl ServerLib {
     pub fn with_devices(mut self, devices: Vec<Addr>) -> ServerLib {
         self.devices = devices;
         self
+    }
+
+    /// Overrides the base delay between recovery re-polls (doubles per
+    /// round while some device has not reported `RecoveryDone`).
+    #[must_use]
+    pub fn with_recovery_poll_timeout(mut self, t: Dur) -> ServerLib {
+        self.recovery_poll_timeout = t;
+        self
+    }
+
+    /// Overrides how many no-progress gap-detector rounds are tolerated
+    /// before an unrecoverable gap is skipped.
+    #[must_use]
+    pub fn with_gap_skip_rounds(mut self, rounds: u32) -> ServerLib {
+        self.gap_skip_rounds = rounds;
+        self
+    }
+
+    /// Devices still missing from the recovery barrier (0 = every
+    /// registered device has reported `RecoveryDone` since the last
+    /// restore).
+    pub fn recovery_pending(&self) -> usize {
+        self.recovery_pending.len()
     }
 
     /// Enables Figure 17b server-side logging: updates are persisted at
@@ -639,9 +685,11 @@ impl ServerLib {
         let key = (client, session);
         let expected_now = self.expected.get(&key).copied().unwrap_or(0);
         let Some(buf) = self.reorder.get(&key) else {
+            self.gap_rounds.remove(&key);
             return;
         };
         if buf.is_empty() {
+            self.gap_rounds.remove(&key);
             return;
         }
         if expected_now != expected_then {
@@ -649,6 +697,7 @@ impl ServerLib {
             // overtook its successors through the jittery stack and later
             // ones are still buffered): re-arm against the new expectation
             // rather than silently disarming.
+            self.gap_rounds.insert(key, 0);
             ctx.timer_in(
                 self.gap_timeout,
                 Timer {
@@ -657,6 +706,20 @@ impl ServerLib {
                     b: u64::from(session) | (u64::from(expected_now) << 16),
                 },
             );
+            return;
+        }
+        let round = {
+            let r = self.gap_rounds.entry(key).or_insert(0);
+            *r += 1;
+            *r
+        };
+        if round > self.gap_skip_rounds {
+            // Every retransmission round went unanswered: no client and no
+            // device log can fill this hole (the client crashed before any
+            // copy became durable, or gave up terminally). Skip it so the
+            // packets queued behind it — which *are* durably claimed —
+            // still converge instead of wedging forever.
+            self.skip_gap(ctx, key);
             return;
         }
         let first_buffered = *buf.keys().next().expect("non-empty");
@@ -668,15 +731,76 @@ impl ServerLib {
             self.counters.retrans_sent += 1;
             self.send_via_stack(ctx, pkt);
         }
-        // Re-arm in case the retransmission is lost too.
+        // Re-arm with exponential backoff in case the retransmission is
+        // lost too (capped at 16x the base detector delay).
         ctx.timer_in(
-            self.gap_timeout * 4,
+            self.gap_timeout * (1u64 << round.min(4)),
             Timer {
                 kind: TIMER_GAP,
                 a,
                 b,
             },
         );
+    }
+
+    /// Abandons the gap at the head of `key`'s reorder buffer: drops
+    /// buffered continuation fragments whose head fragment is inside the
+    /// gap (they can never be assembled), advances the expectation to the
+    /// first deliverable packet, and drains whatever unblocked.
+    fn skip_gap(&mut self, ctx: &mut Ctx<'_>, key: (Addr, u16)) {
+        // A partial assembly's next fragment is the lost seq itself: the
+        // request is torn and can never complete. Dropping the partial
+        // keeps a later fragment from being glued onto the wrong request.
+        self.assembly.remove(&key);
+        let Some(buf) = self.reorder.get_mut(&key) else {
+            return;
+        };
+        let mut skip_to = None;
+        loop {
+            match buf.iter().next().map(|(&s, p)| (s, p.header.frag_idx)) {
+                // A head fragment: delivery can resume here.
+                Some((s, 0)) => {
+                    skip_to = Some(s);
+                    break;
+                }
+                // A continuation fragment whose head is lost: unusable.
+                Some((s, _)) => {
+                    buf.remove(&s);
+                    skip_to = Some(s + 1);
+                }
+                None => break,
+            }
+        }
+        let Some(skip_to) = skip_to else {
+            return; // buffer drained by a racing delivery
+        };
+        self.counters.gaps_skipped += 1;
+        self.gap_rounds.insert(key, 0);
+        self.expected.insert(key, skip_to);
+        loop {
+            let next_expected = self.expected.get(&key).copied().unwrap_or(0);
+            let Some(buf) = self.reorder.get_mut(&key) else {
+                break;
+            };
+            let Some(first) = buf.keys().next().copied() else {
+                break;
+            };
+            if first != next_expected {
+                // Another gap behind the skipped one: restart the detector
+                // (it gets the full retransmission budget again).
+                ctx.timer_in(
+                    self.gap_timeout,
+                    Timer {
+                        kind: TIMER_GAP,
+                        a: u64::from(key.0 .0),
+                        b: u64::from(key.1) | (u64::from(next_expected) << 16),
+                    },
+                );
+                break;
+            }
+            let pkt = buf.remove(&first).expect("key just seen");
+            self.deliver_update(ctx, pkt);
+        }
     }
 
     /// Integrity check for inbound requests. Replica copies arrive with
@@ -712,7 +836,21 @@ impl ServerLib {
             PacketType::UpdateReq => self.on_update_post_stack(ctx, pending),
             PacketType::BypassReq => self.on_bypass_post_stack(ctx, pending),
             PacketType::ServerAck => self.on_replica_ack(ctx, header),
+            PacketType::RecoveryDone => self.on_recovery_done(ctx, packet.src),
             _ => {}
+        }
+    }
+
+    /// A device reports its per-server log drained: retire it from the
+    /// recovery barrier. Duplicate reports (regenerated by re-polls whose
+    /// `RecoveryDone` raced ours) are no-ops.
+    fn on_recovery_done(&mut self, ctx: &mut Ctx<'_>, device: Addr) {
+        let before = self.recovery_pending.len();
+        self.recovery_pending.retain(|d| *d != device);
+        if before > 0 && self.recovery_pending.is_empty() {
+            if let Some(r) = &mut self.recovery {
+                r.barrier_done_at = ctx.now();
+            }
         }
     }
 
@@ -855,11 +993,21 @@ impl Node for ServerLib {
                         if b != self.epoch {
                             return;
                         }
-                        if let Some(r) = &mut self.recovery {
-                            r.polled_at = ctx.now();
+                        if self.recovery_pending.is_empty() {
+                            return; // barrier closed between arm and fire
                         }
-                        let devices = self.devices.clone();
-                        for dev in devices {
+                        if let Some(r) = &mut self.recovery {
+                            if r.polled_at == Time::MAX {
+                                r.polled_at = ctx.now();
+                            } else {
+                                r.poll_retries += 1;
+                            }
+                        }
+                        // Poll only the devices still missing from the
+                        // barrier; a dropped poll, resend, redo ack, or
+                        // RecoveryDone all heal on the next round.
+                        let pending = self.recovery_pending.clone();
+                        for dev in pending {
                             let h = PmnetHeader::request(
                                 PacketType::RecoveryPoll,
                                 0,
@@ -872,6 +1020,16 @@ impl Node for ServerLib {
                             let pkt = Packet::udp(self.addr, dev, self.port, 51002, h.encode(&[]));
                             self.send_via_stack(ctx, pkt);
                         }
+                        let backoff = self.recovery_poll_timeout * (1u64 << self.poll_round.min(4));
+                        self.poll_round += 1;
+                        ctx.timer_in(
+                            backoff,
+                            Timer {
+                                kind: TIMER_RECOVERY_POLL,
+                                a: 0,
+                                b: self.epoch,
+                            },
+                        );
                     }
                     _ => {}
                 }
@@ -889,6 +1047,7 @@ impl Node for ServerLib {
                 self.reorder.clear();
                 self.assembly.clear();
                 self.jobs.clear();
+                self.gap_rounds.clear();
                 self.pending_replication.clear();
                 let now = ctx.now();
                 for w in &mut self.workers {
@@ -900,11 +1059,20 @@ impl Node for ServerLib {
                 self.alive = true;
                 self.epoch += 1;
                 let app_recovery = self.handler.on_recover();
+                self.recovery_pending = self.devices.clone();
+                self.poll_round = 0;
+                self.gap_rounds.clear();
                 self.recovery = Some(RecoveryStats {
                     restored_at: ctx.now(),
                     polled_at: Time::MAX,
                     redo_applied: 0,
                     last_redo_at: ctx.now(),
+                    poll_retries: 0,
+                    barrier_done_at: if self.devices.is_empty() {
+                        ctx.now()
+                    } else {
+                        Time::MAX
+                    },
                 });
                 ctx.timer_in(
                     app_recovery,

@@ -19,11 +19,13 @@
 
 use bytes::Bytes;
 use pmnet_net::{Addr, Switch, World};
-use pmnet_sim::stats::LatencyHistogram;
+use pmnet_sim::stats::{CounterSet, LatencyHistogram};
 use pmnet_sim::{Dur, NodeId, SimRng, Time};
 
 use crate::alt::{PeerLogger, LOCAL_LOG_PERSIST};
-use crate::client::{AppRequest, ClientLib, ClientMode, RequestKind, RequestSource};
+use crate::client::{
+    AppRequest, ClientLib, ClientMode, ClientRetryCounters, RequestKind, RequestSource,
+};
 use crate::config::SystemConfig;
 use crate::device::PmnetDevice;
 use crate::server::{IdealHandler, RequestHandler, ServerLib};
@@ -201,8 +203,17 @@ impl SystemBuilder {
     }
 
     /// Assembles the world. `seed` fixes all randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SystemConfig::validate`] rejects the configuration —
+    /// a nonsensical retry/recovery knob would wedge or spin the run,
+    /// which is much harder to diagnose than failing here.
     pub fn build(mut self, seed: u64) -> BuiltSystem {
         assert!(!self.sources.is_empty(), "need at least one client");
+        if let Err(e) = self.config.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let cfg = self.config;
         let mode = self.client_mode();
         let mut world = World::new(seed);
@@ -217,6 +228,7 @@ impl SystemBuilder {
                 mode.clone(),
                 cfg.client,
                 cfg.client_timeout,
+                cfg.retry,
                 source,
             )
             .with_warmup(self.warmup);
@@ -247,7 +259,9 @@ impl SystemBuilder {
                 cfg.gap_timeout,
                 handler,
             )
-            .with_devices(device_addrs.clone());
+            .with_devices(device_addrs.clone())
+            .with_recovery_poll_timeout(cfg.recovery_poll_timeout)
+            .with_gap_skip_rounds(cfg.gap_skip_rounds);
             match self.design {
                 DesignPoint::ClientServerReplicated { replicas: r } => {
                     let backups: Vec<Addr> = (1..r)
@@ -481,6 +495,93 @@ impl BuiltSystem {
             client_retries: retries,
             end: self.world.now(),
         }
+    }
+
+    /// Every `(client, session, seq)` update the clients consider
+    /// acknowledged — the ground truth the audit checks the server's apply
+    /// log against.
+    pub fn acked_updates(&self) -> Vec<(Addr, u16, u32)> {
+        let mut acked = Vec::new();
+        for &c in &self.clients {
+            let client = self.world.node::<ClientLib>(c);
+            let addr = client.client_addr();
+            for &(session, seq) in client.acked_updates() {
+                acked.push((addr, session, seq));
+            }
+        }
+        acked
+    }
+
+    /// Log entries still staged across every device. A converged system
+    /// drains to zero: each entry is either invalidated by a server-ACK on
+    /// the fast path or confirmed by a redo ack during recovery.
+    pub fn stranded_log_entries(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|&d| self.world.node::<PmnetDevice>(d).log_len())
+            .sum()
+    }
+
+    /// Retransmission/backoff counters summed across all clients.
+    pub fn client_retry_counters(&self) -> ClientRetryCounters {
+        let mut total = ClientRetryCounters::default();
+        for &c in &self.clients {
+            let counters = self.world.node::<ClientLib>(c).retry_counters();
+            total.retransmits += counters.retransmits;
+            total.backoffs += counters.backoffs;
+            total.congestion_signals += counters.congestion_signals;
+            total.failed += counters.failed;
+        }
+        total
+    }
+
+    /// Flattens client retry, device, log, server, and recovery counters
+    /// into one named bag for harness reporting.
+    pub fn counter_set(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        let retry = self.client_retry_counters();
+        set.add("client.retransmits", retry.retransmits);
+        set.add("client.backoffs", retry.backoffs);
+        set.add("client.congestion_signals", retry.congestion_signals);
+        set.add("client.failed", retry.failed);
+        for &d in &self.devices {
+            let dev = self.world.node::<PmnetDevice>(d);
+            let c = dev.counters();
+            set.add("device.forwarded", c.forwarded);
+            set.add("device.acks_sent", c.acks_sent);
+            set.add("device.retrans_served", c.retrans_served);
+            set.add("device.recovery_resends", c.recovery_resends);
+            set.add("device.recovery_resend_retries", c.recovery_resend_retries);
+            set.add("device.recovery_done_sent", c.recovery_done_sent);
+            set.add("device.congestion_flagged", c.congestion_flagged);
+            set.add("device.entry_retries", c.entry_retries);
+            let l = dev.log_counters();
+            set.add("log.logged", l.logged);
+            set.add("log.bypass_queue", l.bypass_queue);
+            set.add("log.bypass_collision", l.bypass_collision);
+            set.add("log.bypass_full", l.bypass_full);
+            set.add("log.invalidated", l.invalidated);
+            set.add("log.retrans_hits", l.retrans_hits);
+            set.add("log.retrans_misses", l.retrans_misses);
+            set.add("log.stranded", dev.log_len() as u64);
+        }
+        let server = self.world.node::<ServerLib>(self.server);
+        let s = server.counters();
+        set.add("server.updates_applied", s.updates_applied);
+        set.add("server.duplicates_dropped", s.duplicates_dropped);
+        set.add("server.retrans_sent", s.retrans_sent);
+        set.add("server.redo_applied", s.redo_applied);
+        set.add("server.corrupt_dropped", s.corrupt_dropped);
+        set.add("server.gaps_skipped", s.gaps_skipped);
+        if let Some(rec) = server.recovery() {
+            set.add("recovery.poll_retries", rec.poll_retries);
+            set.add("recovery.redo_applied", rec.redo_applied);
+            set.add(
+                "recovery.barrier_open",
+                u64::from(rec.barrier_done_at == Time::MAX),
+            );
+        }
+        set
     }
 }
 

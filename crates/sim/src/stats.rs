@@ -6,9 +6,87 @@
 //! Fig. 19/22 throughput, Fig. 20 full CDFs with p50/p99 markers, Fig. 21
 //! normalized means.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{Dur, Time};
+
+/// An ordered bag of named event counters.
+///
+/// Harnesses flatten component counters (client retransmissions, device
+/// log bypasses, server recovery retries, ...) into one of these so
+/// verdicts and benches can assert on them by name instead of re-deriving
+/// the numbers from traces. Deterministic iteration order (sorted by
+/// name) keeps renderings digest-stable.
+///
+/// # Example
+///
+/// ```
+/// use pmnet_sim::stats::CounterSet;
+/// let mut c = CounterSet::new();
+/// c.add("client.retransmits", 3);
+/// c.add("client.retransmits", 2);
+/// assert_eq!(c.get("client.retransmits"), 5);
+/// assert_eq!(c.get("unknown"), 0);
+/// assert_eq!(c.to_string(), "client.retransmits=5");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// The counter's value, or 0 if it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
 
 /// A reservoir of duration samples supporting exact percentiles.
 ///

@@ -42,6 +42,7 @@ fn build(seed: u64) -> (World, [pmnet::sim::NodeId; 5]) {
         ClientMode::Pmnet { needed_acks: 1 },
         cfg.client,
         cfg.client_timeout,
+        cfg.retry,
         Box::new(ScriptSource::new(script_a)),
     )));
     let client_b = w.add_node(Box::new(ClientLib::new(
@@ -51,6 +52,7 @@ fn build(seed: u64) -> (World, [pmnet::sim::NodeId; 5]) {
         ClientMode::Pmnet { needed_acks: 1 },
         cfg.client,
         cfg.client_timeout,
+        cfg.retry,
         Box::new(ScriptSource::new(script_b)),
     )));
     let device = w.add_node(Box::new(PmnetDevice::new(
