@@ -22,8 +22,8 @@ use pmnet_workloads::KvHandler;
 
 fn set_frame(i: u32) -> Bytes {
     KvFrame::Set {
-        key: format!("key{i}").into_bytes(),
-        value: i.to_le_bytes().to_vec(),
+        key: format!("key{i}").into_bytes().into(),
+        value: i.to_le_bytes().to_vec().into(),
     }
     .encode()
 }

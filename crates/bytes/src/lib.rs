@@ -5,18 +5,72 @@
 //! [`Bytes`] (a cheaply cloneable, sliceable immutable buffer), [`BytesMut`]
 //! (a growable builder that freezes into `Bytes`), and the [`BufMut`] write
 //! trait. Semantics match the upstream crate for this subset; performance
-//! characteristics (Arc-backed zero-copy clones and slices) are preserved.
+//! characteristics are preserved: clones and slices are refcount bumps, and
+//! [`BytesMut::freeze`] hands its allocation over without copying.
+//!
+//! Beyond the upstream API, builders draw their backing `Vec` from a
+//! thread-local pool that is refilled when the last `Bytes` handle to an
+//! allocation drops. On the simulator hot path (one header encode per hop)
+//! this makes the steady-state encode path allocation-free.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
+
+/// Buffers above this capacity are dropped rather than pooled.
+const POOL_MAX_CAP: usize = 16 * 1024;
+/// At most this many buffers are retained per thread.
+const POOL_MAX_LEN: usize = 128;
+
+thread_local! {
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a pooled buffer with at least `cap` capacity, or allocates one.
+fn pool_take(cap: usize) -> Vec<u8> {
+    BUF_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if let Some(pos) = pool.iter().rposition(|b| b.capacity() >= cap) {
+            return pool.swap_remove(pos);
+        }
+        drop(pool);
+        Vec::with_capacity(cap)
+    })
+}
+
+/// Returns a buffer to the pool if it is worth keeping.
+fn pool_put(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAP {
+        return;
+    }
+    buf.clear();
+    BUF_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_MAX_LEN {
+            pool.push(buf);
+        }
+    });
+}
+
+#[derive(Clone)]
+enum Storage {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Default for Storage {
+    fn default() -> Storage {
+        Storage::Static(&[])
+    }
+}
 
 /// A cheaply cloneable, contiguous, immutable byte buffer.
 ///
 /// Clones and [`Bytes::slice`] share the same backing allocation.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Storage,
     start: usize,
     end: usize,
 }
@@ -27,10 +81,10 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Wraps a static byte slice.
+    /// Wraps a static byte slice (no allocation, no copy).
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
         Bytes {
-            data: Arc::from(bytes),
+            data: Storage::Static(bytes),
             start: 0,
             end: bytes.len(),
         }
@@ -38,11 +92,9 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(bytes),
-            start: 0,
-            end: bytes.len(),
-        }
+        let mut buf = pool_take(bytes.len());
+        buf.extend_from_slice(bytes);
+        Bytes::from(buf)
     }
 
     /// Number of bytes in the buffer.
@@ -78,9 +130,21 @@ impl Bytes {
             "slice range {begin}..{end} out of bounds (len {len})"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // If this was the last handle to a shared allocation, recycle the
+        // backing Vec into the thread-local builder pool.
+        if let Storage::Shared(arc) = std::mem::take(&mut self.data) {
+            if let Ok(buf) = Arc::try_unwrap(arc) {
+                pool_put(buf);
+            }
         }
     }
 }
@@ -89,7 +153,10 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.data {
+            Storage::Static(s) => &s[self.start..self.end],
+            Storage::Shared(v) => &v[self.start..self.end],
+        }
     }
 }
 
@@ -103,7 +170,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Storage::Shared(Arc::new(v)),
             start: 0,
             end,
         }
@@ -166,10 +233,11 @@ impl BytesMut {
         BytesMut::default()
     }
 
-    /// An empty builder with reserved capacity.
+    /// An empty builder with reserved capacity, drawn from the thread-local
+    /// buffer pool when a recycled allocation is available.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
-            buf: Vec::with_capacity(cap),
+            buf: pool_take(cap),
         }
     }
 
@@ -188,7 +256,8 @@ impl BytesMut {
         self.buf.extend_from_slice(extend);
     }
 
-    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    /// Converts the accumulated bytes into an immutable [`Bytes`] without
+    /// copying: the builder's allocation is handed over as-is.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
@@ -281,5 +350,54 @@ mod tests {
         let b = Bytes::from(b"ok".to_vec());
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), "b\"ok\"");
+    }
+
+    #[test]
+    fn freeze_does_not_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(b"abcdefgh");
+        let before = m.buf.as_ptr();
+        let b = m.freeze();
+        assert_eq!(
+            b.as_ref().as_ptr(),
+            before,
+            "freeze must hand over the allocation"
+        );
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![9u8; 32];
+        let before = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), before);
+    }
+
+    #[test]
+    fn slices_share_one_allocation() {
+        let b = Bytes::from(vec![0u8; 64]);
+        let base = b.as_ref().as_ptr();
+        let s = b.slice(10..20);
+        assert_eq!(s.as_ref().as_ptr(), unsafe { base.add(10) });
+        let c = b.clone();
+        assert_eq!(c.as_ref().as_ptr(), base);
+    }
+
+    #[test]
+    fn dropped_buffers_are_recycled() {
+        // Drain whatever the pool currently holds so the test is isolated.
+        BUF_POOL.with(|p| p.borrow_mut().clear());
+        let mut m = BytesMut::with_capacity(100);
+        m.put_slice(b"payload");
+        let b = m.freeze();
+        let ptr = b.as_ref().as_ptr();
+        drop(b); // last handle: allocation returns to the pool
+        let m2 = BytesMut::with_capacity(50);
+        assert_eq!(m2.buf.as_ptr(), ptr, "pool must reuse the freed buffer");
+        // A still-shared allocation must NOT be recycled.
+        let a = Bytes::from(vec![1u8; 16]);
+        let a2 = a.clone();
+        drop(a);
+        assert_eq!(&a2[..], &[1u8; 16][..]);
     }
 }

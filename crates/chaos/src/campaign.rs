@@ -12,6 +12,7 @@ use pmnet_sim::{Dur, SimRng};
 
 use crate::artifact::Artifact;
 use crate::generate::{generate_lossy_recovery_plan, generate_plan, Intensity, Topology};
+use crate::plan::FaultPlan;
 use crate::runner::{run, Scenario, Verdict};
 
 /// Parameters of an exploration campaign.
@@ -96,12 +97,91 @@ fn fnv1a(digest: u64, bytes: &[u8]) -> u64 {
     d
 }
 
-/// Executes the campaign. Fully determined by `cfg`.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
-    let mut meta = SimRng::seed(cfg.seed);
-    let mut runs = Vec::new();
+/// One fully-generated run awaiting execution. Plans are generated
+/// serially (RNG fork order is part of the determinism contract) and
+/// executed in any order; the merge step restores execution order.
+struct CampaignJob {
+    design: DesignPoint,
+    index: usize,
+    seed: u64,
+    scenario: Scenario,
+    plan: FaultPlan,
+}
+
+/// Worker-thread count for campaign execution: the `PMNET_CHAOS_THREADS`
+/// environment variable if set (values < 1 mean serial), otherwise the
+/// machine's available parallelism.
+fn campaign_threads() -> usize {
+    match std::env::var("PMNET_CHAOS_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs every job and returns verdicts in job order.
+///
+/// Each job is executed on exactly one thread with its own single-threaded
+/// simulator, so a job's verdict is bit-identical regardless of the thread
+/// count; jobs are striped across workers and the results re-indexed, so
+/// the merged campaign outcome (and its digest) is too.
+fn execute_jobs(jobs: &[CampaignJob], threads: usize) -> Vec<Verdict> {
+    let threads = threads.min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(|j| run(&j.scenario, &j.plan)).collect();
+    }
+    let mut verdicts: Vec<Option<Verdict>> = jobs.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    jobs.iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, j)| (i, run(&j.scenario, &j.plan)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("campaign worker panicked") {
+                verdicts[i] = Some(v);
+            }
+        }
+    });
+    verdicts
+        .into_iter()
+        .map(|v| v.expect("striped execution covers every job"))
+        .collect()
+}
+
+/// Merges executed jobs into an outcome, folding the digest in job order.
+fn merge_outcome(jobs: Vec<CampaignJob>, verdicts: Vec<Verdict>) -> CampaignOutcome {
+    let mut runs = Vec::with_capacity(jobs.len());
     let mut failures = Vec::new();
     let mut digest = FNV_OFFSET;
+    for (job, verdict) in jobs.into_iter().zip(verdicts) {
+        digest = fnv1a(digest, verdict.digest_line().as_bytes());
+        if !verdict.passed {
+            failures.push(Artifact::new(&job.scenario, job.plan));
+        }
+        runs.push(CampaignRun {
+            design: job.design,
+            index: job.index,
+            seed: job.seed,
+            verdict,
+        });
+    }
+    CampaignOutcome {
+        runs,
+        failures,
+        digest,
+    }
+}
+
+fn campaign_with_threads(cfg: &CampaignConfig, threads: usize) -> CampaignOutcome {
+    let mut meta = SimRng::seed(cfg.seed);
+    let mut jobs = Vec::with_capacity(cfg.designs.len() * cfg.plans_per_design);
     for (di, &design) in cfg.designs.iter().enumerate() {
         let mut design_rng = meta.fork(1 + di as u64);
         let base = Scenario::standard(design, 0);
@@ -112,24 +192,25 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
             let plan = generate_plan(&mut plan_rng, &topo, cfg.intensity, cfg.horizon);
             let mut scenario = Scenario::standard(design, seed);
             scenario.plant_dedup_bug = cfg.plant_dedup_bug;
-            let verdict = run(&scenario, &plan);
-            digest = fnv1a(digest, verdict.digest_line().as_bytes());
-            if !verdict.passed {
-                failures.push(Artifact::new(&scenario, plan));
-            }
-            runs.push(CampaignRun {
+            jobs.push(CampaignJob {
                 design,
                 index,
                 seed,
-                verdict,
+                scenario,
+                plan,
             });
         }
     }
-    CampaignOutcome {
-        runs,
-        failures,
-        digest,
-    }
+    let verdicts = execute_jobs(&jobs, threads);
+    merge_outcome(jobs, verdicts)
+}
+
+/// Executes the campaign. Fully determined by `cfg`: plans run in
+/// parallel across worker threads (see [`campaign_threads`]), but each
+/// run is single-threaded and the outcome — including the digest — is
+/// bit-identical at any thread count.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
+    campaign_with_threads(cfg, campaign_threads())
 }
 
 /// Executes a campaign of lossy-recovery plans: every plan crashes the
@@ -139,11 +220,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
 /// barrier closed — is what these plans attack. Fully determined by
 /// `(seed, plans_per_design)`.
 pub fn run_lossy_recovery_campaign(seed: u64, plans_per_design: usize) -> CampaignOutcome {
+    lossy_campaign_with_threads(seed, plans_per_design, campaign_threads())
+}
+
+fn lossy_campaign_with_threads(
+    seed: u64,
+    plans_per_design: usize,
+    threads: usize,
+) -> CampaignOutcome {
     let mut meta = SimRng::seed(seed);
-    let mut runs = Vec::new();
-    let mut failures = Vec::new();
-    let mut digest = FNV_OFFSET;
     let designs = [DesignPoint::PmnetSwitch, DesignPoint::PmnetNic];
+    let mut jobs = Vec::with_capacity(designs.len() * plans_per_design);
     for (di, &design) in designs.iter().enumerate() {
         let mut design_rng = meta.fork(1 + di as u64);
         let base = Scenario::standard(design, 0);
@@ -152,25 +239,17 @@ pub fn run_lossy_recovery_campaign(seed: u64, plans_per_design: usize) -> Campai
             let mut plan_rng = design_rng.fork(index as u64);
             let run_seed = plan_rng.uniform_u64(0..u64::MAX);
             let plan = generate_lossy_recovery_plan(&mut plan_rng, &topo, Dur::millis(8));
-            let scenario = Scenario::standard(design, run_seed);
-            let verdict = run(&scenario, &plan);
-            digest = fnv1a(digest, verdict.digest_line().as_bytes());
-            if !verdict.passed {
-                failures.push(Artifact::new(&scenario, plan));
-            }
-            runs.push(CampaignRun {
+            jobs.push(CampaignJob {
                 design,
                 index,
                 seed: run_seed,
-                verdict,
+                scenario: Scenario::standard(design, run_seed),
+                plan,
             });
         }
     }
-    CampaignOutcome {
-        runs,
-        failures,
-        digest,
-    }
+    let verdicts = execute_jobs(&jobs, threads);
+    merge_outcome(jobs, verdicts)
 }
 
 #[cfg(test)]
@@ -224,6 +303,23 @@ mod tests {
         let b = run_lossy_recovery_campaign(2024, 20);
         assert_eq!(a.digest, b.digest, "campaign must be bit-identical");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        // The whole tool rests on replayability: striping runs across
+        // worker threads must not perturb the outcome. Compare the full
+        // outcome (not just the digest) at several thread counts,
+        // including more threads than jobs.
+        let serial = campaign_with_threads(&small(), 1);
+        for threads in [2, 3, 64] {
+            let parallel = campaign_with_threads(&small(), threads);
+            assert_eq!(serial.digest, parallel.digest, "threads={threads}");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        let serial = lossy_campaign_with_threads(2024, 6, 1);
+        let parallel = lossy_campaign_with_threads(2024, 6, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -326,8 +326,10 @@ impl PmnetDevice {
             self.counters.corrupt_dropped += 1;
             return;
         }
-        if let Some(entry) = self.log.lookup_for_retrans(header.hash) {
-            // Serve the retransmission from the log and drop the request.
+        // Serve the retransmission from the log (borrowed, not cloned: the
+        // redo packet shares the logged payload's refcounted buffer) and
+        // drop the request.
+        let served = self.log.lookup_for_retrans(header.hash).map(|entry| {
             let mut h = entry.header;
             h.flags |= FLAG_REDO;
             let pkt = Packet::udp(
@@ -337,10 +339,14 @@ impl PmnetDevice {
                 entry.server_port,
                 h.encode(&entry.payload),
             );
-            self.counters.retrans_served += 1;
-            self.emit(ctx, entry.server, pkt);
-        } else {
-            self.forward(ctx, packet);
+            (entry.server, pkt)
+        });
+        match served {
+            Some((server, pkt)) => {
+                self.counters.retrans_served += 1;
+                self.emit(ctx, server, pkt);
+            }
+            None => self.forward(ctx, packet),
         }
     }
 
@@ -364,7 +370,7 @@ impl PmnetDevice {
                     h.device_id = self.id;
                     let frame = KvFrame::Value {
                         key,
-                        value,
+                        value: value.into(),
                         found: true,
                     };
                     let reply = Packet::udp(
@@ -411,15 +417,15 @@ impl PmnetDevice {
         // staged entries are owned by their backoff timers and are not
         // staged twice.
         let server = packet.src;
-        let entries = self.log.entries_for(server, ctx.now());
-        for entry in entries {
-            if self.staged_resends.contains_key(&entry.header.hash) {
+        // The manifest carries only (hash, wire bytes): staging needs the
+        // PM read size, not a clone of each logged entry.
+        for (hash, bytes) in self.log.recovery_manifest(server, ctx.now()) {
+            if self.staged_resends.contains_key(&hash) {
                 continue;
             }
-            let bytes = (entry.payload.len() + crate::protocol::HEADER_LEN) as u32;
             let ready = self.log.schedule_read(ctx.now(), bytes);
             self.staged_resends.insert(
-                entry.header.hash,
+                hash,
                 StagedResend {
                     server,
                     attempts: 0,
@@ -429,7 +435,7 @@ impl PmnetDevice {
                 ready.saturating_since(ctx.now()) + self.config.pipeline_delay,
                 Timer {
                     kind: TIMER_RECOVERY_RESEND,
-                    a: u64::from(entry.header.hash),
+                    a: u64::from(hash),
                     b: self.epoch,
                 },
             );
@@ -443,11 +449,14 @@ impl PmnetDevice {
     /// Re-forwards a still-unacknowledged log entry to its server as a
     /// redo, and re-arms the retry timer.
     fn retry_entry(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
-        let Some(entry) = self.log.peek(hash).cloned() else {
+        // Borrow the entry just long enough to build the redo packet; the
+        // packet's payload shares the log's refcounted buffer.
+        let Some(entry) = self.log.peek(hash) else {
             return; // acknowledged in the meantime
         };
         let mut h = entry.header;
         h.flags |= FLAG_REDO;
+        let server = entry.server;
         let pkt = Packet::udp(
             entry.header.client,
             entry.server,
@@ -456,7 +465,7 @@ impl PmnetDevice {
             h.encode(&entry.payload),
         );
         self.counters.entry_retries += 1;
-        self.emit(ctx, entry.server, pkt);
+        self.emit(ctx, server, pkt);
         ctx.timer_in(
             self.config.log_retry_timeout,
             Timer {
@@ -473,21 +482,27 @@ impl PmnetDevice {
         };
         // The entry may have been invalidated since the poll (e.g. the
         // normal-path server ack raced the staging): nothing left to
-        // resend — clear the stage and maybe report the drain.
-        let Some(entry) = self.log.peek(hash).cloned() else {
-            self.staged_resends.remove(&hash);
-            self.maybe_recovery_done(ctx, staged.server);
-            return;
+        // resend — clear the stage and maybe report the drain. A live
+        // entry is borrowed, not cloned, to build the redo packet.
+        let (server, pkt) = match self.log.peek(hash) {
+            Some(entry) => {
+                let mut h = entry.header;
+                h.flags |= FLAG_REDO;
+                let pkt = Packet::udp(
+                    entry.header.client,
+                    entry.server,
+                    entry.client_port,
+                    entry.server_port,
+                    h.encode(&entry.payload),
+                );
+                (entry.server, pkt)
+            }
+            None => {
+                self.staged_resends.remove(&hash);
+                self.maybe_recovery_done(ctx, staged.server);
+                return;
+            }
         };
-        let mut h = entry.header;
-        h.flags |= FLAG_REDO;
-        let pkt = Packet::udp(
-            entry.header.client,
-            entry.server,
-            entry.client_port,
-            entry.server_port,
-            h.encode(&entry.payload),
-        );
         self.counters.recovery_resends += 1;
         let attempts = {
             let s = self.staged_resends.get_mut(&hash).expect("checked above");
@@ -497,7 +512,7 @@ impl PmnetDevice {
         if attempts > 1 {
             self.counters.recovery_resend_retries += 1;
         }
-        self.emit(ctx, entry.server, pkt);
+        self.emit(ctx, server, pkt);
         // Keep the entry staged: if the redo (or its ack) is lost, re-fire
         // after an exponentially backed-off wait. The redo ack path
         // (`handle_server_ack`) is what finally clears the stage.
@@ -887,8 +902,8 @@ mod tests {
         let (mut w, client, dev, server) = rig(config);
         // SET k=v as an update.
         let set = KvFrame::Set {
-            key: b"k".to_vec(),
-            value: b"v".to_vec(),
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
         };
         let h = PmnetHeader::request(PacketType::UpdateReq, 1, 1, Addr(1), Addr(9), 0, 1)
             .with_payload(&set.encode());
@@ -898,7 +913,9 @@ mod tests {
         );
         w.run_for(pmnet_sim::Dur::millis(5));
         // GET k as a bypass: the device must answer from the cache.
-        let get = KvFrame::Get { key: b"k".to_vec() };
+        let get = KvFrame::Get {
+            key: Bytes::from_static(b"k"),
+        };
         let h2 = PmnetHeader::request(PacketType::BypassReq, 1, 1, Addr(1), Addr(9), 0, 1)
             .with_payload(&get.encode());
         w.inject(

@@ -7,49 +7,56 @@
 //! (Twitter, TPCC) use [`KvFrame::Opaque`]-style custom payloads, which the
 //! cache ignores — matching the paper's exclusion of those workloads from
 //! the caching experiment.
+//!
+//! Frames are zero-copy on the decode path: key and value fields are
+//! refcounted [`Bytes`] sub-slices of the wire buffer, so a frame decoded
+//! at every hop of the simulated network costs no allocation and no copy.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// An application request/response frame.
+///
+/// Key and value fields borrow the wire buffer ([`Bytes`] slices); cloning
+/// a frame bumps refcounts rather than copying payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvFrame {
     /// Read a key (cacheable).
     Get {
         /// The key.
-        key: Vec<u8>,
+        key: Bytes,
     },
     /// Write a key (logged by PMNet; updates the cache).
     Set {
         /// The key.
-        key: Vec<u8>,
+        key: Bytes,
         /// The value.
-        value: Vec<u8>,
+        value: Bytes,
     },
     /// Delete a key.
     Del {
         /// The key.
-        key: Vec<u8>,
+        key: Bytes,
     },
     /// A read response (`found` distinguishes miss from empty value).
     Value {
         /// The key.
-        key: Vec<u8>,
+        key: Bytes,
         /// The value (empty on a miss).
-        value: Vec<u8>,
+        value: Bytes,
         /// Whether the key existed.
         found: bool,
     },
     /// A workload-specific payload the KV layer does not interpret.
     Opaque {
         /// Uninterpreted bytes.
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
 }
 
 impl KvFrame {
     /// Serializes the frame.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::new();
+        let mut b = BytesMut::with_capacity(self.encoded_len());
         match self {
             KvFrame::Get { key } => {
                 b.put_u8(b'G');
@@ -82,8 +89,21 @@ impl KvFrame {
         b.freeze()
     }
 
+    /// Exact wire length of [`KvFrame::encode`]'s output.
+    fn encoded_len(&self) -> usize {
+        match self {
+            KvFrame::Get { key } | KvFrame::Del { key } => 3 + key.len(),
+            KvFrame::Set { key, value } => 3 + key.len() + value.len(),
+            KvFrame::Value { key, value, .. } => 4 + key.len() + value.len(),
+            KvFrame::Opaque { bytes } => 1 + bytes.len(),
+        }
+    }
+
     /// Parses a frame; `None` on malformed input.
-    pub fn decode(body: &[u8]) -> Option<KvFrame> {
+    ///
+    /// Zero-copy: the returned frame's key/value fields are sub-slices of
+    /// `body` sharing its backing allocation.
+    pub fn decode(body: &Bytes) -> Option<KvFrame> {
         let (&tag, rest) = body.split_first()?;
         match tag {
             b'G' | b'S' | b'D' => {
@@ -94,13 +114,14 @@ impl KvFrame {
                 if rest.len() < 2 + klen {
                     return None;
                 }
-                let key = rest[2..2 + klen].to_vec();
+                // Offsets below are relative to `body` (tag byte included).
+                let key = body.slice(3..3 + klen);
                 match tag {
                     b'G' => Some(KvFrame::Get { key }),
                     b'D' if rest.len() == 2 + klen => Some(KvFrame::Del { key }),
                     b'S' => Some(KvFrame::Set {
                         key,
-                        value: rest[2 + klen..].to_vec(),
+                        value: body.slice(3 + klen..),
                     }),
                     _ => None,
                 }
@@ -115,13 +136,13 @@ impl KvFrame {
                     return None;
                 }
                 Some(KvFrame::Value {
-                    key: rest[3..3 + klen].to_vec(),
-                    value: rest[3 + klen..].to_vec(),
+                    key: body.slice(4..4 + klen),
+                    value: body.slice(4 + klen..),
                     found,
                 })
             }
             b'O' => Some(KvFrame::Opaque {
-                bytes: rest.to_vec(),
+                bytes: body.slice(1..),
             }),
             _ => None,
         }
@@ -145,25 +166,25 @@ mod tests {
     fn all_variants_round_trip() {
         let frames = [
             KvFrame::Get {
-                key: b"k1".to_vec(),
+                key: Bytes::from_static(b"k1"),
             },
             KvFrame::Set {
-                key: b"k2".to_vec(),
-                value: vec![0, 1, 2, 255],
+                key: Bytes::from_static(b"k2"),
+                value: Bytes::from(vec![0, 1, 2, 255]),
             },
-            KvFrame::Del { key: vec![] },
+            KvFrame::Del { key: Bytes::new() },
             KvFrame::Value {
-                key: b"k".to_vec(),
-                value: b"v".to_vec(),
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v"),
                 found: true,
             },
             KvFrame::Value {
-                key: b"miss".to_vec(),
-                value: vec![],
+                key: Bytes::from_static(b"miss"),
+                value: Bytes::new(),
                 found: false,
             },
             KvFrame::Opaque {
-                bytes: b"twitter:post:...".to_vec(),
+                bytes: Bytes::from_static(b"twitter:post:..."),
             },
         ];
         for f in &frames {
@@ -173,19 +194,99 @@ mod tests {
 
     #[test]
     fn malformed_frames_decode_to_none() {
-        assert_eq!(KvFrame::decode(b""), None);
-        assert_eq!(KvFrame::decode(b"G"), None);
-        assert_eq!(KvFrame::decode(&[b'G', 10, 0, b'x']), None); // truncated key
-        assert_eq!(KvFrame::decode(b"Zxx"), None); // unknown tag
-        assert_eq!(KvFrame::decode(&[b'D', 1, 0, b'k', b'!']), None); // trailing
+        assert_eq!(KvFrame::decode(&Bytes::new()), None);
+        assert_eq!(KvFrame::decode(&Bytes::from_static(b"G")), None);
+        // Truncated key.
+        assert_eq!(KvFrame::decode(&Bytes::from(vec![b'G', 10, 0, b'x'])), None);
+        // Unknown tag.
+        assert_eq!(KvFrame::decode(&Bytes::from_static(b"Zxx")), None);
+        // Trailing garbage after a Del key.
+        assert_eq!(
+            KvFrame::decode(&Bytes::from(vec![b'D', 1, 0, b'k', b'!'])),
+            None
+        );
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_never_panic() {
+        // Every prefix of a valid frame must decode to Some or None without
+        // panicking, as must claimed-length overruns.
+        let full = KvFrame::Set {
+            key: Bytes::from_static(b"key00"),
+            value: Bytes::from_static(b"value"),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let _ = KvFrame::decode(&full.slice(..cut));
+        }
+        // klen fields larger than the remaining buffer.
+        for tag in [b'G', b'S', b'D'] {
+            let _ = KvFrame::decode(&Bytes::from(vec![tag, 0xFF, 0xFF, 1, 2, 3]));
+        }
+        let _ = KvFrame::decode(&Bytes::from(vec![b'V', 1, 0xFF, 0xFF, 9]));
+    }
+
+    #[test]
+    fn decode_borrows_wire_buffer_without_copying() {
+        // The decoded key/value must alias the encoded buffer: pointer
+        // equality proves the decode path performs zero payload copies.
+        let wire = KvFrame::Set {
+            key: Bytes::from_static(b"cache-key"),
+            value: Bytes::from_static(b"cached-value"),
+        }
+        .encode();
+        let base = wire.as_ref().as_ptr();
+        match KvFrame::decode(&wire) {
+            Some(KvFrame::Set { key, value }) => {
+                // Layout: tag(1) klen(2) key value.
+                assert_eq!(key.as_ref().as_ptr(), unsafe { base.add(3) });
+                assert_eq!(value.as_ref().as_ptr(), unsafe { base.add(3 + key.len()) });
+            }
+            other => panic!("decode failed: {other:?}"),
+        }
+        let wire = KvFrame::Value {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+            found: true,
+        }
+        .encode();
+        let base = wire.as_ref().as_ptr();
+        match KvFrame::decode(&wire) {
+            Some(KvFrame::Value { key, value, found }) => {
+                assert!(found);
+                assert_eq!(key.as_ref().as_ptr(), unsafe { base.add(4) });
+                assert_eq!(value.as_ref().as_ptr(), unsafe { base.add(4 + key.len()) });
+            }
+            other => panic!("decode failed: {other:?}"),
+        }
+        let wire = KvFrame::Opaque {
+            bytes: Bytes::from_static(b"blob"),
+        }
+        .encode();
+        let base = wire.as_ref().as_ptr();
+        match KvFrame::decode(&wire) {
+            Some(KvFrame::Opaque { bytes }) => {
+                assert_eq!(bytes.as_ref().as_ptr(), unsafe { base.add(1) });
+            }
+            other => panic!("decode failed: {other:?}"),
+        }
     }
 
     #[test]
     fn cache_key_only_for_kv_ops() {
         assert_eq!(
-            KvFrame::Get { key: b"a".to_vec() }.cache_key(),
+            KvFrame::Get {
+                key: Bytes::from_static(b"a")
+            }
+            .cache_key(),
             Some(b"a".as_ref())
         );
-        assert_eq!(KvFrame::Opaque { bytes: vec![1] }.cache_key(), None);
+        assert_eq!(
+            KvFrame::Opaque {
+                bytes: Bytes::from(vec![1])
+            }
+            .cache_key(),
+            None
+        );
     }
 }

@@ -194,17 +194,15 @@ impl LogStore {
     }
 
     /// Looks up a logged entry (Retrans service). Updates hit/miss
-    /// counters.
-    pub fn lookup_for_retrans(&mut self, hash: u32) -> Option<LogEntry> {
-        match self.entries.get(&hash) {
-            Some(e) => {
-                self.counters.retrans_hits += 1;
-                Some(e.clone())
-            }
-            None => {
-                self.counters.retrans_misses += 1;
-                None
-            }
+    /// counters. Returns a borrow — regenerating the redo packet needs no
+    /// copy of the entry; its payload is a refcounted [`Bytes`].
+    pub fn lookup_for_retrans(&mut self, hash: u32) -> Option<&LogEntry> {
+        if self.entries.contains_key(&hash) {
+            self.counters.retrans_hits += 1;
+            self.entries.get(&hash)
+        } else {
+            self.counters.retrans_misses += 1;
+            None
         }
     }
 
@@ -213,25 +211,32 @@ impl LogStore {
         self.entries.get(&hash)
     }
 
-    /// All durable entries destined to `server`, ordered by
-    /// `(client, session, seq)` — the recovery resend order (Section IV-E:
-    /// the server applies them by `SeqNum`; deterministic order here keeps
-    /// simulations reproducible).
-    pub fn entries_for(&self, server: Addr, now: Time) -> Vec<LogEntry> {
-        let mut v: Vec<LogEntry> = self
+    /// A recovery manifest: `(hash, wire_bytes)` of every durable entry
+    /// destined to `server`, ordered by `(client, session, seq)` — the
+    /// recovery resend order (Section IV-E: the server applies them by
+    /// `SeqNum`; deterministic order here keeps simulations reproducible).
+    /// Staging a resend only needs the hash and the PM read size, so no
+    /// entry is cloned.
+    pub fn recovery_manifest(&self, server: Addr, now: Time) -> Vec<(u32, u32)> {
+        let mut v: Vec<(Addr, u16, u32, u32, u32)> = self
             .entries
             .values()
             .filter(|e| e.server == server && e.persisted_at <= now)
-            .cloned()
+            .map(|e| {
+                let bytes = (crate::protocol::HEADER_LEN + e.payload.len()) as u32;
+                (
+                    e.header.client,
+                    e.header.session,
+                    e.header.seq,
+                    e.header.hash,
+                    bytes,
+                )
+            })
             .collect();
-        v.sort_by(|a, b| {
-            (a.header.client, a.header.session, a.header.seq).cmp(&(
-                b.header.client,
-                b.header.session,
-                b.header.seq,
-            ))
-        });
-        v
+        v.sort_unstable();
+        v.into_iter()
+            .map(|(_, _, _, hash, bytes)| (hash, bytes))
+            .collect()
     }
 
     /// The hashes of every live entry, in unspecified order. Used by the
@@ -385,7 +390,7 @@ mod tests {
     }
 
     #[test]
-    fn entries_for_returns_recovery_order() {
+    fn recovery_manifest_returns_recovery_order() {
         let mut s = store();
         for seq in [3u32, 1, 2] {
             s.try_log(Time::ZERO, hdr(seq), payload(10), Addr(9), 51000, 51000);
@@ -394,12 +399,16 @@ mod tests {
         let other = PmnetHeader::request(PacketType::UpdateReq, 1, 9, Addr(1), Addr(8), 0, 1);
         s.try_log(Time::ZERO, other, payload(10), Addr(8), 51000, 51000);
         let late = Time::ZERO + Dur::millis(1);
-        let seqs: Vec<u32> = s
-            .entries_for(Addr(9), late)
+        let manifest = s.recovery_manifest(Addr(9), late);
+        let seqs: Vec<u32> = manifest
             .iter()
-            .map(|e| e.header.seq)
+            .map(|&(hash, _)| s.peek(hash).expect("manifest entry live").header.seq)
             .collect();
         assert_eq!(seqs, vec![1, 2, 3]);
+        // Wire bytes cover header + payload for the PM read schedule.
+        for &(_, bytes) in &manifest {
+            assert_eq!(bytes as usize, crate::protocol::HEADER_LEN + 10);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! other's ACKs, recovery polls addressed past a device, cache fills from
 //! pass-through read replies, and forced hash collisions.
 
+use bytes::Bytes;
 use pmnet_core::config::{DeviceConfig, SystemConfig};
 use pmnet_core::kvproto::KvFrame;
 use pmnet_core::protocol::{PacketType, PmnetHeader};
@@ -118,8 +119,8 @@ fn pass_through_read_replies_fill_the_cache() {
     // A read reply travels server -> client through the device.
     let h = PmnetHeader::request(PacketType::AppReply, 0, 7, CLIENT, SERVER, 0, 1);
     let frame = KvFrame::Value {
-        key: b"warm".to_vec(),
-        value: b"cached-by-reply".to_vec(),
+        key: Bytes::from_static(b"warm"),
+        value: Bytes::from_static(b"cached-by-reply"),
         found: true,
     };
     let reply = Packet::udp(SERVER, CLIENT, 51000, 51001, h.encode(&frame.encode()));
@@ -127,7 +128,7 @@ fn pass_through_read_replies_fill_the_cache() {
     w.run_for(Dur::millis(1));
     // A subsequent read for the same key hits the cache.
     let get_frame = KvFrame::Get {
-        key: b"warm".to_vec(),
+        key: Bytes::from_static(b"warm"),
     };
     let get = PmnetHeader::request(PacketType::BypassReq, 0, 8, CLIENT, SERVER, 0, 1)
         .with_payload(&get_frame.encode());
@@ -150,8 +151,8 @@ fn pass_through_read_replies_fill_the_cache() {
     // Miss replies (found == false) must NOT fill the cache.
     let miss_h = PmnetHeader::request(PacketType::AppReply, 0, 9, CLIENT, SERVER, 0, 1);
     let miss = KvFrame::Value {
-        key: b"absent".to_vec(),
-        value: Vec::new(),
+        key: Bytes::from_static(b"absent"),
+        value: Bytes::new(),
         found: false,
     };
     w.inject(
@@ -282,7 +283,7 @@ fn corrupted_update_is_dropped_not_logged_and_not_acked() {
     body[last] ^= 0x04;
     w.inject(
         client,
-        Packet::udp(CLIENT, SERVER, 51001, 51000, bytes::Bytes::from(body)),
+        Packet::udp(CLIENT, SERVER, 51001, 51000, Bytes::from(body)),
     );
     w.run_for(Dur::millis(1));
     let d = w.node::<PmnetDevice>(dev);
@@ -297,7 +298,7 @@ fn corrupted_update_is_dropped_not_logged_and_not_acked() {
     body[3] ^= 0x80; // low byte of `seq`
     w.inject(
         client,
-        Packet::udp(CLIENT, SERVER, 51001, 51000, bytes::Bytes::from(body)),
+        Packet::udp(CLIENT, SERVER, 51001, 51000, Bytes::from(body)),
     );
     w.run_for(Dur::millis(1));
     assert_eq!(w.node::<PmnetDevice>(dev).counters().corrupt_dropped, 2);

@@ -80,6 +80,8 @@ proptest! {
         value in prop::collection::vec(any::<u8>(), 0..200),
         found in any::<bool>(),
     ) {
+        let key = Bytes::from(key);
+        let value = Bytes::from(value);
         let frames = [
             KvFrame::Get { key: key.clone() },
             KvFrame::Set { key: key.clone(), value: value.clone() },
@@ -93,6 +95,6 @@ proptest! {
 
     #[test]
     fn kv_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        let _ = KvFrame::decode(&bytes);
+        let _ = KvFrame::decode(&Bytes::from(bytes));
     }
 }

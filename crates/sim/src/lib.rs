@@ -9,6 +9,8 @@
 //!   helpers the evaluation needs (exponential, lognormal, Zipf),
 //! * [`stats`] — histograms, percentile summaries and CDF extraction used to
 //!   regenerate the paper's figures,
+//! * [`meter`] — events/sec and allocations-per-event self-measurement for
+//!   the kernel's own performance contract (DESIGN.md §10),
 //! * [`trace`] — a lightweight, optional event trace for debugging.
 //!
 //! Everything is single-threaded and deterministic: running the same
@@ -36,6 +38,7 @@ mod engine;
 mod rng;
 mod time;
 
+pub mod meter;
 pub mod stats;
 pub mod trace;
 

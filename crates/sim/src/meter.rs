@@ -1,0 +1,165 @@
+//! Self-measurement for the simulation kernel: events per wall-clock
+//! second and heap allocations per event.
+//!
+//! The kernel's performance contract (DESIGN.md §10) is tracked by two
+//! numbers: how fast the event loop drains (`events/sec`) and how much it
+//! allocates while doing so (`allocs/event`). [`Meter`] samples both over
+//! a measured region; [`CountingAlloc`] is a drop-in [`GlobalAlloc`]
+//! wrapper a benchmark binary installs with `#[global_allocator]` so the
+//! allocation counter is live. Without it, allocation figures read as
+//! zero and only throughput is meaningful.
+//!
+//! The counters are process-wide atomics: cheap enough to leave enabled
+//! (one relaxed increment per malloc), and deliberately *not* thread-local
+//! so a parallel campaign's allocations are all visible.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations.
+///
+/// Install it in a benchmark binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: pmnet_sim::meter::CountingAlloc = pmnet_sim::meter::CountingAlloc::new();
+/// ```
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const so it can back a static).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+
+    /// Total allocations observed process-wide since start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the allocator since start.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED_BYTES.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: defers entirely to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A measured region: wall time and allocations between `start` and
+/// `finish`.
+#[derive(Debug)]
+pub struct Meter {
+    wall: Instant,
+    allocs: u64,
+    bytes: u64,
+}
+
+impl Meter {
+    /// Starts measuring.
+    pub fn start() -> Meter {
+        Meter {
+            wall: Instant::now(),
+            allocs: CountingAlloc::allocations(),
+            bytes: CountingAlloc::allocated_bytes(),
+        }
+    }
+
+    /// Stops measuring; `events` is how many simulator events the region
+    /// delivered (e.g. the difference of [`crate::Engine::delivered`]).
+    pub fn finish(self, events: u64) -> MeterReport {
+        let wall = self.wall.elapsed();
+        let secs = wall.as_secs_f64();
+        let allocations = CountingAlloc::allocations() - self.allocs;
+        MeterReport {
+            events,
+            wall_nanos: wall.as_nanos() as u64,
+            events_per_sec: if secs > 0.0 {
+                events as f64 / secs
+            } else {
+                0.0
+            },
+            allocations,
+            allocated_bytes: CountingAlloc::allocated_bytes() - self.bytes,
+            allocs_per_event: if events > 0 {
+                allocations as f64 / events as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// What a [`Meter`] measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterReport {
+    /// Simulator events delivered in the region.
+    pub events: u64,
+    /// Wall-clock nanoseconds the region took.
+    pub wall_nanos: u64,
+    /// Delivery throughput.
+    pub events_per_sec: f64,
+    /// Heap allocations in the region (0 unless [`CountingAlloc`] is the
+    /// global allocator).
+    pub allocations: u64,
+    /// Heap bytes requested in the region.
+    pub allocated_bytes: u64,
+    /// Allocations divided by events.
+    pub allocs_per_event: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_reports_events_and_rates() {
+        let m = Meter::start();
+        // Do a little real work so elapsed time is nonzero.
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let r = m.finish(500);
+        assert_eq!(r.events, 500);
+        assert!(r.events_per_sec > 0.0);
+        // The test binary does not install CountingAlloc, so allocation
+        // counts are zero — and must not produce NaN rates.
+        assert!(r.allocs_per_event.is_finite());
+    }
+
+    #[test]
+    fn zero_events_do_not_divide_by_zero() {
+        let r = Meter::start().finish(0);
+        assert_eq!(r.events, 0);
+        assert_eq!(r.allocs_per_event, 0.0);
+    }
+}

@@ -116,13 +116,13 @@ impl KvHandler {
         let t = rng.jittered(self.cost.service_time(idx, pm), self.jitter_frac);
         let frame = match value {
             Some(v) => KvFrame::Value {
-                key: key.to_vec(),
-                value: v,
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::from(v),
                 found: true,
             },
             None => KvFrame::Value {
-                key: key.to_vec(),
-                value: Vec::new(),
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::new(),
                 found: false,
             },
         };
@@ -141,8 +141,16 @@ impl RequestHandler for KvHandler {
     ) -> Dur {
         let mut t = self.extra;
         t += match KvFrame::decode(payload) {
-            Some(KvFrame::Set { key, value }) => self.apply_costed(&KvOp::Put { key, value }, rng),
-            Some(KvFrame::Del { key }) => self.apply_costed(&KvOp::Del { key }, rng),
+            // The durable store owns its data: copying out of the wire
+            // buffer here is the single boundary copy on the write path.
+            Some(KvFrame::Set { key, value }) => self.apply_costed(
+                &KvOp::Put {
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                },
+                rng,
+            ),
+            Some(KvFrame::Del { key }) => self.apply_costed(&KvOp::Del { key: key.to_vec() }, rng),
             // Malformed or opaque updates still cost a dispatch.
             _ => Dur::micros(1),
         };
@@ -206,8 +214,8 @@ mod tests {
 
     fn put_frame(key: &[u8], value: &[u8]) -> Bytes {
         KvFrame::Set {
-            key: key.to_vec(),
-            value: value.to_vec(),
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
         }
         .encode()
     }
@@ -226,19 +234,25 @@ mod tests {
         let mut h = KvHandler::new("hashmap", 1);
         let mut rng = SimRng::seed(2);
         h.handle_update(Addr(1), 0, 0, &put_frame(b"k", b"v"), &mut rng);
-        let (t, reply) = h.handle_bypass(&KvFrame::Get { key: b"k".to_vec() }.encode(), &mut rng);
+        let (t, reply) = h.handle_bypass(
+            &KvFrame::Get {
+                key: Bytes::from_static(b"k"),
+            }
+            .encode(),
+            &mut rng,
+        );
         assert!(t > Dur::ZERO);
         match KvFrame::decode(&reply.unwrap()) {
             Some(KvFrame::Value { value, found, .. }) => {
                 assert!(found);
-                assert_eq!(value, b"v");
+                assert_eq!(&value[..], b"v");
             }
             other => panic!("unexpected reply {other:?}"),
         }
         // Miss.
         let (_, reply) = h.handle_bypass(
             &KvFrame::Get {
-                key: b"nope".to_vec(),
+                key: Bytes::from_static(b"nope"),
             }
             .encode(),
             &mut rng,

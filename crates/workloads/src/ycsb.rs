@@ -166,7 +166,11 @@ impl RequestSource for YcsbSource {
             rng.fill_bytes(&mut value);
             return Some(AppRequest {
                 kind: RequestKind::Update,
-                payload: KvFrame::Set { key, value }.encode(),
+                payload: KvFrame::Set {
+                    key: key.into(),
+                    value: value.into(),
+                }
+                .encode(),
             });
         }
         let key = match self.mix {
@@ -183,7 +187,7 @@ impl RequestSource for YcsbSource {
             self.rmw_pending = Some(key.clone());
             return Some(AppRequest {
                 kind: RequestKind::Bypass,
-                payload: KvFrame::Get { key }.encode(),
+                payload: KvFrame::Get { key: key.into() }.encode(),
             });
         }
         if rng.chance(self.update_ratio) {
@@ -195,19 +199,27 @@ impl RequestSource for YcsbSource {
                 rng.fill_bytes(&mut value);
                 return Some(AppRequest {
                     kind: RequestKind::Update,
-                    payload: KvFrame::Set { key, value }.encode(),
+                    payload: KvFrame::Set {
+                        key: key.into(),
+                        value: value.into(),
+                    }
+                    .encode(),
                 });
             }
             let mut value = vec![0u8; self.value_bytes];
             rng.fill_bytes(&mut value);
             Some(AppRequest {
                 kind: RequestKind::Update,
-                payload: KvFrame::Set { key, value }.encode(),
+                payload: KvFrame::Set {
+                    key: key.into(),
+                    value: value.into(),
+                }
+                .encode(),
             })
         } else {
             Some(AppRequest {
                 kind: RequestKind::Bypass,
-                payload: KvFrame::Get { key }.encode(),
+                payload: KvFrame::Get { key: key.into() }.encode(),
             })
         }
     }
@@ -303,8 +315,8 @@ mod tests {
         let mut rng = SimRng::seed(8);
         let mut reads_of_latest_decile = 0;
         let mut reads = 0;
-        let mut newest: Option<Vec<u8>> = None;
-        let mut inserted: Vec<Vec<u8>> = Vec::new();
+        let mut newest: Option<bytes::Bytes> = None;
+        let mut inserted: Vec<bytes::Bytes> = Vec::new();
         while let Some(r) = s.next_request(&mut rng) {
             match KvFrame::decode(&r.payload) {
                 Some(KvFrame::Set { key, .. }) => {
@@ -337,7 +349,7 @@ mod tests {
     fn workload_f_alternates_read_then_write_of_same_key() {
         let mut s = YcsbSource::workload(YcsbMix::F, 100, 50);
         let mut rng = SimRng::seed(9);
-        let mut last_read_key: Option<Vec<u8>> = None;
+        let mut last_read_key: Option<bytes::Bytes> = None;
         while let Some(r) = s.next_request(&mut rng) {
             match KvFrame::decode(&r.payload) {
                 Some(KvFrame::Get { key }) => {

@@ -16,8 +16,8 @@ use pmnet::workloads::KvHandler;
 fn set(key: String, value: u32) -> pmnet::core::client::AppRequest {
     update(
         KvFrame::Set {
-            key: key.into_bytes(),
-            value: value.to_le_bytes().to_vec(),
+            key: key.into_bytes().into(),
+            value: value.to_le_bytes().to_vec().into(),
         }
         .encode(),
     )

@@ -18,20 +18,20 @@ fn table_one_interface_round_trip() {
     let script = vec![
         update(
             KvFrame::Set {
-                key: b"answer".to_vec(),
-                value: b"42".to_vec(),
+                key: Bytes::from_static(b"answer"),
+                value: Bytes::from_static(b"42"),
             }
             .encode(),
         ),
         bypass(
             KvFrame::Get {
-                key: b"answer".to_vec(),
+                key: Bytes::from_static(b"answer"),
             }
             .encode(),
         ),
         bypass(
             KvFrame::Get {
-                key: b"never-written".to_vec(),
+                key: Bytes::from_static(b"never-written"),
             }
             .encode(),
         ),
@@ -85,12 +85,17 @@ fn bypass_replies_carry_values_back_to_the_source() {
             let req = match self.sent {
                 0 => update(
                     KvFrame::Set {
-                        key: b"k".to_vec(),
-                        value: b"hello".to_vec(),
+                        key: Bytes::from_static(b"k"),
+                        value: Bytes::from_static(b"hello"),
                     }
                     .encode(),
                 ),
-                1 => bypass(KvFrame::Get { key: b"k".to_vec() }.encode()),
+                1 => bypass(
+                    KvFrame::Get {
+                        key: Bytes::from_static(b"k"),
+                    }
+                    .encode(),
+                ),
                 _ => return None,
             };
             self.sent += 1;

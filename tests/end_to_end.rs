@@ -14,14 +14,17 @@ use pmnet::workloads::{KvHandler, YcsbSource};
 
 fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
     KvFrame::Set {
-        key: key.to_vec(),
-        value: value.to_vec(),
+        key: Bytes::copy_from_slice(key),
+        value: Bytes::copy_from_slice(value),
     }
     .encode()
 }
 
 fn get_frame(key: &[u8]) -> Bytes {
-    KvFrame::Get { key: key.to_vec() }.encode()
+    KvFrame::Get {
+        key: Bytes::copy_from_slice(key),
+    }
+    .encode()
 }
 
 #[test]

@@ -23,8 +23,8 @@ fn seq_tagged_script(n: u32) -> Vec<pmnet::core::client::AppRequest> {
         .map(|i| {
             update(
                 KvFrame::Set {
-                    key: b"ordered".to_vec(),
-                    value: i.to_le_bytes().to_vec(),
+                    key: Bytes::from_static(b"ordered"),
+                    value: i.to_le_bytes().to_vec().into(),
                 }
                 .encode(),
             )
@@ -143,7 +143,7 @@ fn script_frames_are_well_formed() {
     for (i, req) in script.iter().enumerate() {
         match KvFrame::decode(&req.payload) {
             Some(KvFrame::Set { key, value }) => {
-                assert_eq!(key, b"ordered");
+                assert_eq!(&key[..], b"ordered");
                 assert_eq!(value, (i as u32).to_le_bytes().to_vec());
             }
             other => panic!("bad frame {other:?}"),

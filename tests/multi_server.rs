@@ -18,8 +18,8 @@ const SERVER_B: Addr = Addr(200);
 
 fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
     KvFrame::Set {
-        key: key.to_vec(),
-        value: value.to_vec(),
+        key: Bytes::copy_from_slice(key),
+        value: Bytes::copy_from_slice(value),
     }
     .encode()
 }

@@ -13,8 +13,8 @@ use pmnet::workloads::KvHandler;
 
 fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
     KvFrame::Set {
-        key: key.to_vec(),
-        value: value.to_vec(),
+        key: Bytes::copy_from_slice(key),
+        value: Bytes::copy_from_slice(value),
     }
     .encode()
 }
