@@ -1,0 +1,33 @@
+//! Wall-clock timing for a representative campaign, used to measure the
+//! model-checker overhead quoted in EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p pmnet-chaos --example campaign_timing
+//! cargo run --release -p pmnet-chaos --features model --example campaign_timing
+//! ```
+//!
+//! The first build runs the bare chaos invariants; the second records
+//! every run and checks it against the `pmnet-model` reference.
+
+use pmnet_chaos::{run_campaign, CampaignConfig};
+
+fn main() {
+    let cfg = CampaignConfig {
+        seed: 7,
+        plans_per_design: 34,
+        ..CampaignConfig::default()
+    };
+    // Warm-up pass so allocator/page-cache effects don't skew the timing.
+    let _ = run_campaign(&cfg);
+    let start = std::time::Instant::now();
+    let outcome = run_campaign(&cfg);
+    let elapsed = start.elapsed();
+    println!(
+        "model feature: {} | {} runs, {} failures, digest {:#018x}, {:.2?} wall",
+        cfg!(feature = "model"),
+        outcome.runs.len(),
+        outcome.failure_count(),
+        outcome.digest,
+        elapsed,
+    );
+}

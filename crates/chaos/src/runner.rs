@@ -345,6 +345,13 @@ fn apply_act(sys: &mut BuiltSystem, act: Act) {
 ///    `RecoveryDone` after the last server restart).
 pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     let mut sys = scenario.build();
+    // With the `model` feature, every run also records a client/server/
+    // device event history and submits it to the pmnet-model checker as a
+    // fourth invariant. Recording is pure observation, so enabling it
+    // changes no timeline — a passing run's digest line is identical with
+    // the feature on or off.
+    #[cfg(feature = "model")]
+    let recorder = pmnet_model::attach(&mut sys);
     let acts = lower_plan(&mut sys, plan);
 
     for &c in &sys.clients.clone() {
@@ -411,6 +418,15 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
             (server.counters().updates_applied, redo)
         }
     };
+    #[cfg(feature = "model")]
+    if let Err(d) =
+        pmnet_model::check_system_with(&sys, &recorder, pmnet_model::config_for(scenario.design))
+    {
+        if std::env::var_os("PMNET_MODEL_DUMP").is_some() {
+            eprintln!("{}", d.artifact);
+        }
+        violations.push(format!("model: {d}"));
+    }
 
     let mut finished_clients = 0;
     for (i, &c) in sys.clients.iter().enumerate() {

@@ -66,6 +66,12 @@ pub struct ReadCache {
     map: BTreeMap<Vec<u8>, CacheEntry>,
     capacity: usize,
     counters: CacheCounters,
+    /// In-flight update counts for keys the cache could not admit (no
+    /// evictable slot). Without this, a read response racing such an
+    /// update fills the key with a pre-update server snapshot and serves
+    /// it as Persisted forever after. Bounded by the device's un-acked
+    /// log occupancy, not by cache capacity.
+    refused: BTreeMap<Vec<u8>, u32>,
 }
 
 impl ReadCache {
@@ -81,6 +87,7 @@ impl ReadCache {
             map: BTreeMap::new(),
             capacity,
             counters: CacheCounters::default(),
+            refused: BTreeMap::new(),
         }
     }
 
@@ -144,21 +151,38 @@ impl ReadCache {
             self.counters.update_fills += 1;
             return;
         }
+        // Earlier updates to this key may have been refused admission;
+        // they are still in flight, so an admitted entry starts Stale.
+        let prior = self.refused.remove(key).unwrap_or(0);
         if self.make_room() {
+            let (state, value, inflight) = if prior == 0 {
+                (CacheState::Pending, value.to_vec(), 1)
+            } else {
+                (CacheState::Stale, Vec::new(), prior + 1)
+            };
             self.map.insert(
                 key.to_vec(),
                 CacheEntry {
-                    state: CacheState::Pending,
-                    value: value.to_vec(),
-                    inflight: 1,
+                    state,
+                    value,
+                    inflight,
                 },
             );
             self.counters.update_fills += 1;
+        } else {
+            self.refused.insert(key.to_vec(), prior + 1);
         }
     }
 
     /// A server-ACK for an update to `key` arrived (T2/T6).
     pub fn on_server_ack(&mut self, key: &[u8]) {
+        if let Some(c) = self.refused.get_mut(key) {
+            *c -= 1;
+            if *c == 0 {
+                self.refused.remove(key);
+            }
+            return;
+        }
         if let Some(e) = self.map.get_mut(key) {
             e.inflight = e.inflight.saturating_sub(1);
             match e.state {
@@ -190,6 +214,12 @@ impl ReadCache {
             // Pending/Persisted already hold fresher-or-equal data; a
             // Stale or still-in-flight entry must not be resurrected by a
             // read that raced an in-flight update.
+            return;
+        }
+        if self.refused.contains_key(key) {
+            // The key has in-flight updates the cache never admitted; the
+            // response may predate them, so filling it would serve stale
+            // data once those updates apply.
             return;
         }
         if self.make_room() {
@@ -311,19 +341,61 @@ mod tests {
     }
 
     #[test]
+    fn refused_admission_still_blocks_racing_read_fills() {
+        // Capacity 1: key A holds the only slot as Pending, so B's update
+        // is refused admission — but it is still in flight at the device.
+        let mut c = ReadCache::new(1);
+        c.on_update(b"a", b"a1");
+        c.on_update(b"b", b"b1"); // refused: no evictable slot
+        c.on_server_ack(b"a"); // A Persisted -> evictable
+                               // A read response for B racing its in-flight update must not fill
+                               // (it may carry the server's pre-update value).
+        c.on_read_response(b"b", b"ancient");
+        assert_eq!(c.lookup(b"b"), None, "pre-update snapshot served");
+        // Once B's update is acknowledged, fills become safe again.
+        c.on_server_ack(b"b");
+        c.on_read_response(b"b", b"b1");
+        assert_eq!(c.lookup(b"b"), Some(b"b1".to_vec()));
+    }
+
+    #[test]
+    fn late_admission_inherits_refused_inflight_counts() {
+        let mut c = ReadCache::new(1);
+        c.on_update(b"a", b"a1");
+        c.on_update(b"b", b"b1"); // refused
+        c.on_server_ack(b"a"); // room opens
+        c.on_update(b"b", b"b2"); // admitted with an older update in flight
+        assert_eq!(c.state(b"b"), CacheState::Stale);
+        assert_eq!(c.lookup(b"b"), None);
+        c.on_server_ack(b"b");
+        assert_eq!(
+            c.state(b"b"),
+            CacheState::Stale,
+            "one update still in flight"
+        );
+        c.on_server_ack(b"b");
+        assert_eq!(c.state(b"b"), CacheState::Invalid);
+    }
+
+    #[test]
     fn capacity_evicts_only_safe_states() {
         let mut c = ReadCache::new(2);
         c.on_update(b"a", b"1"); // Pending — unevictable
         c.on_update(b"b", b"2"); // Pending — unevictable
-        c.on_update(b"c", b"3"); // no room: not cached
+        c.on_update(b"c", b"3"); // no room: tracked as refused, not cached
         assert_eq!(c.state(b"c"), CacheState::Invalid);
         assert_eq!(c.len(), 2);
-        // Persist one; now there is an evictable victim.
+        // Persist one; now there is an evictable victim. The next update
+        // to C is admitted, but the refused one is still in flight, so
+        // the entry starts Stale until both drain.
         c.on_server_ack(b"a");
         c.on_update(b"c", b"3");
-        assert_eq!(c.state(b"c"), CacheState::Pending);
+        assert_eq!(c.state(b"c"), CacheState::Stale);
         assert_eq!(c.counters().evictions, 1);
         assert_eq!(c.state(b"a"), CacheState::Invalid); // evicted
+        c.on_server_ack(b"c");
+        c.on_server_ack(b"c");
+        assert_eq!(c.state(b"c"), CacheState::Invalid);
     }
 
     #[test]

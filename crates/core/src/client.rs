@@ -25,6 +25,8 @@ use pmnet_sim::stats::LatencyHistogram;
 use pmnet_sim::{Dur, SimRng, Time};
 
 use crate::config::{HostProfile, RetryConfig, MTU_BYTES};
+#[cfg(feature = "recorder")]
+use crate::events::{Event, EventKind, Recorder};
 use crate::protocol::{PacketType, PmnetHeader, HEADER_LEN};
 
 /// Sentinel ingress port marking a packet that has finished traversing the
@@ -251,6 +253,8 @@ pub struct ClientLib {
     /// Times this client has been power-cycled (observability for chaos
     /// liveness checks).
     crashes: u32,
+    #[cfg(feature = "recorder")]
+    recorder: Recorder,
 }
 
 impl ClientLib {
@@ -291,7 +295,16 @@ impl ClientLib {
             finished: false,
             alive: true,
             crashes: 0,
+            #[cfg(feature = "recorder")]
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a history recorder: invocation and completion events flow
+    /// into `recorder`'s shared tap for the `pmnet-model` checker.
+    #[cfg(feature = "recorder")]
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Times this client has been power-cycled.
@@ -486,6 +499,27 @@ impl ClientLib {
             return;
         }
         let out = self.outstanding.take().expect("request_done checked");
+        #[cfg(feature = "recorder")]
+        {
+            let last = out.frags.last().expect("at least one fragment");
+            self.recorder.record(Event {
+                at: ctx.now(),
+                client: self.addr,
+                session: last.header.session,
+                seq: last.header.seq,
+                kind: EventKind::Complete {
+                    kind: out.req.kind,
+                    reply: out.reply.clone(),
+                    device_acks: out
+                        .frags
+                        .iter()
+                        .map(|f| f.device_acks.len())
+                        .min()
+                        .unwrap_or(0) as u8,
+                    server_acked: out.frags.iter().all(|f| f.server_acked),
+                },
+            });
+        }
         if out.req.kind == RequestKind::Update {
             self.acked_updates
                 .extend(out.frags.iter().map(|f| (f.header.session, f.header.seq)));
@@ -574,6 +608,17 @@ impl ClientLib {
                 });
             }
         }
+        #[cfg(feature = "recorder")]
+        self.recorder.record(Event {
+            at: ctx.now(),
+            client: self.addr,
+            session: self.session,
+            seq: frags.last().expect("at least one fragment").header.seq,
+            kind: EventKind::Invoke {
+                kind: req.kind,
+                payload: req.payload.clone(),
+            },
+        });
         self.outstanding = Some(Outstanding {
             req,
             serial,

@@ -18,6 +18,8 @@ use std::collections::HashMap;
 
 use crate::cache::ReadCache;
 use crate::config::DeviceConfig;
+#[cfg(feature = "recorder")]
+use crate::events::{Event, EventKind, Recorder};
 use crate::kvproto::KvFrame;
 use crate::logstore::{BypassReason, LogOutcome, LogStore};
 use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_CONGESTED, FLAG_REDO};
@@ -50,6 +52,9 @@ pub struct DeviceCounters {
     pub entry_retries: u64,
     /// Reads served from the cache.
     pub cache_responses: u64,
+    /// Reads held behind an outstanding logged update from the same
+    /// session (released when the session's last entry is server-acked).
+    pub reads_parked: u64,
     /// Packets dropped for lack of a route.
     pub unroutable: u64,
     /// PMNet requests dropped because the header hash or payload CRC
@@ -75,6 +80,20 @@ pub struct PmnetDevice {
     /// redo ack invalidates it; when the last staged entry for a server
     /// clears, the device emits `RecoveryDone`.
     staged_resends: HashMap<u32, StagedResend>,
+    /// Cache-miss reads held because a logged update from the same
+    /// `(server, client, session)` is still un-server-acked: the update
+    /// is durable (we acked it) but possibly unapplied, so forwarding the
+    /// read now could let it overtake the update and observe stale state.
+    /// Values are `(header hash, packet)`; the hash dedups client
+    /// retransmissions of a held read. Held in DRAM — lost on power loss
+    /// (the client's timeout resends the read).
+    parked_reads: HashMap<(Addr, Addr, u16), Vec<(u32, Packet)>>,
+    /// **Fault-injection hook**: skip the cache overwrite on logged
+    /// updates, leaving stale values to be served (see
+    /// [`PmnetDevice::with_stale_read_bug`]).
+    stale_read_bug: bool,
+    #[cfg(feature = "recorder")]
+    recorder: Recorder,
 }
 
 /// Book-keeping for one staged recovery resend.
@@ -106,7 +125,35 @@ impl PmnetDevice {
             alive: true,
             epoch: 0,
             staged_resends: HashMap::new(),
+            parked_reads: HashMap::new(),
+            stale_read_bug: false,
+            #[cfg(feature = "recorder")]
+            recorder: Recorder::default(),
         }
+    }
+
+    /// **Fault-injection hook**: stops the read cache from being updated
+    /// when an update is logged, so a previously cached value keeps being
+    /// served after the key has been overwritten by an acknowledged
+    /// update. Exists so the `pmnet-model` checker can prove it catches
+    /// stale reads; never enable it in a real run.
+    #[must_use]
+    pub fn with_stale_read_bug(mut self) -> PmnetDevice {
+        self.stale_read_bug = true;
+        self
+    }
+
+    /// In-place variant of [`PmnetDevice::with_stale_read_bug`], for
+    /// planting the bug on a device already wired into a built system.
+    pub fn set_stale_read_bug(&mut self, enabled: bool) {
+        self.stale_read_bug = enabled;
+    }
+
+    /// Attaches a history recorder: log-persist and cache-serve events
+    /// flow into `recorder`'s shared tap for the `pmnet-model` checker.
+    #[cfg(feature = "recorder")]
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The device's name.
@@ -252,9 +299,19 @@ impl PmnetDevice {
                         b: self.epoch,
                     },
                 );
-                if let Some(cache) = &mut self.cache {
-                    if let Some(KvFrame::Set { key, value }) = KvFrame::decode(&payload) {
-                        cache.on_update(&key, &value);
+                #[cfg(feature = "recorder")]
+                self.recorder.record(Event {
+                    at: ctx.now(),
+                    client: header.client,
+                    session: header.session,
+                    seq: header.seq,
+                    kind: EventKind::DeviceLogged { device: self.addr },
+                });
+                if !self.stale_read_bug {
+                    if let Some(cache) = &mut self.cache {
+                        if let Some(KvFrame::Set { key, value }) = KvFrame::decode(&payload) {
+                            cache.on_update(&key, &value);
+                        }
                     }
                 }
             }
@@ -292,6 +349,19 @@ impl PmnetDevice {
             if let Some(cache) = &mut self.cache {
                 if let Some(KvFrame::Set { key, .. }) = KvFrame::decode(&entry.payload) {
                     cache.on_server_ack(&key);
+                }
+            }
+            // Last outstanding entry for this session drained: any read
+            // held behind it may go. Re-dispatch (not just forward) so a
+            // now-clean cache entry can still serve it.
+            let session = (entry.server, entry.header.client, entry.header.session);
+            if !self.log.has_outstanding(session.0, session.1, session.2) {
+                if let Some(parked) = self.parked_reads.remove(&session) {
+                    for (_, pkt) in parked {
+                        if let Some((h, payload)) = PmnetHeader::decode(&pkt.payload) {
+                            self.handle_bypass_req(ctx, h, payload, pkt);
+                        }
+                    }
                 }
             }
         }
@@ -373,18 +443,50 @@ impl PmnetDevice {
                         value: value.into(),
                         found: true,
                     };
+                    let frame_bytes = frame.encode();
                     let reply = Packet::udp(
                         self.addr,
                         header.client,
                         packet.dst_port,
                         packet.src_port,
-                        h.encode(&frame.encode()),
+                        h.encode(&frame_bytes),
                     );
                     self.counters.cache_responses += 1;
+                    #[cfg(feature = "recorder")]
+                    self.recorder.record(Event {
+                        at: ctx.now(),
+                        client: header.client,
+                        session: header.session,
+                        seq: header.seq,
+                        kind: EventKind::CacheServe {
+                            device: self.addr,
+                            reply: frame_bytes.clone(),
+                        },
+                    });
                     self.emit(ctx, header.client, reply);
                     return;
                 }
             }
+        }
+        // Cache miss (or no cache): if this session has a logged update
+        // still awaiting its server-ACK, the read must not overtake it —
+        // we told the client that update is durable. Hold the read; the
+        // draining ack releases it (the server applies before acking, so
+        // a read forwarded after the ack cannot observe pre-update state).
+        let server = packet.dst;
+        if self
+            .log
+            .has_outstanding(server, header.client, header.session)
+        {
+            let parked = self
+                .parked_reads
+                .entry((server, header.client, header.session))
+                .or_default();
+            if !parked.iter().any(|(h, _)| *h == header.hash) {
+                self.counters.reads_parked += 1;
+                parked.push((header.hash, packet));
+            }
+            return;
         }
         self.forward(ctx, packet);
     }
@@ -592,6 +694,17 @@ impl Node for PmnetDevice {
                 // completed (Section IV-E).
                 let lost = self.log.crash(ctx.now());
                 self.staged_resends.clear();
+                // The read cache lives in volatile device memory: power
+                // loss empties it, together with the in-flight counts for
+                // entries whose log records were just lost (which would
+                // otherwise never be acknowledged and leak).
+                if let Some(cache) = &mut self.cache {
+                    *cache = ReadCache::new(self.config.cache_entries);
+                }
+                // Parked reads are DRAM too; the clients' read timeouts
+                // resend them (and the resends re-park if their session's
+                // surviving entries are still un-acked).
+                self.parked_reads.clear();
                 ctx.trace(|| format!("device crash: {lost} unpersisted entries lost"));
             }
             Msg::Restore => {
@@ -755,6 +868,67 @@ mod tests {
         assert_eq!(w.node::<EchoHost>(server).received(), 0);
         assert_eq!(w.node::<EchoHost>(client).received(), 0);
         assert_eq!(w.node::<PmnetDevice>(dev).log_len(), 0);
+    }
+
+    #[test]
+    fn cache_is_volatile_across_power_loss() {
+        let (mut w, client, dev, _server) = rig(SystemConfig::default().device.with_cache(64));
+        let frame = crate::kvproto::KvFrame::Set {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+        }
+        .encode();
+        let (_, pkt) = update_packet(1, &frame);
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        let filled = w.node::<PmnetDevice>(dev).cache_counters().unwrap();
+        assert_eq!(filled.update_fills, 1, "update must land in the cache");
+        w.schedule_crash(dev, w.now(), Some(pmnet_sim::Dur::micros(10)));
+        w.run_for(pmnet_sim::Dur::millis(1));
+        let after = w.node::<PmnetDevice>(dev).cache_counters().unwrap();
+        assert_eq!(
+            after,
+            Default::default(),
+            "the read cache must not survive a power cycle"
+        );
+    }
+
+    #[test]
+    fn reads_park_behind_unacked_same_session_updates() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        let (h, pkt) = update_packet(1, b"data");
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<EchoHost>(server).received(), 1);
+        // A read from the same session must wait for the entry to drain:
+        // the update is durable (we acked it) but maybe unapplied.
+        let read = |session: u16, seq: u32| {
+            let rh =
+                PmnetHeader::request(PacketType::BypassReq, session, seq, Addr(1), Addr(9), 0, 1)
+                    .with_payload(b"read");
+            Packet::udp(Addr(1), Addr(9), 51001, 51000, rh.encode(b"read"))
+        };
+        w.inject(client, read(1, 7));
+        // A retransmission of the same held read must not park twice.
+        w.inject(client, read(1, 7));
+        // A different session has nothing outstanding: pass through.
+        w.inject(client, read(2, 7));
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().reads_parked, 1);
+        assert_eq!(
+            w.node::<EchoHost>(server).received(),
+            2,
+            "only the other-session read passed the device"
+        );
+        // The server-ACK drains the entry and releases the held read.
+        let ack = Packet::udp(Addr(9), Addr(1), 51000, 51001, h.server_ack().encode(&[]));
+        w.inject(server, ack);
+        w.run_for(pmnet_sim::Dur::millis(5));
+        assert_eq!(
+            w.node::<EchoHost>(server).received(),
+            3,
+            "held read forwarded once its session's log drained"
+        );
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub mod cache;
 pub mod client;
 pub mod config;
 pub mod device;
+#[cfg(feature = "recorder")]
+pub mod events;
 pub mod kvproto;
 pub mod logstore;
 pub mod protocol;
@@ -66,6 +68,8 @@ pub use client::{
 };
 pub use config::{DeviceConfig, HostProfile, RetryConfig, SystemConfig};
 pub use device::PmnetDevice;
+#[cfg(feature = "recorder")]
+pub use events::{Event, EventKind, Recorder};
 pub use logstore::{LogOutcome, LogStore};
 pub use protocol::{PacketType, PmnetHeader, PMNET_PORT_HI, PMNET_PORT_LO};
 pub use server::{RequestHandler, ServerLib};

@@ -88,6 +88,11 @@ pub struct LogStore {
     max_bytes: u64,
     queue_bytes: u64,
     used_bytes: u64,
+    /// Live-entry counts per `(server, client, session)`. A non-zero
+    /// count means a device-acked (durable) update from that session is
+    /// still in flight to the server, so a read from the same session
+    /// must not overtake it.
+    outstanding: HashMap<(Addr, Addr, u16), u32>,
     counters: LogCounters,
 }
 
@@ -101,6 +106,7 @@ impl LogStore {
             max_bytes: config.log_capacity_bytes,
             queue_bytes: config.log_queue_bytes,
             used_bytes: 0,
+            outstanding: HashMap::new(),
             counters: LogCounters::default(),
         }
     }
@@ -180,8 +186,20 @@ impl LogStore {
             },
         );
         self.used_bytes += bytes;
+        *self
+            .outstanding
+            .entry((server, header.client, header.session))
+            .or_insert(0) += 1;
         self.counters.logged += 1;
         LogOutcome::Logged { ack_at }
+    }
+
+    /// Whether a live entry from `(client, session)` to `server` remains
+    /// (logged and not yet invalidated by a server-ACK). While true, the
+    /// update is durable but possibly unapplied — a read from the same
+    /// session forwarded now could overtake it and observe stale state.
+    pub fn has_outstanding(&self, server: Addr, client: Addr, session: u16) -> bool {
+        self.outstanding.contains_key(&(server, client, session))
     }
 
     /// Invalidates the entry for `hash` (server-ACK received). Returns the
@@ -189,6 +207,13 @@ impl LogStore {
     pub fn invalidate(&mut self, hash: u32) -> Option<LogEntry> {
         let entry = self.entries.remove(&hash)?;
         self.used_bytes -= Self::entry_bytes(&entry.payload);
+        let key = (entry.server, entry.header.client, entry.header.session);
+        if let Some(c) = self.outstanding.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.outstanding.remove(&key);
+            }
+        }
         self.counters.invalidated += 1;
         Some(entry)
     }
@@ -265,6 +290,15 @@ impl LogStore {
             keep
         });
         self.used_bytes -= lost_bytes;
+        // Rebuild the outstanding index from the survivors (the entry
+        // table is PM; the index is derived state).
+        self.outstanding.clear();
+        for e in self.entries.values() {
+            *self
+                .outstanding
+                .entry((e.server, e.header.client, e.header.session))
+                .or_insert(0) += 1;
+        }
         before - self.entries.len()
     }
 }

@@ -140,10 +140,27 @@ impl PmnetHeader {
     }
 
     /// Stamps the payload checksum onto a request header (builder style).
+    /// Call after the fragment fields are final: the checksum covers them.
     #[must_use]
     pub fn with_payload(mut self, payload: &[u8]) -> PmnetHeader {
-        self.pcrc = crc32(payload);
+        self.pcrc = self.frag_crc(payload);
         self
+    }
+
+    /// The payload checksum also covers the fragmentation geometry:
+    /// `frag_idx`/`frag_cnt` are sender-set and immutable in flight, but
+    /// cannot ride in the identity hash (the server must recompute that
+    /// from identity fields alone to address log entries), and a bit flip
+    /// there silently breaks reassembly — the receiver parks the fragment
+    /// waiting for siblings that don't exist, while the device has already
+    /// logged and acknowledged the update. (`flags` and `device_id` stay
+    /// uncovered: they are legitimately rewritten in-network.)
+    fn frag_crc(&self, payload: &[u8]) -> u32 {
+        let mut buf = Vec::with_capacity(4 + payload.len());
+        buf.extend_from_slice(&self.frag_idx.to_le_bytes());
+        buf.extend_from_slice(&self.frag_cnt.to_le_bytes());
+        buf.extend_from_slice(payload);
+        crc32(&buf)
     }
 
     /// The CRC-32 `HashVal` of this header (Section IV-A1): computed over
@@ -162,7 +179,7 @@ impl PmnetHeader {
     /// True if `payload` matches the stamped checksum. Headers derived for
     /// ACKs travel without a payload; an empty payload is always accepted.
     pub fn payload_ok(&self, payload: &[u8]) -> bool {
-        payload.is_empty() || self.pcrc == crc32(payload)
+        payload.is_empty() || self.pcrc == self.frag_crc(payload)
     }
 
     /// End-to-end integrity check at a receiver that knows the server

@@ -29,6 +29,8 @@ use pmnet_sim::{Dur, SimRng, Time};
 
 use crate::audit::{AuditEntry, AuditLog};
 use crate::config::HostProfile;
+#[cfg(feature = "recorder")]
+use crate::events::{Event, EventKind, Recorder};
 use crate::protocol::{PacketType, PmnetHeader, FLAG_REDO};
 
 const POST_STACK: PortNo = PortNo(200);
@@ -154,6 +156,9 @@ pub struct ServerCounters {
     /// Unrecoverable gaps skipped after the bounded retransmission rounds
     /// ran out (a crashed client stranded a hole no log can fill).
     pub gaps_skipped: u64,
+    /// Bypass reads parked behind an open recovery barrier (served once
+    /// every device reported `RecoveryDone`).
+    pub bypasses_parked: u64,
 }
 
 /// Recovery bookkeeping exposed to the harness (Section VI-B6).
@@ -222,6 +227,11 @@ pub struct ServerLib {
     /// Devices that have not yet reported `RecoveryDone` since the last
     /// restore (the recovery barrier).
     recovery_pending: Vec<Addr>,
+    /// Bypass reads that arrived while the recovery barrier was open.
+    /// Serving them immediately would read handler state that is missing
+    /// device-acked (durable) updates still in flight as redo, so they
+    /// wait here until the barrier closes.
+    parked_bypass: Vec<PendingPkt>,
     recovery_poll_timeout: Dur,
     poll_round: u32,
     alive: bool,
@@ -236,6 +246,8 @@ pub struct ServerLib {
     silent_commit: bool,
     dedup_disabled: bool,
     audit: AuditLog,
+    #[cfg(feature = "recorder")]
+    recorder: Recorder,
 }
 
 #[derive(Debug)]
@@ -291,6 +303,7 @@ impl ServerLib {
             gap_skip_rounds: 8,
             devices: Vec::new(),
             recovery_pending: Vec::new(),
+            parked_bypass: Vec::new(),
             recovery_poll_timeout: Dur::micros(500),
             poll_round: 0,
             alive: true,
@@ -302,7 +315,16 @@ impl ServerLib {
             silent_commit: false,
             dedup_disabled: false,
             audit: AuditLog::new(),
+            #[cfg(feature = "recorder")]
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a history recorder: every handler apply flows into
+    /// `recorder`'s shared tap for the `pmnet-model` checker.
+    #[cfg(feature = "recorder")]
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// **Fault-injection hook**: disables the duplicate-suppression branch
@@ -564,6 +586,18 @@ impl ServerLib {
             redo,
             epoch: self.epoch,
         });
+        #[cfg(feature = "recorder")]
+        self.recorder.record(Event {
+            at: ctx.now(),
+            client,
+            session,
+            seq: last_seq,
+            kind: EventKind::Apply {
+                redo,
+                epoch: self.epoch,
+                payload: payload.clone(),
+            },
+        });
         if redo {
             self.counters.redo_applied += 1;
             if let Some(r) = &mut self.recovery {
@@ -664,6 +698,15 @@ impl ServerLib {
     }
 
     fn on_bypass_post_stack(&mut self, ctx: &mut Ctx<'_>, pending: PendingPkt) {
+        // Durable linearizability: an update the device acked before this
+        // read was issued may still be in flight as redo. Reading handler
+        // state now would serve the pre-crash snapshot, so park the read
+        // until every device reports its per-server log drained.
+        if !self.recovery_pending.is_empty() {
+            self.counters.bypasses_parked += 1;
+            self.parked_bypass.push(pending);
+            return;
+        }
         let (service, reply) = self.handler.handle_bypass(&pending.payload, ctx.rng());
         self.counters.bypasses_served += 1;
         self.enqueue_job(
@@ -850,6 +893,12 @@ impl ServerLib {
         if before > 0 && self.recovery_pending.is_empty() {
             if let Some(r) = &mut self.recovery {
                 r.barrier_done_at = ctx.now();
+            }
+            // Every redo a device resent was applied before it reported
+            // done (acks ride apply completion), so parked reads now see
+            // all pre-crash durable writes.
+            for pending in std::mem::take(&mut self.parked_bypass) {
+                self.on_bypass_post_stack(ctx, pending);
             }
         }
     }
@@ -1048,6 +1097,7 @@ impl Node for ServerLib {
                 self.assembly.clear();
                 self.jobs.clear();
                 self.gap_rounds.clear();
+                self.parked_bypass.clear();
                 self.pending_replication.clear();
                 let now = ctx.now();
                 for w in &mut self.workers {

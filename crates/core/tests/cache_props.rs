@@ -107,6 +107,60 @@ proptest! {
     }
 
     #[test]
+    fn read_responses_never_fill_keys_with_inflight_updates(
+        ops in prop::collection::vec(op_strategy(), 0..150),
+        capacity in 1usize..5,
+    ) {
+        // The in-flight fill rule, tested against *device-visible* truth:
+        // every `on_update` call counts (the device logs the update whether
+        // or not the cache admitted the key), and a read response models a
+        // server snapshot of arbitrary age. While any update to a key is
+        // still in flight, a read response must never install a value the
+        // cache will later serve — tiny capacities force the refusal path.
+        let mut cache = ReadCache::new(capacity);
+        let mut inflight: HashMap<u8, u32> = HashMap::new();
+        let mut nonce = 0u8;
+        for op in ops {
+            match op {
+                Op::Update(k, v) => {
+                    cache.on_update(&[k], &v);
+                    *inflight.entry(k).or_default() += 1;
+                }
+                Op::ServerAck(k) => {
+                    let c = inflight.entry(k).or_default();
+                    if *c > 0 {
+                        *c -= 1;
+                        cache.on_server_ack(&[k]);
+                    }
+                }
+                Op::ReadResponse(k) => {
+                    // A distinct sentinel per response stands in for a
+                    // stale server snapshot (the response may have left
+                    // the server before the in-flight updates applied).
+                    nonce = nonce.wrapping_add(1);
+                    let sentinel = vec![0xEE, k, nonce];
+                    let fills_before = cache.counters().read_fills;
+                    cache.on_read_response(&[k], &sentinel);
+                    if inflight.get(&k).copied().unwrap_or(0) > 0 {
+                        prop_assert_eq!(
+                            cache.counters().read_fills, fills_before,
+                            "read response filled key {} with {} update(s) in flight",
+                            k, inflight[&k]
+                        );
+                        prop_assert!(
+                            cache.lookup(&[k]).as_deref() != Some(&sentinel[..]),
+                            "stale snapshot served for key {}", k
+                        );
+                    }
+                }
+                Op::Lookup(k) => {
+                    let _ = cache.lookup(&[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn states_follow_the_refined_figure_11_graph(
         ops in prop::collection::vec(op_strategy(), 0..100),
     ) {

@@ -1,0 +1,379 @@
+//! Replayable divergence artifacts.
+//!
+//! A divergence is only actionable if it can be re-examined away from the
+//! run that produced it, so the checker wraps every violation in a
+//! self-contained text artifact: the full recorded history, the durable
+//! state snapshot (when one was taken), and the divergence verdict.
+//! [`replay`] parses an artifact and re-runs the checker on it, which
+//! must reproduce the identical verdict — the format is lossless.
+//!
+//! The format is line-oriented (`pmnet-model divergence v1`):
+//!
+//! ```text
+//! pmnet-model divergence v1
+//! index=7
+//! reason=duplicate apply: update client 1 session 0 seq 3 ...
+//! state=present            # or `absent` when the server was uninspectable
+//! s 0x6b6579 0x76616c      # one durable entry: hex key, hex value
+//! e at=120 client=1 session=0 seq=3 invoke update 0x01036b...
+//! e at=140 client=1 session=0 seq=3 complete update acks=1 sacked=false reply=-
+//! e at=150 client=1 session=0 seq=3 apply redo=false epoch=0 0x01036b...
+//! e at=130 client=1 session=0 seq=3 devlog device=2000
+//! e at=160 client=1 session=0 seq=9 cache device=2000 0x02...
+//! ```
+//!
+//! Byte strings are `0x`-prefixed hex (`0x` alone = empty); a missing
+//! reply is `-`. Replay uses the default [`CheckerConfig`].
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use pmnet_core::client::RequestKind;
+use pmnet_core::events::{Event, EventKind};
+use pmnet_net::Addr;
+use pmnet_sim::Time;
+
+use crate::checker::{check, CheckStats, CheckerConfig, Divergence};
+
+const MAGIC: &str = "pmnet-model divergence v1";
+
+/// `0x`-prefixed lowercase hex of a byte string (`0x` alone = empty).
+pub fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(2 + bytes.len() * 2);
+    s.push_str("0x");
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    let body = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("expected 0x-prefixed hex, got {s:?}"))?;
+    if body.len() % 2 != 0 {
+        return Err(format!("odd-length hex string {s:?}"));
+    }
+    (0..body.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&body[i..i + 2], 16).map_err(|e| format!("bad hex {s:?}: {e}")))
+        .collect()
+}
+
+fn kind_word(kind: RequestKind) -> &'static str {
+    match kind {
+        RequestKind::Update => "update",
+        RequestKind::Bypass => "bypass",
+    }
+}
+
+fn event_line(e: &Event) -> String {
+    let head = format!(
+        "e at={} client={} session={} seq={}",
+        e.at.as_nanos(),
+        e.client.0,
+        e.session,
+        e.seq
+    );
+    match &e.kind {
+        EventKind::Invoke { kind, payload } => {
+            format!("{head} invoke {} {}", kind_word(*kind), hex(payload))
+        }
+        EventKind::Complete {
+            kind,
+            reply,
+            device_acks,
+            server_acked,
+        } => {
+            let reply = match reply {
+                Some(r) => hex(r),
+                None => "-".to_string(),
+            };
+            format!(
+                "{head} complete {} acks={device_acks} sacked={server_acked} reply={reply}",
+                kind_word(*kind)
+            )
+        }
+        EventKind::Apply {
+            redo,
+            epoch,
+            payload,
+        } => format!("{head} apply redo={redo} epoch={epoch} {}", hex(payload)),
+        EventKind::DeviceLogged { device } => format!("{head} devlog device={}", device.0),
+        EventKind::CacheServe { device, reply } => {
+            format!("{head} cache device={} {}", device.0, hex(reply))
+        }
+    }
+}
+
+/// Renders a complete, replayable artifact for one divergence.
+pub fn render(
+    history: &[Event],
+    durable: Option<&BTreeMap<Vec<u8>, Vec<u8>>>,
+    index: usize,
+    reason: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("index={index}\n"));
+    out.push_str(&format!("reason={}\n", reason.replace('\n', " ")));
+    match durable {
+        None => out.push_str("state=absent\n"),
+        Some(map) => {
+            out.push_str("state=present\n");
+            for (k, v) in map {
+                out.push_str(&format!("s {} {}\n", hex(k), hex(v)));
+            }
+        }
+    }
+    for e in history {
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed artifact: the inputs and the recorded verdict.
+#[derive(Debug, Clone)]
+pub struct ParsedArtifact {
+    /// Divergence index as recorded in the artifact.
+    pub index: usize,
+    /// Divergence reason as recorded in the artifact.
+    pub reason: String,
+    /// The full recorded history.
+    pub history: Vec<Event>,
+    /// The durable snapshot (`None` when the server was uninspectable).
+    pub durable: Option<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+fn parse_field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let t = token.ok_or_else(|| format!("missing {key}= field"))?;
+    t.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=..., got {t:?}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad {what} {s:?}: {e}"))
+}
+
+fn parse_req_kind(s: &str) -> Result<RequestKind, String> {
+    match s {
+        "update" => Ok(RequestKind::Update),
+        "bypass" => Ok(RequestKind::Bypass),
+        other => Err(format!("unknown request kind {other:?}")),
+    }
+}
+
+fn parse_event(line: &str) -> Result<Event, String> {
+    let mut toks = line.split_whitespace();
+    toks.next(); // the "e" marker, verified by the caller
+    let at: u64 = parse_num(parse_field(toks.next(), "at")?, "at")?;
+    let client: u32 = parse_num(parse_field(toks.next(), "client")?, "client")?;
+    let session: u16 = parse_num(parse_field(toks.next(), "session")?, "session")?;
+    let seq: u32 = parse_num(parse_field(toks.next(), "seq")?, "seq")?;
+    let verb = toks.next().ok_or("missing event verb")?;
+    let kind = match verb {
+        "invoke" => EventKind::Invoke {
+            kind: parse_req_kind(toks.next().ok_or("invoke: missing kind")?)?,
+            payload: Bytes::from(unhex(toks.next().ok_or("invoke: missing payload")?)?),
+        },
+        "complete" => {
+            let kind = parse_req_kind(toks.next().ok_or("complete: missing kind")?)?;
+            let device_acks: u8 = parse_num(parse_field(toks.next(), "acks")?, "acks")?;
+            let server_acked: bool = parse_num(parse_field(toks.next(), "sacked")?, "sacked")?;
+            let reply = match parse_field(toks.next(), "reply")? {
+                "-" => None,
+                r => Some(Bytes::from(unhex(r)?)),
+            };
+            EventKind::Complete {
+                kind,
+                reply,
+                device_acks,
+                server_acked,
+            }
+        }
+        "apply" => EventKind::Apply {
+            redo: parse_num(parse_field(toks.next(), "redo")?, "redo")?,
+            epoch: parse_num(parse_field(toks.next(), "epoch")?, "epoch")?,
+            payload: Bytes::from(unhex(toks.next().ok_or("apply: missing payload")?)?),
+        },
+        "devlog" => EventKind::DeviceLogged {
+            device: Addr(parse_num(parse_field(toks.next(), "device")?, "device")?),
+        },
+        "cache" => EventKind::CacheServe {
+            device: Addr(parse_num(parse_field(toks.next(), "device")?, "device")?),
+            reply: Bytes::from(unhex(toks.next().ok_or("cache: missing reply")?)?),
+        },
+        other => return Err(format!("unknown event verb {other:?}")),
+    };
+    Ok(Event {
+        at: Time::from_nanos(at),
+        client: Addr(client),
+        session,
+        seq,
+        kind,
+    })
+}
+
+/// Parses an artifact back into the checker's inputs and the recorded
+/// verdict.
+pub fn parse(text: &str) -> Result<ParsedArtifact, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(format!("not a {MAGIC} artifact"));
+    }
+    let index: usize = parse_num(parse_field(lines.next(), "index")?, "index")?;
+    let reason = parse_field(lines.next(), "reason")?.to_string();
+    let durable = match parse_field(lines.next(), "state")? {
+        "absent" => None,
+        "present" => Some(BTreeMap::new()),
+        other => return Err(format!("bad state {other:?}")),
+    };
+    let mut parsed = ParsedArtifact {
+        index,
+        reason,
+        history: Vec::new(),
+        durable,
+    };
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("s ") {
+            let mut toks = rest.split_whitespace();
+            let k = unhex(toks.next().ok_or("state line: missing key")?)?;
+            let v = unhex(toks.next().ok_or("state line: missing value")?)?;
+            parsed
+                .durable
+                .as_mut()
+                .ok_or("state line in state=absent artifact")?
+                .insert(k, v);
+        } else if line.starts_with("e ") {
+            parsed.history.push(parse_event(line)?);
+        } else {
+            return Err(format!("unrecognized line {line:?}"));
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses an artifact and re-runs the checker (default config) on the
+/// recorded inputs. `Ok(Err(..))` is the normal outcome — the divergence
+/// reproduced; `Ok(Ok(..))` means the artifact no longer diverges (a
+/// checker change, or a hand-edited artifact); `Err` is a parse failure.
+#[allow(clippy::type_complexity)]
+pub fn replay(text: &str) -> Result<Result<CheckStats, Divergence>, String> {
+    let parsed = parse(text)?;
+    Ok(check(
+        &parsed.history,
+        parsed.durable.as_ref(),
+        CheckerConfig::default(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_event_kind() {
+        let history = vec![
+            Event {
+                at: Time::from_nanos(5),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::Invoke {
+                    kind: RequestKind::Update,
+                    payload: Bytes::from_static(b"payload"),
+                },
+            },
+            Event {
+                at: Time::from_nanos(6),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::Complete {
+                    kind: RequestKind::Bypass,
+                    reply: Some(Bytes::new()),
+                    device_acks: 2,
+                    server_acked: true,
+                },
+            },
+            Event {
+                at: Time::from_nanos(7),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::Complete {
+                    kind: RequestKind::Update,
+                    reply: None,
+                    device_acks: 0,
+                    server_acked: false,
+                },
+            },
+            Event {
+                at: Time::from_nanos(8),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::Apply {
+                    redo: true,
+                    epoch: 4,
+                    payload: Bytes::new(),
+                },
+            },
+            Event {
+                at: Time::from_nanos(9),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::DeviceLogged { device: Addr(2000) },
+            },
+            Event {
+                at: Time::from_nanos(10),
+                client: Addr(1),
+                session: 2,
+                seq: 3,
+                kind: EventKind::CacheServe {
+                    device: Addr(2001),
+                    reply: Bytes::from_static(b"\x00\xff"),
+                },
+            },
+        ];
+        let durable = BTreeMap::from([(b"k".to_vec(), vec![0u8, 255]), (Vec::new(), Vec::new())]);
+        let text = render(&history, Some(&durable), 4, "some reason: details");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.index, 4);
+        assert_eq!(parsed.reason, "some reason: details");
+        assert_eq!(parsed.history, history);
+        assert_eq!(parsed.durable, Some(durable));
+
+        let text = render(&history, None, 0, "r");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.durable, None);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for bytes in [&b""[..], &b"\x00"[..], &b"hello\xff\x00world"[..]] {
+            assert_eq!(unhex(&hex(bytes)).unwrap(), bytes.to_vec());
+        }
+        assert!(unhex("6b").is_err()); // missing prefix
+        assert!(unhex("0x6").is_err()); // odd length
+        assert!(unhex("0xzz").is_err()); // not hex
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not an artifact").is_err());
+        assert!(parse(MAGIC).is_err()); // missing fields
+        let bad = format!("{MAGIC}\nindex=0\nreason=r\nstate=absent\nwhat is this\n");
+        assert!(parse(&bad).is_err());
+    }
+}

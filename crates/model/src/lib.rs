@@ -1,0 +1,37 @@
+//! # pmnet-model — executable reference model and durable-linearizability checker
+//!
+//! PMNet acknowledges updates from the network before the server applies
+//! them, which makes "did the system actually persist what it promised?"
+//! a non-trivial question under packet loss, reordering, and crash
+//! schedules. This crate answers it mechanically for every simulated run:
+//!
+//! * [`reference`] — a sequential model of the server's durable KV
+//!   semantics ([`ReferenceKv`]): what the store must contain given an
+//!   apply stream.
+//! * [`checker`] — [`check`] validates a recorded event history (see
+//!   `pmnet_core::events`, behind the `recorder` feature) against every
+//!   linearization consistent with ack order: exactly-once in-order
+//!   applies, durable acknowledgements, real-time write order, read
+//!   values, and the final durable state.
+//! * [`artifact`] — every divergence carries a self-contained text
+//!   artifact; [`artifact::replay`] re-runs the checker on it and must
+//!   reproduce the verdict.
+//! * [`harness`] — [`attach`] arms a shared recorder on a
+//!   `BuiltSystem`'s clients, server, and devices; [`check_system`]
+//!   snapshots the server and checks the run.
+//!
+//! Recording is pure observation: with the recorder armed (or the
+//! feature off entirely) simulated timelines, RNG draws, and campaign
+//! digests are bit-identical.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod checker;
+pub mod harness;
+pub mod reference;
+
+pub use artifact::{parse, render, replay, ParsedArtifact};
+pub use checker::{check, CheckStats, CheckerConfig, Divergence};
+pub use harness::{attach, check_system, check_system_with, config_for, snapshot_server_state};
+pub use reference::ReferenceKv;

@@ -125,6 +125,65 @@ impl Trace {
     }
 }
 
+/// A cloneable, shared event sink.
+///
+/// Unlike [`Trace`] — which each node owns privately — a `Tap` is a handle
+/// many components clone and push into, with one reader draining the merged
+/// stream afterwards. `pmnet-core`'s history recorder builds its operation
+/// log on this: every client, server and device holds a clone, and the
+/// model checker reads the combined history at end of run. Single-threaded
+/// by design (one `Rc` per simulated world); pushes are one pointer chase
+/// and never touch the RNG or the event queue, so an attached tap cannot
+/// perturb a simulation.
+#[derive(Debug, Default)]
+pub struct Tap<T> {
+    inner: std::rc::Rc<std::cell::RefCell<Vec<T>>>,
+}
+
+impl<T> Clone for Tap<T> {
+    fn clone(&self) -> Tap<T> {
+        Tap {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Tap<T> {
+    /// Creates an empty tap.
+    pub fn new() -> Tap<T> {
+        Tap {
+            inner: Default::default(),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&self, event: T) {
+        self.inner.borrow_mut().push(event);
+    }
+
+    /// Events pushed so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Removes and returns every event, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.inner.borrow_mut())
+    }
+}
+
+impl<T: Clone> Tap<T> {
+    /// A copy of every event, oldest first (the tap keeps them).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.borrow().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +229,22 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _ = Trace::bounded(0);
+    }
+
+    #[test]
+    fn taps_share_one_stream_across_clones() {
+        let tap: Tap<u32> = Tap::new();
+        let writer_a = tap.clone();
+        let writer_b = tap.clone();
+        writer_a.push(1);
+        writer_b.push(2);
+        writer_a.push(3);
+        assert_eq!(tap.len(), 3);
+        assert!(!tap.is_empty());
+        assert_eq!(tap.snapshot(), vec![1, 2, 3]);
+        assert_eq!(tap.drain(), vec![1, 2, 3]);
+        assert!(tap.is_empty());
+        assert_eq!(writer_a.len(), 0, "drain empties every handle");
     }
 
     #[test]

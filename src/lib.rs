@@ -53,11 +53,22 @@
 //! failing schedules are ddmin-shrunk to minimal replayable artifacts.
 //! See `examples/chaos_search.rs`.
 //!
+//! ## Model checking
+//!
+//! The [`model`] crate closes the loop on correctness: a feature-gated
+//! recorder captures every invocation, acknowledgement, and apply of a
+//! simulated run, and a durable-linearizability checker verifies the
+//! history — and the server's final durable state — against a sequential
+//! reference model, reporting the first divergent op as a replayable
+//! artifact. The chaos harness runs it as an extra invariant on every
+//! plan (DESIGN.md §11).
+//!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses regenerating every figure of the paper's evaluation.
 
 pub use pmnet_chaos as chaos;
 pub use pmnet_core as core;
+pub use pmnet_model as model;
 pub use pmnet_net as net;
 pub use pmnet_pmem as pmem;
 pub use pmnet_sim as sim;

@@ -1,0 +1,54 @@
+//! Shared helpers for the top-level integration tests.
+//!
+//! Each test file is compiled as its own crate, so helpers used by one
+//! file but not another would otherwise trip `dead_code`.
+#![allow(dead_code)]
+
+use bytes::Bytes;
+use pmnet::core::kvproto::KvFrame;
+use pmnet::core::server::ServerLib;
+use pmnet::core::system::BuiltSystem;
+use pmnet::net::World;
+use pmnet::sim::{Dur, NodeId};
+use pmnet::workloads::KvHandler;
+
+/// Encodes a `KvFrame::Set` request payload.
+pub fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
+    KvFrame::Set {
+        key: Bytes::copy_from_slice(key),
+        value: Bytes::copy_from_slice(value),
+    }
+    .encode()
+}
+
+/// Encodes a `KvFrame::Get` request payload.
+pub fn get_frame(key: &[u8]) -> Bytes {
+    KvFrame::Get {
+        key: Bytes::copy_from_slice(key),
+    }
+    .encode()
+}
+
+/// Downcasts the server's request handler to the [`KvHandler`] the tests
+/// install, for peeking at durable state.
+pub fn kv_handler_at(world: &mut World, server: NodeId) -> &mut KvHandler {
+    world
+        .node_mut::<ServerLib>(server)
+        .handler_mut()
+        .as_any_mut()
+        .downcast_mut::<KvHandler>()
+        .expect("kv handler")
+}
+
+/// [`kv_handler_at`] for the single server of a [`BuiltSystem`].
+pub fn kv_handler(sys: &mut BuiltSystem) -> &mut KvHandler {
+    let server = sys.server;
+    kv_handler_at(&mut sys.world, server)
+}
+
+/// Runs the clients to completion (bounded by `run`), then lets in-flight
+/// server/device processing drain for `drain` of simulated time.
+pub fn run_and_drain(sys: &mut BuiltSystem, run: Dur, drain: Dur) {
+    sys.run_clients(run);
+    sys.world.run_for(drain);
+}

@@ -2,30 +2,16 @@
 //! switches, PMNet devices, servers with real PM-backed handlers, and the
 //! PMNet protocol machinery (fragmentation, loss, reordering, caching).
 
-use bytes::Bytes;
+mod common;
+
+use common::{get_frame, kv_handler, run_and_drain, set_frame};
 use pmnet::core::api::{bypass, update, ScriptSource};
 use pmnet::core::client::ClientLib;
-use pmnet::core::kvproto::KvFrame;
 use pmnet::core::server::ServerLib;
 use pmnet::core::system::{addrs, DesignPoint, SystemBuilder, UpdateExperiment};
 use pmnet::core::SystemConfig;
 use pmnet::sim::Dur;
 use pmnet::workloads::{KvHandler, YcsbSource};
-
-fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
-    KvFrame::Set {
-        key: Bytes::copy_from_slice(key),
-        value: Bytes::copy_from_slice(value),
-    }
-    .encode()
-}
-
-fn get_frame(key: &[u8]) -> Bytes {
-    KvFrame::Get {
-        key: Bytes::copy_from_slice(key),
-    }
-    .encode()
-}
 
 #[test]
 fn pmnet_acknowledges_sub_rtt_against_a_real_pm_server() {
@@ -57,18 +43,11 @@ fn server_state_matches_acknowledged_updates() {
         .client(Box::new(ScriptSource::new(script)))
         .handler_factory(|| Box::new(KvHandler::new("hashmap", 3)))
         .build(5);
-    sys.run_clients(Dur::secs(5));
-    // Let in-flight server processing drain fully.
-    sys.world.run_for(Dur::millis(50));
+    // Let in-flight server processing drain fully after the clients stop.
+    run_and_drain(&mut sys, Dur::secs(5), Dur::millis(50));
     let m = sys.metrics();
     assert_eq!(m.completed, 50);
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let handler = kv_handler(&mut sys);
     for i in 0..50u32 {
         assert_eq!(
             handler.peek(format!("key{i}").as_bytes()),
@@ -88,17 +67,10 @@ fn over_mtu_updates_fragment_and_reassemble() {
         ))])))
         .handler_factory(|| Box::new(KvHandler::new("btree", 1)))
         .build(9);
-    sys.run_clients(Dur::secs(2));
-    sys.world.run_for(Dur::millis(50));
+    run_and_drain(&mut sys, Dur::secs(2), Dur::millis(50));
     assert_eq!(sys.metrics().completed, 1);
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
-    assert_eq!(handler.peek(b"bigkey"), Some(big_value));
+    assert_eq!(kv_handler(&mut sys).peek(b"bigkey"), Some(big_value));
+    let server = sys.world.node::<ServerLib>(sys.server);
     assert_eq!(server.counters().updates_applied, 1, "one logical update");
 }
 
@@ -139,19 +111,16 @@ fn packet_loss_toward_the_server_is_repaired_from_the_device_log() {
         .client(Box::new(ScriptSource::new(script)))
         .handler_factory(|| Box::new(KvHandler::new("btree", 4)))
         .build(13);
-    sys.run_clients(Dur::secs(20));
-    sys.world.run_for(Dur::millis(100));
+    run_and_drain(&mut sys, Dur::secs(20), Dur::millis(100));
     let m = sys.metrics();
     assert_eq!(m.completed, 40, "all updates must eventually complete");
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let applied = server.counters().updates_applied;
+    let applied = sys
+        .world
+        .node::<ServerLib>(sys.server)
+        .counters()
+        .updates_applied;
     assert_eq!(applied, 40, "each update applied exactly once");
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let handler = kv_handler(&mut sys);
     for i in 0..40u32 {
         assert_eq!(
             handler.peek(format!("k{i}").as_bytes()),
@@ -174,17 +143,15 @@ fn network_reordering_is_corrected_by_seqnum() {
         .client(Box::new(ScriptSource::new(script)))
         .handler_factory(|| Box::new(KvHandler::new("rbtree", 5)))
         .build(17);
-    sys.run_clients(Dur::secs(10));
-    sys.world.run_for(Dur::millis(100));
+    run_and_drain(&mut sys, Dur::secs(10), Dur::millis(100));
     assert_eq!(sys.metrics().completed, 60);
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    assert_eq!(server.counters().updates_applied, 60);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let applied = sys
+        .world
+        .node::<ServerLib>(sys.server)
+        .counters()
+        .updates_applied;
+    assert_eq!(applied, 60);
+    let handler = kv_handler(&mut sys);
     assert_eq!(
         handler.peek(b"onekey"),
         Some(59u32.to_le_bytes().to_vec()),
@@ -284,15 +251,8 @@ fn baseline_and_pmnet_apply_identical_state() {
             .client(Box::new(ScriptSource::new(script())))
             .handler_factory(|| Box::new(KvHandler::new("btree", 10)))
             .build(37);
-        sys.run_clients(Dur::secs(5));
-        sys.world.run_for(Dur::millis(50));
-        let server_id = sys.server;
-        let server = sys.world.node_mut::<ServerLib>(server_id);
-        let handler = server
-            .handler_mut()
-            .as_any_mut()
-            .downcast_mut::<KvHandler>()
-            .expect("kv handler");
+        run_and_drain(&mut sys, Dur::secs(5), Dur::millis(50));
+        let handler = kv_handler(&mut sys);
         (0..7u32)
             .map(|k| handler.peek(format!("s{k}").as_bytes()))
             .collect::<Vec<_>>()

@@ -9,9 +9,10 @@
 //! (c) **Failure** — the server fails; on restore, the device resends the
 //!     logged packets and the server reorders and deduplicates them.
 
-use bytes::Bytes;
+mod common;
+
+use common::{kv_handler, run_and_drain, set_frame};
 use pmnet::core::api::{update, ScriptSource};
-use pmnet::core::kvproto::KvFrame;
 use pmnet::core::server::ServerLib;
 use pmnet::core::system::{DesignPoint, SystemBuilder};
 use pmnet::core::{PmnetDevice, SystemConfig};
@@ -20,27 +21,12 @@ use pmnet::workloads::KvHandler;
 
 fn seq_tagged_script(n: u32) -> Vec<pmnet::core::client::AppRequest> {
     (0..n)
-        .map(|i| {
-            update(
-                KvFrame::Set {
-                    key: Bytes::from_static(b"ordered"),
-                    value: i.to_le_bytes().to_vec().into(),
-                }
-                .encode(),
-            )
-        })
+        .map(|i| update(set_frame(b"ordered", &i.to_le_bytes())))
         .collect()
 }
 
 fn final_value(sys: &mut pmnet::core::system::BuiltSystem) -> Option<u32> {
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
-    handler
+    kv_handler(sys)
         .peek(b"ordered")
         .and_then(|v| v.try_into().ok().map(u32::from_le_bytes))
 }
@@ -64,8 +50,7 @@ fn scenario_a_reordered_packets() {
         .client(Box::new(ScriptSource::new(seq_tagged_script(80))))
         .handler_factory(|| Box::new(KvHandler::new("btree", 1)))
         .build(61);
-    sys.run_clients(Dur::secs(10));
-    sys.world.run_for(Dur::millis(100));
+    run_and_drain(&mut sys, Dur::secs(10), Dur::millis(100));
     assert_eq!(sys.metrics().completed, 80);
     let server = sys.world.node::<ServerLib>(sys.server);
     assert!(
@@ -88,8 +73,7 @@ fn scenario_b_lost_packet_served_from_device_log() {
         .client(Box::new(ScriptSource::new(seq_tagged_script(80))))
         .handler_factory(|| Box::new(KvHandler::new("btree", 2)))
         .build(67);
-    sys.run_clients(Dur::secs(30));
-    sys.world.run_for(Dur::millis(200));
+    run_and_drain(&mut sys, Dur::secs(30), Dur::millis(200));
     assert_eq!(sys.metrics().completed, 80);
     assert!(applied_in_order(&sys));
     assert_eq!(final_value(&mut sys), Some(79));
@@ -115,8 +99,7 @@ fn scenario_c_failure_recovery_in_order() {
     let server_id = sys.server;
     sys.world
         .schedule_crash(server_id, Time::ZERO + Dur::millis(1), Some(Dur::millis(5)));
-    sys.run_clients(Dur::secs(30));
-    sys.world.run_for(Dur::millis(300));
+    run_and_drain(&mut sys, Dur::secs(30), Dur::millis(300));
     assert_eq!(sys.metrics().completed, 120);
     let server = sys.world.node::<ServerLib>(sys.server);
     let rec = server.recovery().expect("server recovered");
@@ -139,6 +122,8 @@ fn scenario_c_failure_recovery_in_order() {
 /// scenarios above).
 #[test]
 fn script_frames_are_well_formed() {
+    use bytes::Bytes;
+    use pmnet::core::kvproto::KvFrame;
     let script = seq_tagged_script(3);
     for (i, req) in script.iter().enumerate() {
         match KvFrame::decode(&req.payload) {

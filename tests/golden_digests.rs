@@ -1,0 +1,68 @@
+//! Golden-digest regression tests: pin the exact simulated behaviour of
+//! two representative harnesses so a refactor that silently changes
+//! timing, protocol bytes, RNG draws, or apply order fails loudly here
+//! instead of shifting results unnoticed.
+//!
+//! When a change is *intentional* (protocol fix, timing model change),
+//! re-run with `--nocapture`, confirm the shift is expected, and update
+//! the constants — the diff then documents that behaviour moved.
+
+use pmnet::chaos::run_lossy_recovery_campaign;
+use pmnet::core::system::DesignPoint;
+use pmnet::sim::Dur;
+
+/// Seed-77 lossy-recovery campaign, 10 plans x 2 designs. Covers the
+/// client retry path, device redo, the full recovery handshake, and the
+/// campaign digesting itself.
+const LOSSY_RECOVERY_DIGEST: u64 = 0xcb7a_9acf_b7f0_a13b;
+
+/// FNV-1a over the formatted Figure-16 stress rows (saturation points for
+/// both PMNet designs). Covers the data path end to end: MAT pipeline
+/// timing, link serialization, fragmentation, and latency accounting.
+const FIG16_STRESS_DIGEST: u64 = 0x686a_39cd_a112_1c05;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn lossy_recovery_campaign_digest_is_pinned() {
+    let outcome = run_lossy_recovery_campaign(77, 10);
+    assert_eq!(outcome.failure_count(), 0, "campaign must converge");
+    assert_eq!(
+        outcome.digest, LOSSY_RECOVERY_DIGEST,
+        "seed-77 lossy-recovery digest moved: simulated behaviour changed \
+         (got {:#018x}); if intentional, update the golden constant",
+        outcome.digest
+    );
+}
+
+#[test]
+fn fig16_stress_digest_is_pinned() {
+    let mut rows = String::new();
+    for design in [DesignPoint::PmnetSwitch, DesignPoint::PmnetNic] {
+        for payload in [256usize, 1024] {
+            let (gbps, mean, p99) =
+                pmnet_bench::stress_point(design, 4, payload, Dur::millis(2), 3);
+            // Bit-exact float encoding: any drift in the data path shows.
+            rows.push_str(&format!(
+                "{design:?} payload={payload} gbps_bits={:016x} mean_ns={} p99_ns={}\n",
+                gbps.to_bits(),
+                mean.as_nanos(),
+                p99.as_nanos(),
+            ));
+        }
+    }
+    let digest = fnv1a(&rows);
+    assert_eq!(
+        digest, FIG16_STRESS_DIGEST,
+        "fig16 stress digest moved: simulated behaviour changed \
+         (got {digest:#018x} for rows:\n{rows}); if intentional, update \
+         the golden constant"
+    );
+}

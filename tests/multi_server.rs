@@ -3,10 +3,11 @@
 //! covers the server address), acknowledges independently, and recovery
 //! polls resend only the polling server's entries.
 
-use bytes::Bytes;
+mod common;
+
+use common::{kv_handler_at, set_frame};
 use pmnet::core::api::{update, ScriptSource};
 use pmnet::core::client::{ClientLib, ClientMode};
-use pmnet::core::kvproto::KvFrame;
 use pmnet::core::server::ServerLib;
 use pmnet::core::{PmnetDevice, SystemConfig};
 use pmnet::net::{topology, Addr, World};
@@ -15,14 +16,6 @@ use pmnet::workloads::KvHandler;
 
 const SERVER_A: Addr = Addr(100);
 const SERVER_B: Addr = Addr(200);
-
-fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
-    KvFrame::Set {
-        key: Bytes::copy_from_slice(key),
-        value: Bytes::copy_from_slice(value),
-    }
-    .encode()
-}
 
 /// Builds: clientA, clientB — PMNet(ToR) — serverA, serverB.
 /// Client A talks to server A; client B to server B.
@@ -127,20 +120,10 @@ fn one_device_serves_two_servers_independently() {
     // Both servers' ACK traffic drained the log.
     assert_eq!(device.log_len(), 0);
     // State landed on the right servers.
-    let handler_a = w
-        .node_mut::<ServerLib>(sa)
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv");
+    let handler_a = kv_handler_at(&mut w, sa);
     assert!(handler_a.peek(b"a0").is_some());
     assert!(handler_a.peek(b"b0").is_none(), "cross-server leak");
-    let handler_b = w
-        .node_mut::<ServerLib>(sb)
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv");
+    let handler_b = kv_handler_at(&mut w, sb);
     assert!(handler_b.peek(b"b0").is_some());
     assert!(handler_b.peek(b"a0").is_none(), "cross-server leak");
 }
@@ -157,12 +140,7 @@ fn crash_of_one_server_recovers_without_touching_the_other() {
     assert!(b.recovery().is_none(), "B must never have crashed");
     assert_eq!(b.counters().updates_applied, 30);
     // A's state is complete after redo.
-    let handler_a = w
-        .node_mut::<ServerLib>(sa)
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv");
+    let handler_a = kv_handler_at(&mut w, sa);
     for i in 0..30u32 {
         assert_eq!(
             handler_a.peek(format!("a{i}").as_bytes()),

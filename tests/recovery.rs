@@ -2,22 +2,15 @@
 //! server power failure with in-network redo, device failure before/after
 //! persist, and replicated permanent failures.
 
-use bytes::Bytes;
+mod common;
+
+use common::{kv_handler, run_and_drain, set_frame};
 use pmnet::core::api::{update, ScriptSource};
-use pmnet::core::kvproto::KvFrame;
 use pmnet::core::server::ServerLib;
 use pmnet::core::system::{DesignPoint, SystemBuilder};
 use pmnet::core::{PmnetDevice, SystemConfig};
 use pmnet::sim::{Dur, Time};
 use pmnet::workloads::KvHandler;
-
-fn set_frame(key: &[u8], value: &[u8]) -> Bytes {
-    KvFrame::Set {
-        key: Bytes::copy_from_slice(key),
-        value: Bytes::copy_from_slice(value),
-    }
-    .encode()
-}
 
 /// The paper's central recovery claim: once a client has been
 /// acknowledged (by the device's PM), a server power failure cannot lose
@@ -37,19 +30,17 @@ fn server_power_failure_loses_no_acknowledged_update() {
     let server_id = sys.server;
     sys.world
         .schedule_crash(server_id, Time::ZERO + Dur::millis(2), Some(Dur::millis(5)));
-    sys.run_clients(Dur::secs(30));
-    sys.world.run_for(Dur::millis(200));
+    run_and_drain(&mut sys, Dur::secs(30), Dur::millis(200));
     let m = sys.metrics();
     assert_eq!(m.completed, 200, "all updates eventually acknowledged");
 
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let recovery = server.recovery().expect("server recovered");
+    let recovery = sys
+        .world
+        .node::<ServerLib>(server_id)
+        .recovery()
+        .expect("server recovered");
     assert!(recovery.redo_applied > 0, "redo log must have replayed");
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let handler = kv_handler(&mut sys);
     for i in 0..200u32 {
         assert_eq!(
             handler.peek(format!("k{i}").as_bytes()),
@@ -91,12 +82,7 @@ fn duplicate_redo_resends_are_dropped_with_make_up_acks() {
         "resent already-applied entries must be dropped (dups={dups}, pending={not_yet_acked})"
     );
     // The value is still the last write.
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let handler = kv_handler(&mut sys);
     assert_eq!(handler.peek(b"same"), Some(49u32.to_le_bytes().to_vec()));
     // And the device's log fully drains via make-up ACKs.
     let dev = sys.world.node::<PmnetDevice>(dev_id);
@@ -128,14 +114,7 @@ fn device_crash_before_persist_falls_back_to_timeout_resend() {
         m.client_retries > 0,
         "client must have resent after timeout"
     );
-    let server_id = sys.server;
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
-    assert_eq!(handler.peek(b"x"), Some(b"y".to_vec()));
+    assert_eq!(kv_handler(&mut sys).peek(b"x"), Some(b"y".to_vec()));
 }
 
 /// Permanent failure with in-network replication (IV-E2): after both
@@ -170,12 +149,7 @@ fn replicated_devices_survive_one_permanent_device_loss() {
     let m = sys.metrics();
     let completed = m.completed;
     assert!(completed > 0);
-    let server = sys.world.node_mut::<ServerLib>(server_id);
-    let handler = server
-        .handler_mut()
-        .as_any_mut()
-        .downcast_mut::<KvHandler>()
-        .expect("kv handler");
+    let handler = kv_handler(&mut sys);
     // Check prefix integrity: the script is sequential, so all completed
     // requests are r0..r<completed>.
     for i in 0..completed as u32 {
