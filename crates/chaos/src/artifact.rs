@@ -11,6 +11,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use pmnet_core::system::DesignPoint;
+use pmnet_telemetry::flight::FlightDump;
 
 use crate::plan::FaultPlan;
 use crate::runner::{run, Scenario, Verdict};
@@ -26,6 +27,11 @@ pub struct Artifact {
     pub dedup_bug: bool,
     /// The (minimized) fault plan.
     pub plan: FaultPlan,
+    /// Flight-recorder timeline from the failing run, when one was
+    /// captured. Purely diagnostic: replay ignores it (the run rebuilds
+    /// its own), but a bug report carrying the artifact shows what the
+    /// protocol was doing when the invariant fired.
+    pub flight: Option<FlightDump>,
 }
 
 fn design_name(d: DesignPoint) -> String {
@@ -80,7 +86,15 @@ impl Artifact {
             design: scenario.design,
             dedup_bug: scenario.plant_dedup_bug,
             plan,
+            flight: None,
         }
+    }
+
+    /// Attaches the failing run's flight-recorder timeline (dropped when
+    /// `flight` is `None` or the dump recorded nothing).
+    pub fn with_flight(mut self, flight: Option<FlightDump>) -> Artifact {
+        self.flight = flight.filter(|d| !d.is_empty());
+        self
     }
 
     /// The scenario this artifact replays under (the standard chaos
@@ -105,7 +119,14 @@ impl fmt::Display for Artifact {
         writeln!(f, "seed={}", self.seed)?;
         writeln!(f, "design={}", design_name(self.design))?;
         writeln!(f, "dedup_bug={}", self.dedup_bug)?;
-        write!(f, "{}", self.plan)
+        write!(f, "{}", self.plan)?;
+        if let Some(dump) = &self.flight {
+            // The flight header starts with `#`, every timeline line with
+            // `flight ` — both are unambiguous against the plan DSL, so
+            // the section round-trips through `FromStr`.
+            write!(f, "{dump}")?;
+        }
+        Ok(())
     }
 }
 
@@ -117,9 +138,15 @@ impl FromStr for Artifact {
         let mut design = None;
         let mut dedup_bug = false;
         let mut plan_lines = String::new();
+        let mut flight_lines = String::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with("flight ") {
+                flight_lines.push_str(line);
+                flight_lines.push('\n');
                 continue;
             }
             if let Some(v) = line.strip_prefix("seed=") {
@@ -135,11 +162,17 @@ impl FromStr for Artifact {
                 plan_lines.push('\n');
             }
         }
+        let flight = if flight_lines.is_empty() {
+            None
+        } else {
+            Some(flight_lines.parse::<FlightDump>()?)
+        };
         Ok(Artifact {
             seed: seed.ok_or("artifact: missing seed= line")?,
             design: design.ok_or("artifact: missing design= line")?,
             dedup_bug,
             plan: plan_lines.parse()?,
+            flight,
         })
     }
 }
@@ -165,6 +198,7 @@ mod tests {
             design: DesignPoint::PmnetSwitch,
             dedup_bug: true,
             plan,
+            flight: None,
         }
     }
 
@@ -197,6 +231,32 @@ mod tests {
     fn missing_header_lines_are_errors() {
         assert!("design=pmnet-switch".parse::<Artifact>().is_err());
         assert!("seed=1".parse::<Artifact>().is_err());
+    }
+
+    #[test]
+    fn flight_dump_round_trips_through_the_text_format() {
+        // A replay of the planted-bug sample fails, so its verdict
+        // carries a real flight timeline; embed it and round-trip.
+        let verdict = sample().replay();
+        assert!(!verdict.passed);
+        let dump = verdict
+            .flight
+            .expect("failing verdict captures a flight dump");
+        assert!(!dump.is_empty(), "chaos runs record protocol events");
+        let a = sample().with_flight(Some(dump));
+        let text = a.to_string();
+        let back: Artifact = text.parse().expect("parse back with flight section");
+        assert_eq!(a, back);
+        // The embedded timeline is also parseable on its own.
+        let flight_text = a.flight.as_ref().unwrap().to_string();
+        assert!(flight_text.parse::<FlightDump>().is_ok());
+    }
+
+    #[test]
+    fn empty_flight_dumps_are_not_embedded() {
+        let a = sample().with_flight(Some(FlightDump::default()));
+        assert!(a.flight.is_none());
+        assert_eq!(a, sample());
     }
 
     #[test]

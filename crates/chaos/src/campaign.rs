@@ -163,7 +163,8 @@ fn merge_outcome(jobs: Vec<CampaignJob>, verdicts: Vec<Verdict>) -> CampaignOutc
     for (job, verdict) in jobs.into_iter().zip(verdicts) {
         digest = fnv1a(digest, verdict.digest_line().as_bytes());
         if !verdict.passed {
-            failures.push(Artifact::new(&job.scenario, job.plan));
+            failures
+                .push(Artifact::new(&job.scenario, job.plan).with_flight(verdict.flight.clone()));
         }
         runs.push(CampaignRun {
             design: job.design,

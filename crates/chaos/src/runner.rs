@@ -19,6 +19,8 @@ use pmnet_core::server::ServerLib;
 use pmnet_core::system::{BuiltSystem, DesignPoint, MicroSource, SystemBuilder};
 use pmnet_core::SystemConfig;
 use pmnet_sim::{Dur, NodeId, Time};
+use pmnet_telemetry::flight::FlightDump;
+use pmnet_telemetry::Telemetry;
 use pmnet_workloads::KvHandler;
 
 use crate::plan::{Fault, FaultPlan, LinkTarget};
@@ -134,6 +136,12 @@ pub struct Verdict {
     pub stranded_log_entries: u64,
     /// Simulated end time of the run, in nanoseconds.
     pub end_ns: u64,
+    /// Flight-recorder timeline, captured only when an invariant fired
+    /// (`None` on passing runs). Deterministic like everything else in
+    /// the verdict, but deliberately excluded from [`digest_line`]
+    /// (`Verdict::digest_line`) so campaign digests are comparable
+    /// across telemetry revisions.
+    pub flight: Option<FlightDump>,
 }
 
 impl Verdict {
@@ -329,6 +337,11 @@ fn apply_act(sys: &mut BuiltSystem, act: Act) {
     }
 }
 
+/// Per-node flight-recorder ring capacity used by chaos runs. Big enough
+/// to hold the events leading up to an invariant violation, small enough
+/// that ten thousand campaign runs don't notice it.
+pub const FLIGHT_CAPACITY: usize = 256;
+
 /// Runs `plan` against a fresh system built for `scenario` and checks the
 /// invariants:
 ///
@@ -352,6 +365,13 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     // the feature on or off.
     #[cfg(feature = "model")]
     let recorder = pmnet_model::attach(&mut sys);
+    // Every run also carries a flight recorder: bounded per-node rings of
+    // recent protocol events, dumped into the verdict (and any failure
+    // artifact) when an invariant fires. Telemetry hooks are pure
+    // observation — no RNG draws, no scheduled events — so attaching the
+    // handle changes no timeline and no digest.
+    let telemetry = Telemetry::flight_only(FLIGHT_CAPACITY);
+    sys.attach_telemetry(&telemetry);
     let acts = lower_plan(&mut sys, plan);
 
     for &c in &sys.clients.clone() {
@@ -461,6 +481,20 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
         })
         .sum();
 
+    // Capture the flight timeline only for failing runs: passing verdicts
+    // stay lean and `PartialEq` over them keeps asserting what it always
+    // did. `PMNET_TELEMETRY_DUMP=1` additionally prints the timeline, the
+    // same escape hatch `PMNET_MODEL_DUMP` provides for model counterexamples.
+    let flight = if violations.is_empty() {
+        None
+    } else {
+        let dump = telemetry.flight_dump();
+        if std::env::var_os("PMNET_TELEMETRY_DUMP").is_some() {
+            eprintln!("{dump}");
+        }
+        Some(dump)
+    };
+
     Verdict {
         passed: violations.is_empty(),
         violations,
@@ -474,6 +508,7 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
         failed_updates: retry_counters.failed,
         stranded_log_entries: stranded as u64,
         end_ns: sys.world.now().as_nanos(),
+        flight,
     }
 }
 

@@ -24,6 +24,9 @@ use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
 use pmnet_sim::stats::LatencyHistogram;
 use pmnet_sim::{Dur, SimRng, Time};
 
+use pmnet_telemetry::span::{AckKind, Evidence, OpCompletion, OpEvent, OpKind};
+use pmnet_telemetry::Telemetry;
+
 use crate::config::{HostProfile, RetryConfig, MTU_BYTES};
 #[cfg(feature = "recorder")]
 use crate::events::{Event, EventKind, Recorder};
@@ -169,6 +172,15 @@ pub struct ClientRetryCounters {
     pub failed: u64,
 }
 
+impl pmnet_telemetry::registry::CounterGroup for ClientRetryCounters {
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("retransmits", self.retransmits);
+        f("backoffs", self.backoffs);
+        f("congestion_signals", self.congestion_signals);
+        f("failed", self.failed);
+    }
+}
+
 /// How the client reaches persistence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientMode {
@@ -253,6 +265,10 @@ pub struct ClientLib {
     /// Times this client has been power-cycled (observability for chaos
     /// liveness checks).
     crashes: u32,
+    telemetry: Telemetry,
+    /// The last ack/reply absorbed into the outstanding request — the
+    /// completion evidence span attribution chains from.
+    last_evidence: Option<(Evidence, u16, u32)>,
     #[cfg(feature = "recorder")]
     recorder: Recorder,
 }
@@ -295,9 +311,18 @@ impl ClientLib {
             finished: false,
             alive: true,
             crashes: 0,
+            telemetry: Telemetry::disabled(),
+            last_evidence: None,
             #[cfg(feature = "recorder")]
             recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: span events and completions flow into
+    /// its shared sink. Pure observation — never touches the RNG or the
+    /// event queue.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Attaches a history recorder: invocation and completion events flow
@@ -419,6 +444,7 @@ impl ClientLib {
 
     fn send_fragments(&mut self, ctx: &mut Ctx<'_>, only_incomplete: bool) {
         let Some(out) = &self.outstanding else { return };
+        let attempt = out.attempt;
         let is_update = out.req.kind == RequestKind::Update;
         let frag_info: Vec<(PmnetHeader, Bytes, bool, BTreeSet<u8>)> = out
             .frags
@@ -440,6 +466,18 @@ impl ClientLib {
             cumulative += self.tx_delay(ctx, payload.len() as u32);
             let pkt = self.make_packet(&header, &payload);
             ctx.send_after(cumulative, PortNo(0), pkt);
+            // The wire-entry stamp reuses the already-computed cumulative
+            // delay: recording draws nothing from the RNG.
+            self.telemetry.op_event(
+                self.addr,
+                ctx.now(),
+                (self.addr, header.session, header.seq),
+                OpEvent::ClientSend {
+                    attempt,
+                    tx_start: ctx.now(),
+                    wire_at: ctx.now() + cumulative,
+                },
+            );
             // Client-side logging with replication: the logger process
             // fans copies out to each peer logger concurrently with the
             // main send (Figure 17a).
@@ -531,6 +569,50 @@ impl ClientLib {
             self.rto.sample(ctx.now() - out.issued_at);
         }
         let latency = ctx.now() - out.issued_at + self.profile.app_overhead;
+        if self.telemetry.is_enabled() {
+            // Fragment seqs are assigned contiguously at issue, so the
+            // first/last headers bound them all.
+            let frag_range = (
+                out.frags.first().map(|f| f.header.seq).unwrap_or_default(),
+                out.frags.last().map(|f| f.header.seq).unwrap_or_default(),
+            );
+            let session = out
+                .frags
+                .last()
+                .map(|f| f.header.session)
+                .unwrap_or(self.session);
+            let (evidence, completing_seq) = match self.last_evidence {
+                Some((ev, s, q))
+                    if out
+                        .frags
+                        .iter()
+                        .any(|f| f.header.session == s && f.header.seq == q) =>
+                {
+                    (ev, q)
+                }
+                _ => (Evidence::LocalLog, frag_range.1),
+            };
+            self.telemetry.op_complete(
+                self.addr,
+                ctx.now(),
+                OpCompletion {
+                    client: self.addr,
+                    session,
+                    completing_seq,
+                    frag_range,
+                    kind: match out.req.kind {
+                        RequestKind::Update => OpKind::Update,
+                        RequestKind::Bypass => OpKind::Read,
+                    },
+                    issued_at: out.issued_at,
+                    completed_at: ctx.now(),
+                    latency,
+                    retries: out.attempt,
+                    evidence,
+                },
+            );
+            self.last_evidence = None;
+        }
         self.records.push(CompletionRecord {
             kind: out.req.kind,
             latency,
@@ -619,6 +701,17 @@ impl ClientLib {
                 payload: req.payload.clone(),
             },
         });
+        if let Some(last) = frags.last() {
+            self.telemetry.op_issue(
+                self.addr,
+                ctx.now(),
+                (self.addr, last.header.session, last.header.seq),
+                match req.kind {
+                    RequestKind::Update => OpKind::Update,
+                    RequestKind::Bypass => OpKind::Read,
+                },
+            );
+        }
         self.outstanding = Some(Outstanding {
             req,
             serial,
@@ -661,6 +754,14 @@ impl ClientLib {
     /// records) and let the workload continue.
     fn fail_outstanding(&mut self, ctx: &mut Ctx<'_>) {
         let out = self.outstanding.take().expect("caller checked");
+        if self.telemetry.is_enabled() {
+            let frags: Vec<(u16, u32)> = out
+                .frags
+                .iter()
+                .map(|f| (f.header.session, f.header.seq))
+                .collect();
+            self.telemetry.op_abandon(self.addr, &frags);
+        }
         self.retry_counters.failed += 1;
         self.source.on_outcome(&out.req, UpdateOutcome::Failed);
         ctx.timer_in(self.profile.app_overhead, Timer::of_kind(TIMER_NEXT));
@@ -686,8 +787,17 @@ impl ClientLib {
                     {
                         if header.device_id >= PEER_LOGGER_ID_BASE {
                             f.peer_acks.insert(header.device_id);
+                            self.last_evidence =
+                                Some((Evidence::LocalLog, header.session, header.seq));
                         } else {
                             f.device_acks.insert(header.device_id);
+                            self.last_evidence = Some((
+                                Evidence::DeviceAck {
+                                    device: header.device_id,
+                                },
+                                header.session,
+                                header.seq,
+                            ));
                         }
                     }
                 }
@@ -708,6 +818,8 @@ impl ClientLib {
                         && f.header.ptype == PacketType::UpdateReq
                     {
                         f.server_acked = true;
+                        self.last_evidence =
+                            Some((Evidence::ServerAck, header.session, header.seq));
                     }
                 }
             }
@@ -720,6 +832,12 @@ impl ClientLib {
                     }) =>
             {
                 out.reply = Some(payload);
+                let ev = if header.ptype == PacketType::CacheResp {
+                    Evidence::CacheResp
+                } else {
+                    Evidence::AppReply
+                };
+                self.last_evidence = Some((ev, header.session, header.seq));
             }
             PacketType::Retrans => {
                 // The server is missing one of our packets and no device
@@ -733,10 +851,21 @@ impl ClientLib {
                             && f.header.hash == header.hash
                     })
                     .map(|f| (f.header, f.payload.clone()));
+                let attempt = out.attempt;
                 if let Some((h, p)) = frag {
                     let delay = self.tx_delay(ctx, p.len() as u32);
                     let pkt = self.make_packet(&h, &p);
                     ctx.send_after(delay, PortNo(0), pkt);
+                    self.telemetry.op_event(
+                        self.addr,
+                        ctx.now(),
+                        (self.addr, h.session, h.seq),
+                        OpEvent::ClientSend {
+                            attempt,
+                            tx_start: ctx.now(),
+                            wire_at: ctx.now() + delay,
+                        },
+                    );
                 }
             }
             _ => {}
@@ -761,7 +890,16 @@ impl Node for ClientLib {
                 // lost. Completion and ACK records model results already
                 // handed to the application (and audited as acknowledged),
                 // so they survive the restart.
-                self.outstanding = None;
+                if let Some(out) = self.outstanding.take() {
+                    if self.telemetry.is_enabled() {
+                        let frags: Vec<(u16, u32)> = out
+                            .frags
+                            .iter()
+                            .map(|f| (f.header.session, f.header.seq))
+                            .collect();
+                        self.telemetry.op_abandon(self.addr, &frags);
+                    }
+                }
                 return;
             }
             Msg::Restore => {
@@ -791,7 +929,34 @@ impl Node for ClientLib {
                 self.on_post_stack_packet(ctx, packet);
             }
             Msg::Packet { packet, .. } => {
-                // Raw off the wire: traverse the receive stack first.
+                // Raw off the wire: stamp the wire arrival for span
+                // attribution, then traverse the receive stack.
+                if self.telemetry.is_enabled() {
+                    if let Some(h) = PmnetHeader::peek(&packet.payload) {
+                        let kind = match h.ptype {
+                            PacketType::PmnetAck => Some(if h.device_id >= PEER_LOGGER_ID_BASE {
+                                AckKind::Peer(h.device_id)
+                            } else {
+                                AckKind::Device(h.device_id)
+                            }),
+                            PacketType::ServerAck => Some(AckKind::Server),
+                            PacketType::AppReply => Some(AckKind::Reply),
+                            PacketType::CacheResp => Some(AckKind::Cache),
+                            _ => None,
+                        };
+                        if let Some(kind) = kind {
+                            self.telemetry.op_event(
+                                self.addr,
+                                ctx.now(),
+                                (self.addr, h.session, h.seq),
+                                OpEvent::ClientRecv {
+                                    kind,
+                                    at: ctx.now(),
+                                },
+                            );
+                        }
+                    }
+                }
                 let delay = self.rx_delay(ctx, packet.payload.len() as u32);
                 let self_id = ctx.self_id();
                 ctx.message_in(

@@ -14,6 +14,8 @@
 
 use bytes::Bytes;
 use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Timer};
+use pmnet_telemetry::span::OpEvent;
+use pmnet_telemetry::Telemetry;
 use std::collections::HashMap;
 
 use crate::cache::ReadCache;
@@ -62,6 +64,23 @@ pub struct DeviceCounters {
     pub corrupt_dropped: u64,
 }
 
+impl pmnet_telemetry::registry::CounterGroup for DeviceCounters {
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("forwarded", self.forwarded);
+        f("acks_sent", self.acks_sent);
+        f("retrans_served", self.retrans_served);
+        f("recovery_resends", self.recovery_resends);
+        f("recovery_resend_retries", self.recovery_resend_retries);
+        f("recovery_done_sent", self.recovery_done_sent);
+        f("congestion_flagged", self.congestion_flagged);
+        f("entry_retries", self.entry_retries);
+        f("cache_responses", self.cache_responses);
+        f("reads_parked", self.reads_parked);
+        f("unroutable", self.unroutable);
+        f("corrupt_dropped", self.corrupt_dropped);
+    }
+}
+
 /// The PMNet device node.
 #[derive(Debug)]
 pub struct PmnetDevice {
@@ -92,6 +111,7 @@ pub struct PmnetDevice {
     /// updates, leaving stale values to be served (see
     /// [`PmnetDevice::with_stale_read_bug`]).
     stale_read_bug: bool,
+    telemetry: Telemetry,
     #[cfg(feature = "recorder")]
     recorder: Recorder,
 }
@@ -127,9 +147,16 @@ impl PmnetDevice {
             staged_resends: HashMap::new(),
             parked_reads: HashMap::new(),
             stale_read_bug: false,
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "recorder")]
             recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: the device emits span events as
+    /// requests, persists, and cache hits cross it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// **Fault-injection hook**: stops the read cache from being updated
@@ -211,15 +238,18 @@ impl PmnetDevice {
         }
     }
 
-    /// Sends a packet toward `dst` (route lookup, pipeline delay).
-    fn emit(&mut self, ctx: &mut Ctx<'_>, dst: Addr, packet: Packet) {
+    /// Sends a packet toward `dst` (route lookup, pipeline delay);
+    /// returns the egress pipeline delay when the packet was routed.
+    fn emit(&mut self, ctx: &mut Ctx<'_>, dst: Addr, packet: Packet) -> Option<pmnet_sim::Dur> {
         match self.routes.get(&dst) {
             Some(&port) => {
                 let d = self.pipeline_for(packet.payload.len());
                 ctx.send_after(d, port, packet);
+                Some(d)
             }
             None => {
                 self.counters.unroutable += 1;
+                None
             }
         }
     }
@@ -250,6 +280,15 @@ impl PmnetDevice {
             self.forward(ctx, packet);
             return;
         }
+        self.telemetry.op_event(
+            self.addr,
+            ctx.now(),
+            (header.client, header.session, header.seq),
+            OpEvent::DeviceRecv {
+                device: self.id,
+                at: ctx.now(),
+            },
+        );
         // Try the log first so a pressure bypass can be stamped on the
         // forwarded copy; the forward still happens at `ctx.now()` either
         // way, so the fast path's timing is unchanged (Figure 3: egress
@@ -333,6 +372,7 @@ impl PmnetDevice {
         };
         let ack_header = entry.header.ack_from_device(self.id);
         let client = entry.header.client;
+        let key = (entry.header.client, entry.header.session, entry.header.seq);
         let packet = Packet::udp(
             self.addr,
             client,
@@ -341,7 +381,17 @@ impl PmnetDevice {
             ack_header.encode(&[]),
         );
         self.counters.acks_sent += 1;
-        self.emit(ctx, client, packet);
+        if let Some(d) = self.emit(ctx, client, packet) {
+            self.telemetry.op_event(
+                self.addr,
+                ctx.now(),
+                key,
+                OpEvent::DeviceAckSend {
+                    device: self.id,
+                    at: ctx.now() + d,
+                },
+            );
+        }
     }
 
     fn handle_server_ack(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
@@ -463,7 +513,27 @@ impl PmnetDevice {
                             reply: frame_bytes.clone(),
                         },
                     });
-                    self.emit(ctx, header.client, reply);
+                    let key = (header.client, header.session, header.seq);
+                    if let Some(d) = self.emit(ctx, header.client, reply) {
+                        self.telemetry.op_event(
+                            self.addr,
+                            ctx.now(),
+                            key,
+                            OpEvent::DeviceRecv {
+                                device: self.id,
+                                at: ctx.now(),
+                            },
+                        );
+                        self.telemetry.op_event(
+                            self.addr,
+                            ctx.now(),
+                            key,
+                            OpEvent::DeviceCacheResp {
+                                device: self.id,
+                                at: ctx.now() + d,
+                            },
+                        );
+                    }
                     return;
                 }
             }

@@ -79,6 +79,18 @@ pub struct LogCounters {
     pub retrans_misses: u64,
 }
 
+impl pmnet_telemetry::registry::CounterGroup for LogCounters {
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("logged", self.logged);
+        f("bypass_queue", self.bypass_queue);
+        f("bypass_collision", self.bypass_collision);
+        f("bypass_full", self.bypass_full);
+        f("invalidated", self.invalidated);
+        f("retrans_hits", self.retrans_hits);
+        f("retrans_misses", self.retrans_misses);
+    }
+}
+
 /// The log store: PM timing model + hash-indexed entry table.
 #[derive(Debug)]
 pub struct LogStore {

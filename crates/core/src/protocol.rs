@@ -214,13 +214,21 @@ impl PmnetHeader {
     /// the device then treats the packet as non-PMNet traffic and simply
     /// forwards it.
     pub fn decode(body: &Bytes) -> Option<(PmnetHeader, Bytes)> {
+        let header = PmnetHeader::peek(body)?;
+        Some((header, body.slice(HEADER_LEN..)))
+    }
+
+    /// Decodes just the header, without splitting off the payload — for
+    /// observers (e.g. telemetry taps) that only need identity fields and
+    /// must not pay the payload slice's refcount traffic.
+    pub fn peek(body: &[u8]) -> Option<PmnetHeader> {
         if body.len() < HEADER_LEN {
             return None;
         }
         let type_flags = body[0];
         let ptype = PacketType::from_u8(type_flags & 0x0F)?;
         let flags = type_flags & 0xF0;
-        let header = PmnetHeader {
+        Some(PmnetHeader {
             ptype,
             flags,
             session: u16::from_le_bytes([body[1], body[2]]),
@@ -231,8 +239,7 @@ impl PmnetHeader {
             frag_idx: u16::from_le_bytes([body[19], body[20]]),
             frag_cnt: u16::from_le_bytes([body[21], body[22]]),
             device_id: body[23],
-        };
-        Some((header, body.slice(HEADER_LEN..)))
+        })
     }
 
     /// A derived header acknowledging this request from device

@@ -26,6 +26,8 @@ use bytes::Bytes;
 use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
 use pmnet_pmem::{PmDevice, PmDeviceConfig};
 use pmnet_sim::{Dur, SimRng, Time};
+use pmnet_telemetry::span::OpEvent;
+use pmnet_telemetry::Telemetry;
 
 use crate::audit::{AuditEntry, AuditLog};
 use crate::config::HostProfile;
@@ -161,6 +163,21 @@ pub struct ServerCounters {
     pub bypasses_parked: u64,
 }
 
+impl pmnet_telemetry::registry::CounterGroup for ServerCounters {
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("updates_applied", self.updates_applied);
+        f("bypasses_served", self.bypasses_served);
+        f("duplicates_dropped", self.duplicates_dropped);
+        f("make_up_acks", self.make_up_acks);
+        f("retrans_sent", self.retrans_sent);
+        f("reordered", self.reordered);
+        f("redo_applied", self.redo_applied);
+        f("corrupt_dropped", self.corrupt_dropped);
+        f("gaps_skipped", self.gaps_skipped);
+        f("bypasses_parked", self.bypasses_parked);
+    }
+}
+
 /// Recovery bookkeeping exposed to the harness (Section VI-B6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
@@ -178,6 +195,14 @@ pub struct RecoveryStats {
     /// When the last registered device reported `RecoveryDone`
     /// ([`Time::MAX`] while the recovery barrier is still open).
     pub barrier_done_at: Time,
+}
+
+impl pmnet_telemetry::registry::CounterGroup for RecoveryStats {
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("poll_retries", self.poll_retries);
+        f("redo_applied", self.redo_applied);
+        f("barrier_open", u64::from(self.barrier_done_at == Time::MAX));
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -246,6 +271,7 @@ pub struct ServerLib {
     silent_commit: bool,
     dedup_disabled: bool,
     audit: AuditLog,
+    telemetry: Telemetry,
     #[cfg(feature = "recorder")]
     recorder: Recorder,
 }
@@ -315,9 +341,16 @@ impl ServerLib {
             silent_commit: false,
             dedup_disabled: false,
             audit: AuditLog::new(),
+            telemetry: Telemetry::disabled(),
             #[cfg(feature = "recorder")]
             recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: the server emits span events as
+    /// requests arrive, are applied, and are acknowledged.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Attaches a history recorder: every handler apply flows into
@@ -437,7 +470,9 @@ impl ServerLib {
         p
     }
 
-    fn send_via_stack(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+    /// Sends `packet` down the user + kernel TX stack; returns the
+    /// sampled stack delay (the packet enters the wire at `now + d`).
+    fn send_via_stack(&mut self, ctx: &mut Ctx<'_>, packet: Packet) -> Dur {
         let mut d = self
             .profile
             .user_tx
@@ -450,6 +485,19 @@ impl ServerLib {
             d += HostProfile::tcp_extra();
         }
         ctx.send_after(d, PortNo(0), packet);
+        d
+    }
+
+    /// Telemetry hook: stamps this fragment's ack/reply wire exit.
+    fn note_server_send(&self, ctx: &Ctx<'_>, header: &PmnetHeader, stack_delay: Dur) {
+        self.telemetry.op_event(
+            self.addr,
+            ctx.now(),
+            (header.client, header.session, header.seq),
+            OpEvent::ServerSend {
+                at: ctx.now() + stack_delay,
+            },
+        );
     }
 
     fn enqueue_job(&mut self, ctx: &mut Ctx<'_>, service: Dur, job: Job) {
@@ -498,7 +546,8 @@ impl ServerLib {
         let ack = header.server_ack();
         let pkt = self.reply_packet(ack, &[], src_port, proto);
         self.counters.make_up_acks += 1;
-        self.send_via_stack(ctx, pkt);
+        let d = self.send_via_stack(ctx, pkt);
+        self.note_server_send(ctx, header, d);
     }
 
     fn on_update_post_stack(&mut self, ctx: &mut Ctx<'_>, pending: PendingPkt) {
@@ -575,6 +624,14 @@ impl ServerLib {
         let proto = frags[0].proto;
         let frag_headers: Vec<PmnetHeader> = frags.iter().map(|f| f.header).collect();
         let last_seq = frag_headers.last().expect("at least one frag").seq;
+        for h in &frag_headers {
+            self.telemetry.op_event(
+                self.addr,
+                ctx.now(),
+                (client, session, h.seq),
+                OpEvent::ServerApply { at: ctx.now() },
+            );
+        }
         let service = self
             .handler
             .handle_update(client, session, last_seq, &payload, ctx.rng());
@@ -667,7 +724,8 @@ impl ServerLib {
         }
         for h in frag_headers {
             let pkt = self.reply_packet(h.server_ack(), &[], src_port, proto);
-            self.send_via_stack(ctx, pkt);
+            let d = self.send_via_stack(ctx, pkt);
+            self.note_server_send(ctx, &h, d);
         }
     }
 
@@ -692,7 +750,8 @@ impl ServerLib {
             let st = self.pending_replication.remove(&key).expect("just found");
             for h in st.frag_headers {
                 let pkt = self.reply_packet(h.server_ack(), &[], st.src_port, st.proto);
-                self.send_via_stack(ctx, pkt);
+                let d = self.send_via_stack(ctx, pkt);
+                self.note_server_send(ctx, &h, d);
             }
         }
     }
@@ -707,6 +766,16 @@ impl ServerLib {
             self.parked_bypass.push(pending);
             return;
         }
+        self.telemetry.op_event(
+            self.addr,
+            ctx.now(),
+            (
+                pending.header.client,
+                pending.header.session,
+                pending.header.seq,
+            ),
+            OpEvent::ServerApply { at: ctx.now() },
+        );
         let (service, reply) = self.handler.handle_bypass(&pending.payload, ctx.rng());
         self.counters.bypasses_served += 1;
         self.enqueue_job(
@@ -980,6 +1049,18 @@ impl Node for ServerLib {
                 if !self.alive {
                     return;
                 }
+                if self.telemetry.is_enabled() {
+                    if let Some(h) = PmnetHeader::peek(&packet.payload) {
+                        if matches!(h.ptype, PacketType::UpdateReq | PacketType::BypassReq) {
+                            self.telemetry.op_event(
+                                self.addr,
+                                ctx.now(),
+                                (h.client, h.session, h.seq),
+                                OpEvent::ServerRecv { at: ctx.now() },
+                            );
+                        }
+                    }
+                }
                 let mut d = self
                     .profile
                     .kernel_rx
@@ -1031,7 +1112,8 @@ impl Node for ServerLib {
                                 h.ptype = PacketType::AppReply;
                                 let body = reply.unwrap_or_default();
                                 let pkt = self.reply_packet(h, &body, src_port, proto);
-                                self.send_via_stack(ctx, pkt);
+                                let d = self.send_via_stack(ctx, pkt);
+                                self.note_server_send(ctx, &h, d);
                             }
                             Some(Job::Bypass { .. }) => {}
                             None => {}

@@ -21,6 +21,8 @@ use bytes::Bytes;
 use pmnet_net::{Addr, Switch, World};
 use pmnet_sim::stats::{CounterSet, LatencyHistogram};
 use pmnet_sim::{Dur, NodeId, SimRng, Time};
+use pmnet_telemetry::registry::Registry;
+use pmnet_telemetry::Telemetry;
 
 use crate::alt::{PeerLogger, LOCAL_LOG_PERSIST};
 use crate::client::{
@@ -522,66 +524,67 @@ impl BuiltSystem {
             .sum()
     }
 
+    /// Attaches a telemetry handle to every instrumented node (clients,
+    /// PMNet devices, the primary server): span events flow into it as
+    /// operations cross the system. Attach before [`run_clients`]
+    /// (`BuiltSystem::run_clients`) so traces cover whole operations.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        for &c in &self.clients.clone() {
+            self.world
+                .node_mut::<ClientLib>(c)
+                .set_telemetry(telemetry.clone());
+        }
+        for &d in &self.devices.clone() {
+            self.world
+                .node_mut::<PmnetDevice>(d)
+                .set_telemetry(telemetry.clone());
+        }
+        self.world
+            .node_mut::<ServerLib>(self.server)
+            .set_telemetry(telemetry.clone());
+    }
+
     /// Retransmission/backoff counters summed across all clients.
     pub fn client_retry_counters(&self) -> ClientRetryCounters {
-        let mut total = ClientRetryCounters::default();
+        let mut reg = Registry::new();
         for &c in &self.clients {
-            let counters = self.world.node::<ClientLib>(c).retry_counters();
-            total.retransmits += counters.retransmits;
-            total.backoffs += counters.backoffs;
-            total.congestion_signals += counters.congestion_signals;
-            total.failed += counters.failed;
+            reg.record_group("client", &self.world.node::<ClientLib>(c).retry_counters());
         }
-        total
+        let set = reg.counters();
+        ClientRetryCounters {
+            retransmits: set.get("client.retransmits"),
+            backoffs: set.get("client.backoffs"),
+            congestion_signals: set.get("client.congestion_signals"),
+            failed: set.get("client.failed"),
+        }
+    }
+
+    /// Publishes every component's counter group into `registry` (the
+    /// flattened names are defined next to the counter structs via
+    /// [`pmnet_telemetry::registry::CounterGroup`]).
+    pub fn record_counters(&self, registry: &mut Registry) {
+        for &c in &self.clients {
+            registry.record_group("client", &self.world.node::<ClientLib>(c).retry_counters());
+        }
+        for &d in &self.devices {
+            let dev = self.world.node::<PmnetDevice>(d);
+            registry.record_group("device", &dev.counters());
+            registry.record_group("log", &dev.log_counters());
+            registry.add("log.stranded", dev.log_len() as u64);
+        }
+        let server = self.world.node::<ServerLib>(self.server);
+        registry.record_group("server", &server.counters());
+        if let Some(rec) = server.recovery() {
+            registry.record_group("recovery", &rec);
+        }
     }
 
     /// Flattens client retry, device, log, server, and recovery counters
     /// into one named bag for harness reporting.
     pub fn counter_set(&self) -> CounterSet {
-        let mut set = CounterSet::new();
-        let retry = self.client_retry_counters();
-        set.add("client.retransmits", retry.retransmits);
-        set.add("client.backoffs", retry.backoffs);
-        set.add("client.congestion_signals", retry.congestion_signals);
-        set.add("client.failed", retry.failed);
-        for &d in &self.devices {
-            let dev = self.world.node::<PmnetDevice>(d);
-            let c = dev.counters();
-            set.add("device.forwarded", c.forwarded);
-            set.add("device.acks_sent", c.acks_sent);
-            set.add("device.retrans_served", c.retrans_served);
-            set.add("device.recovery_resends", c.recovery_resends);
-            set.add("device.recovery_resend_retries", c.recovery_resend_retries);
-            set.add("device.recovery_done_sent", c.recovery_done_sent);
-            set.add("device.congestion_flagged", c.congestion_flagged);
-            set.add("device.entry_retries", c.entry_retries);
-            let l = dev.log_counters();
-            set.add("log.logged", l.logged);
-            set.add("log.bypass_queue", l.bypass_queue);
-            set.add("log.bypass_collision", l.bypass_collision);
-            set.add("log.bypass_full", l.bypass_full);
-            set.add("log.invalidated", l.invalidated);
-            set.add("log.retrans_hits", l.retrans_hits);
-            set.add("log.retrans_misses", l.retrans_misses);
-            set.add("log.stranded", dev.log_len() as u64);
-        }
-        let server = self.world.node::<ServerLib>(self.server);
-        let s = server.counters();
-        set.add("server.updates_applied", s.updates_applied);
-        set.add("server.duplicates_dropped", s.duplicates_dropped);
-        set.add("server.retrans_sent", s.retrans_sent);
-        set.add("server.redo_applied", s.redo_applied);
-        set.add("server.corrupt_dropped", s.corrupt_dropped);
-        set.add("server.gaps_skipped", s.gaps_skipped);
-        if let Some(rec) = server.recovery() {
-            set.add("recovery.poll_retries", rec.poll_retries);
-            set.add("recovery.redo_applied", rec.redo_applied);
-            set.add(
-                "recovery.barrier_open",
-                u64::from(rec.barrier_done_at == Time::MAX),
-            );
-        }
-        set
+        let mut reg = Registry::new();
+        self.record_counters(&mut reg);
+        reg.into_counter_set()
     }
 }
 

@@ -1,0 +1,97 @@
+//! Property tests for the log-bucketed `LatencyHistogram`: percentile
+//! error bounded against an exact sorted-vec oracle, and merge behaving
+//! as an associative, commutative fold over bucket state.
+
+use pmnet_sim::stats::LatencyHistogram;
+use pmnet_sim::Dur;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over raw samples — the behaviour the old
+/// sorted-vec histogram implemented, used here as the oracle.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn filled(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(Dur::nanos(s));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_within_error_bound_of_exact_oracle(
+        samples in proptest::collection::vec(0u64..5_000_000_000, 1..400),
+        qs in proptest::collection::vec(0u64..1001, 1..8),
+    ) {
+        let mut h = filled(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        // Mean, min, max and count are exact.
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        prop_assert_eq!(h.len(), sorted.len());
+        prop_assert_eq!(h.mean().as_nanos(), (sum / sorted.len() as u128) as u64);
+        prop_assert_eq!(h.min().as_nanos(), sorted[0]);
+        prop_assert_eq!(h.max().as_nanos(), *sorted.last().unwrap());
+
+        // Every queried quantile lands within the documented 2% bound
+        // (the scheme's actual bound is 1/128 ≈ 0.8%).
+        for q in qs {
+            let q = q as f64 / 1000.0;
+            let exact = exact_percentile(&sorted, q);
+            let got = h.percentile(q).as_nanos();
+            let err = got.abs_diff(exact) as f64 / exact.max(1) as f64;
+            prop_assert!(
+                err <= 0.02,
+                "q={} got={} exact={} err={}", q, got, exact, err
+            );
+            prop_assert!(got >= sorted[0] && got <= *sorted.last().unwrap());
+        }
+
+        // The CDF is monotone and ends at the exact maximum.
+        let cdf = h.cdf(16);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        prop_assert_eq!(cdf.last().unwrap().0.as_nanos(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..5_000_000_000, 0..100),
+        b in proptest::collection::vec(0u64..5_000_000_000, 0..100),
+        c in proptest::collection::vec(0u64..5_000_000_000, 0..100),
+    ) {
+        let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c): identical bucket state, not just
+        // identical summaries.
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenation directly.
+        let mut concat: Vec<u64> = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        prop_assert_eq!(&left, &filled(&concat));
+    }
+}

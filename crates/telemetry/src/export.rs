@@ -1,0 +1,115 @@
+//! Exporters: JSON-lines for machine consumption and a human-readable
+//! per-op timeline.
+
+use std::fmt::Write as _;
+
+use crate::span::{OpTrace, Phase};
+
+/// One JSON object per completed op: identity, latency, retries, and a
+/// `spans` object mapping phase names to nanosecond durations.
+pub fn traces_to_json_lines(traces: &[OpTrace]) -> String {
+    let mut out = String::new();
+    for t in traces {
+        let mut spans = String::new();
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            let _ = write!(spans, "\"{}\":{}", phase.name(), t.phase(*phase).as_nanos());
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"trace\",\"client\":{},\"session\":{},\"seq\":{},\
+             \"kind\":\"{}\",\"issued_ns\":{},\"completed_ns\":{},\
+             \"latency_ns\":{},\"retries\":{},\"spans\":{{{spans}}}}}",
+            t.client.0,
+            t.session,
+            t.seq,
+            t.kind.name(),
+            t.issued_at.as_nanos(),
+            t.completed_at.as_nanos(),
+            t.latency.as_nanos(),
+            t.retries,
+        );
+    }
+    out
+}
+
+/// A human-readable timeline of one op: each nonzero phase with its
+/// duration and a proportional bar.
+pub fn trace_timeline(t: &OpTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "op client={} session={} seq={} kind={} latency={} retries={}",
+        t.client.0,
+        t.session,
+        t.seq,
+        t.kind.name(),
+        t.latency,
+        t.retries
+    );
+    let total = t.latency.as_nanos().max(1);
+    for phase in Phase::ALL {
+        let d = t.phase(phase);
+        if d.as_nanos() == 0 {
+            continue;
+        }
+        let width = ((d.as_nanos() as u128 * 40) / total as u128) as usize;
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>12}  {}",
+            phase.name(),
+            d.to_string(),
+            "#".repeat(width.max(1))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Evidence, OpKind};
+    use pmnet_net::Addr;
+    use pmnet_sim::{Dur, Time};
+
+    fn demo_trace() -> OpTrace {
+        OpTrace {
+            client: Addr(1),
+            session: 2,
+            seq: 3,
+            kind: OpKind::Update,
+            issued_at: Time::from_nanos(100),
+            completed_at: Time::from_nanos(1100),
+            latency: Dur::nanos(1000),
+            retries: 0,
+            evidence: Evidence::DeviceAck { device: 0 },
+            phases: vec![
+                (Phase::ClientTx, Dur::nanos(200)),
+                (Phase::WireOut, Dur::nanos(100)),
+                (Phase::Device, Dur::nanos(500)),
+                (Phase::WireBack, Dur::nanos(100)),
+                (Phase::ClientRx, Dur::nanos(100)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_lines_contain_identity_and_spans() {
+        let j = traces_to_json_lines(&[demo_trace()]);
+        assert!(j.contains("\"client\":1"));
+        assert!(j.contains("\"latency_ns\":1000"));
+        assert!(j.contains("\"device\":500"));
+        assert!(j.contains("\"retry_wait\":0"));
+        assert_eq!(j.lines().count(), 1);
+    }
+
+    #[test]
+    fn timeline_shows_nonzero_phases_only() {
+        let text = trace_timeline(&demo_trace());
+        assert!(text.contains("device"));
+        assert!(text.contains('#'));
+        assert!(!text.contains("retry_wait"), "zero phases are elided");
+    }
+}

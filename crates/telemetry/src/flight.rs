@@ -1,0 +1,622 @@
+//! The flight recorder: a bounded ring of recent telemetry events per
+//! node, dumped as a replayable text artifact when something goes wrong.
+//!
+//! Every span event (and op issue/completion) is also appended to the
+//! emitting node's ring; when a chaos invariant or the model checker
+//! fires, the merged rings become a deterministic text timeline of the
+//! moments before the violation. Ordering is by a global record counter,
+//! not wall clock: each simulated world is single-threaded, so the
+//! counter order is the exact causal record order and the dump is
+//! byte-identical at any campaign thread count.
+
+use std::fmt;
+use std::str::FromStr;
+
+use pmnet_net::Addr;
+use pmnet_sim::{Dur, Time};
+
+use crate::span::{AckKind, Evidence, OpEvent, OpKey, OpKind};
+
+/// A non-span lifecycle event recorded only in the flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightBody {
+    /// A span event (see [`OpEvent`]).
+    Span(OpEvent),
+    /// The client issued the op.
+    Issue {
+        /// Update or read.
+        kind: OpKind,
+    },
+    /// The client completed the op.
+    Complete {
+        /// Update or read.
+        kind: OpKind,
+        /// Reported end-to-end latency.
+        latency: Dur,
+        /// Retransmission attempts.
+        retries: u32,
+        /// What completed the op.
+        evidence: Evidence,
+    },
+}
+
+/// One flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global record counter — the dump's total order.
+    pub ord: u64,
+    /// Simulation time at which the event was recorded.
+    pub at: Time,
+    /// Node that recorded it.
+    pub node: Addr,
+    /// `(client, session, seq)` of the fragment concerned.
+    pub key: OpKey,
+    /// What happened.
+    pub body: FlightBody,
+}
+
+/// A ring entry: [`FlightEvent`] minus the node, which the ring itself
+/// keys — smaller entries keep the recorder's cache footprint down on the
+/// always-on path.
+#[derive(Debug, Clone, Copy)]
+struct StoredEvent {
+    ord: u64,
+    at: Time,
+    key: OpKey,
+    body: FlightBody,
+}
+
+/// One node's bounded ring: a flat buffer that grows to `capacity` and
+/// then overwrites its oldest slot — a single indexed store on the
+/// recording hot path. Slot order is scrambled relative to record order,
+/// which is fine: dumps re-sort by the global counter anyway.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<StoredEvent>,
+    /// Oldest slot, i.e. the next to overwrite once full.
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, capacity: usize, ev: StoredEvent) -> bool {
+        if self.buf.len() < capacity {
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == capacity {
+                self.head = 0;
+            }
+            true
+        }
+    }
+}
+
+/// Bounded per-node rings of recent [`FlightEvent`]s.
+///
+/// Rings live in a flat vector (node populations are small — clients,
+/// devices, one server) with a most-recently-used index hint: nodes
+/// record in bursts, so the common case is a single compare instead of a
+/// map lookup. Ring order is irrelevant: [`dump`](FlightRecorder::dump)
+/// re-sorts by the global record counter, so the rendered timeline is
+/// deterministic regardless of layout.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    rings: Vec<(u32, Ring)>,
+    mru: usize,
+    capacity: usize,
+    next_ord: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping `capacity` events per node (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            ..FlightRecorder::default()
+        }
+    }
+
+    /// Records one event against `node`'s ring, evicting the oldest when
+    /// the ring is full.
+    pub fn record(&mut self, node: Addr, at: Time, key: OpKey, body: FlightBody) {
+        if self.capacity == 0 {
+            return;
+        }
+        let idx = match self.rings.get(self.mru) {
+            Some((n, _)) if *n == node.0 => self.mru,
+            _ => match self.rings.iter().position(|(n, _)| *n == node.0) {
+                Some(i) => i,
+                None => {
+                    // Full-size up front: a ring that records at all will
+                    // usually fill, and growth reallocs would land on the
+                    // hot path.
+                    self.rings.push((
+                        node.0,
+                        Ring {
+                            buf: Vec::with_capacity(self.capacity),
+                            head: 0,
+                        },
+                    ));
+                    self.rings.len() - 1
+                }
+            },
+        };
+        self.mru = idx;
+        let ev = StoredEvent {
+            ord: self.next_ord,
+            at,
+            key,
+            body,
+        };
+        if self.rings[idx].1.push(self.capacity, ev) {
+            self.dropped += 1;
+        }
+        self.next_ord += 1;
+    }
+
+    /// Events evicted so far across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Merges every ring into one record-order timeline.
+    pub fn dump(&self) -> FlightDump {
+        let mut events: Vec<FlightEvent> = self
+            .rings
+            .iter()
+            .flat_map(|(node, ring)| {
+                ring.buf.iter().map(|e| FlightEvent {
+                    ord: e.ord,
+                    at: e.at,
+                    node: Addr(*node),
+                    key: e.key,
+                    body: e.body,
+                })
+            })
+            .collect();
+        events.sort_by_key(|e| e.ord);
+        FlightDump {
+            dropped: self.dropped,
+            events,
+        }
+    }
+}
+
+/// A rendered (and re-parseable) flight-recorder timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Events evicted from the rings before the dump.
+    pub dropped: u64,
+    /// Surviving events in record order.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// Events concerning one `(client, session, seq)` fragment, in order
+    /// — the violating op's timeline.
+    pub fn for_op(&self, key: OpKey) -> Vec<FlightEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.key == key)
+            .copied()
+            .collect()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn render_kind(k: AckKind) -> String {
+    match k {
+        AckKind::Device(d) => format!("device:{d}"),
+        AckKind::Peer(d) => format!("peer:{d}"),
+        AckKind::Server => "server".into(),
+        AckKind::Reply => "reply".into(),
+        AckKind::Cache => "cache".into(),
+    }
+}
+
+fn parse_ack_kind(s: &str) -> Result<AckKind, String> {
+    if let Some(d) = s.strip_prefix("device:") {
+        return Ok(AckKind::Device(d.parse().map_err(|_| s.to_string())?));
+    }
+    if let Some(d) = s.strip_prefix("peer:") {
+        return Ok(AckKind::Peer(d.parse().map_err(|_| s.to_string())?));
+    }
+    match s {
+        "server" => Ok(AckKind::Server),
+        "reply" => Ok(AckKind::Reply),
+        "cache" => Ok(AckKind::Cache),
+        _ => Err(format!("bad ack kind: {s}")),
+    }
+}
+
+fn render_evidence(e: Evidence) -> String {
+    match e {
+        Evidence::DeviceAck { device } => format!("device:{device}"),
+        Evidence::ServerAck => "server".into(),
+        Evidence::AppReply => "reply".into(),
+        Evidence::CacheResp => "cache".into(),
+        Evidence::LocalLog => "local".into(),
+    }
+}
+
+fn parse_evidence(s: &str) -> Result<Evidence, String> {
+    if let Some(d) = s.strip_prefix("device:") {
+        return Ok(Evidence::DeviceAck {
+            device: d.parse().map_err(|_| s.to_string())?,
+        });
+    }
+    match s {
+        "server" => Ok(Evidence::ServerAck),
+        "reply" => Ok(Evidence::AppReply),
+        "cache" => Ok(Evidence::CacheResp),
+        "local" => Ok(Evidence::LocalLog),
+        _ => Err(format!("bad evidence: {s}")),
+    }
+}
+
+fn render_op_kind(k: OpKind) -> &'static str {
+    k.name()
+}
+
+fn parse_op_kind(s: &str) -> Result<OpKind, String> {
+    match s {
+        "update" => Ok(OpKind::Update),
+        "read" => Ok(OpKind::Read),
+        _ => Err(format!("bad op kind: {s}")),
+    }
+}
+
+fn render_body(b: &FlightBody) -> String {
+    match *b {
+        FlightBody::Span(ev) => match ev {
+            OpEvent::ClientSend {
+                attempt,
+                tx_start,
+                wire_at,
+            } => format!(
+                "client-send attempt={attempt} tx_start={} wire={}",
+                tx_start.as_nanos(),
+                wire_at.as_nanos()
+            ),
+            OpEvent::ClientRecv { kind, at } => {
+                format!(
+                    "client-recv kind={} at={}",
+                    render_kind(kind),
+                    at.as_nanos()
+                )
+            }
+            OpEvent::DeviceRecv { device, at } => {
+                format!("device-recv device={device} at={}", at.as_nanos())
+            }
+            OpEvent::DeviceAckSend { device, at } => {
+                format!("device-ack device={device} at={}", at.as_nanos())
+            }
+            OpEvent::DeviceCacheResp { device, at } => {
+                format!("cache-resp device={device} at={}", at.as_nanos())
+            }
+            OpEvent::ServerRecv { at } => format!("server-recv at={}", at.as_nanos()),
+            OpEvent::ServerApply { at } => format!("server-apply at={}", at.as_nanos()),
+            OpEvent::ServerSend { at } => format!("server-send at={}", at.as_nanos()),
+        },
+        FlightBody::Issue { kind } => format!("issue kind={}", render_op_kind(kind)),
+        FlightBody::Complete {
+            kind,
+            latency,
+            retries,
+            evidence,
+        } => format!(
+            "complete kind={} latency={} retries={retries} evidence={}",
+            render_op_kind(kind),
+            latency.as_nanos(),
+            render_evidence(evidence)
+        ),
+    }
+}
+
+/// Pulls `key=` out of space-separated `key=value` fields.
+fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field: {key}"))
+}
+
+fn field_u64(fields: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    field(fields, key)?
+        .parse()
+        .map_err(|_| format!("bad number in field: {key}"))
+}
+
+fn parse_body(word: &str, fields: &[(&str, &str)]) -> Result<FlightBody, String> {
+    let t = |k: &str| -> Result<Time, String> { Ok(Time::from_nanos(field_u64(fields, k)?)) };
+    Ok(match word {
+        "client-send" => FlightBody::Span(OpEvent::ClientSend {
+            attempt: field_u64(fields, "attempt")? as u32,
+            tx_start: t("tx_start")?,
+            wire_at: t("wire")?,
+        }),
+        "client-recv" => FlightBody::Span(OpEvent::ClientRecv {
+            kind: parse_ack_kind(field(fields, "kind")?)?,
+            at: t("at")?,
+        }),
+        "device-recv" => FlightBody::Span(OpEvent::DeviceRecv {
+            device: field_u64(fields, "device")? as u8,
+            at: t("at")?,
+        }),
+        "device-ack" => FlightBody::Span(OpEvent::DeviceAckSend {
+            device: field_u64(fields, "device")? as u8,
+            at: t("at")?,
+        }),
+        "cache-resp" => FlightBody::Span(OpEvent::DeviceCacheResp {
+            device: field_u64(fields, "device")? as u8,
+            at: t("at")?,
+        }),
+        "server-recv" => FlightBody::Span(OpEvent::ServerRecv { at: t("at")? }),
+        "server-apply" => FlightBody::Span(OpEvent::ServerApply { at: t("at")? }),
+        "server-send" => FlightBody::Span(OpEvent::ServerSend { at: t("at")? }),
+        "issue" => FlightBody::Issue {
+            kind: parse_op_kind(field(fields, "kind")?)?,
+        },
+        "complete" => FlightBody::Complete {
+            kind: parse_op_kind(field(fields, "kind")?)?,
+            latency: Dur::nanos(field_u64(fields, "latency")?),
+            retries: field_u64(fields, "retries")? as u32,
+            evidence: parse_evidence(field(fields, "evidence")?)?,
+        },
+        _ => return Err(format!("unknown flight event: {word}")),
+    })
+}
+
+/// The dump header line — also the section marker chaos artifacts use.
+pub const FLIGHT_HEADER: &str = "# pmnet-telemetry flight v1";
+
+impl fmt::Display for FlightDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{FLIGHT_HEADER}")?;
+        writeln!(f, "flight dropped={}", self.dropped)?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "flight {} t={} node={} op={}/{}/{} {}",
+                e.ord,
+                e.at.as_nanos(),
+                e.node.0,
+                e.key.0 .0,
+                e.key.1,
+                e.key.2,
+                render_body(&e.body)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FlightDump {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FlightDump, String> {
+        let mut dump = FlightDump::default();
+        for line in s.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("flight ")
+                .ok_or_else(|| format!("not a flight line: {line}"))?;
+            if let Some(d) = rest.strip_prefix("dropped=") {
+                dump.dropped = d.parse().map_err(|_| format!("bad dropped: {d}"))?;
+                continue;
+            }
+            let mut words = rest.split_whitespace();
+            let ord: u64 = words
+                .next()
+                .ok_or("empty flight line")?
+                .parse()
+                .map_err(|_| format!("bad ord in: {line}"))?;
+            let mut fields: Vec<(&str, &str)> = Vec::new();
+            let mut body_word = None;
+            for w in words {
+                match w.split_once('=') {
+                    Some((k, v)) => fields.push((k, v)),
+                    None => body_word = Some(w),
+                }
+            }
+            let at = Time::from_nanos(field_u64(&fields, "t")?);
+            let node = Addr(field_u64(&fields, "node")? as u32);
+            let op = field(&fields, "op")?;
+            let mut parts = op.split('/');
+            let key: OpKey = (|| -> Option<OpKey> {
+                let c = parts.next()?.parse().ok()?;
+                let s = parts.next()?.parse().ok()?;
+                let q = parts.next()?.parse().ok()?;
+                Some((Addr(c), s, q))
+            })()
+            .ok_or_else(|| format!("bad op key: {op}"))?;
+            let body = parse_body(
+                body_word.ok_or_else(|| format!("no event in: {line}"))?,
+                &fields,
+            )?;
+            dump.events.push(FlightEvent {
+                ord,
+                at,
+                node,
+                key,
+                body,
+            });
+        }
+        Ok(dump)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> FlightRecorder {
+        let mut fr = FlightRecorder::new(4);
+        let key = (Addr(1), 2, 3);
+        fr.record(
+            Addr(1),
+            Time::from_nanos(10),
+            key,
+            FlightBody::Issue {
+                kind: OpKind::Update,
+            },
+        );
+        fr.record(
+            Addr(1),
+            Time::from_nanos(10),
+            key,
+            FlightBody::Span(OpEvent::ClientSend {
+                attempt: 0,
+                tx_start: Time::from_nanos(10),
+                wire_at: Time::from_nanos(60),
+            }),
+        );
+        fr.record(
+            Addr(2000),
+            Time::from_nanos(200),
+            key,
+            FlightBody::Span(OpEvent::DeviceRecv {
+                device: 0,
+                at: Time::from_nanos(200),
+            }),
+        );
+        fr.record(
+            Addr(1),
+            Time::from_nanos(700),
+            key,
+            FlightBody::Complete {
+                kind: OpKind::Update,
+                latency: Dur::nanos(690),
+                retries: 0,
+                evidence: Evidence::DeviceAck { device: 0 },
+            },
+        );
+        fr
+    }
+
+    #[test]
+    fn dump_round_trips_through_text() {
+        let dump = sample_recorder().dump();
+        let text = dump.to_string();
+        let parsed: FlightDump = text.parse().expect("parse");
+        assert_eq!(parsed, dump);
+        assert_eq!(parsed.to_string(), text, "render is a fixed point");
+    }
+
+    #[test]
+    fn dump_merges_nodes_in_record_order() {
+        let dump = sample_recorder().dump();
+        let ords: Vec<u64> = dump.events.iter().map(|e| e.ord).collect();
+        assert_eq!(ords, vec![0, 1, 2, 3]);
+        // Node 2000's event interleaves at its record position.
+        assert_eq!(dump.events[2].node, Addr(2000));
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_evictions() {
+        let mut fr = FlightRecorder::new(2);
+        let key = (Addr(1), 0, 0);
+        for i in 0..5u64 {
+            fr.record(
+                Addr(1),
+                Time::from_nanos(i),
+                key,
+                FlightBody::Issue { kind: OpKind::Read },
+            );
+        }
+        assert_eq!(fr.dropped(), 3);
+        let dump = fr.dump();
+        assert_eq!(dump.events.len(), 2);
+        assert_eq!(dump.events[0].ord, 3);
+        assert_eq!(dump.dropped, 3);
+    }
+
+    #[test]
+    fn for_op_filters_one_timeline() {
+        let mut fr = sample_recorder();
+        fr.record(
+            Addr(9),
+            Time::from_nanos(999),
+            (Addr(9), 0, 0),
+            FlightBody::Issue { kind: OpKind::Read },
+        );
+        let dump = fr.dump();
+        let timeline = dump.for_op((Addr(1), 2, 3));
+        assert_eq!(timeline.len(), 4);
+        assert!(timeline.iter().all(|e| e.key == (Addr(1), 2, 3)));
+    }
+
+    #[test]
+    fn every_body_shape_round_trips() {
+        let mut fr = FlightRecorder::new(64);
+        let key = (Addr(3), 7, 9);
+        let at = Time::from_nanos(5);
+        let bodies = [
+            FlightBody::Span(OpEvent::ClientRecv {
+                kind: AckKind::Peer(201),
+                at,
+            }),
+            FlightBody::Span(OpEvent::ClientRecv {
+                kind: AckKind::Server,
+                at,
+            }),
+            FlightBody::Span(OpEvent::ClientRecv {
+                kind: AckKind::Reply,
+                at,
+            }),
+            FlightBody::Span(OpEvent::ClientRecv {
+                kind: AckKind::Cache,
+                at,
+            }),
+            FlightBody::Span(OpEvent::DeviceAckSend { device: 1, at }),
+            FlightBody::Span(OpEvent::DeviceCacheResp { device: 2, at }),
+            FlightBody::Span(OpEvent::ServerRecv { at }),
+            FlightBody::Span(OpEvent::ServerApply { at }),
+            FlightBody::Span(OpEvent::ServerSend { at }),
+            FlightBody::Complete {
+                kind: OpKind::Read,
+                latency: Dur::nanos(1),
+                retries: 3,
+                evidence: Evidence::CacheResp,
+            },
+            FlightBody::Complete {
+                kind: OpKind::Update,
+                latency: Dur::nanos(2),
+                retries: 0,
+                evidence: Evidence::LocalLog,
+            },
+        ];
+        for b in bodies {
+            fr.record(Addr(3), at, key, b);
+        }
+        let dump = fr.dump();
+        let parsed: FlightDump = dump.to_string().parse().expect("parse");
+        assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(
+            Addr(1),
+            Time::ZERO,
+            (Addr(1), 0, 0),
+            FlightBody::Issue {
+                kind: OpKind::Update,
+            },
+        );
+        assert!(fr.dump().is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! # pmnet-telemetry — deterministic observability for the PMNet stack
+//!
+//! An always-compiled, runtime-gated observability layer threaded through
+//! `pmnet-core`, `pmnet-sim` and `pmnet-chaos`. Four pillars:
+//!
+//! 1. **Causal span tracing** ([`span`]) — every op, keyed by
+//!    `(client, session, seq)`, accumulates exact sim-time events as it
+//!    crosses client → wire → device MAT/PM persist → server stack →
+//!    handler; at completion the events are attributed to phases that
+//!    *sum to the measured end-to-end latency* (the paper's Figure 2
+//!    breakdown, from real traces instead of constants).
+//! 2. **Fixed-memory histograms** — the log-bucketed
+//!    [`pmnet_sim::stats::LatencyHistogram`], reused here for per-phase
+//!    distributions in the registry.
+//! 3. **A metric registry** ([`registry`]) — components publish counter
+//!    groups and histograms into one sink instead of harnesses
+//!    hand-flattening them.
+//! 4. **A flight recorder** ([`flight`]) — bounded per-node rings of
+//!    recent events, dumped as a replayable text timeline when a chaos
+//!    invariant or the model checker fires.
+//!
+//! ## Determinism rules
+//!
+//! A [`Telemetry`] handle is *pure observation*: hooks never draw from
+//! the simulation RNG, never schedule timers or packets, and stamp
+//! future-time events (wire exits, ack emissions) by reusing delay
+//! values the instrumented component had already computed. Consequently
+//! a simulation's event stream — and every golden digest — is
+//! bit-identical whether telemetry is attached, detached, or partially
+//! enabled. Each simulated world owns one handle (`Rc`-shared, like the
+//! model recorder's tap), so parallel chaos campaigns stay deterministic
+//! at any thread count.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmnet_telemetry::{Telemetry, span::{OpEvent, Phase}};
+//! use pmnet_net::Addr;
+//! use pmnet_sim::Time;
+//!
+//! let tel = Telemetry::full();
+//! // Components clone the handle and emit events as ops cross them
+//! // (pmnet-core does this when you attach a handle to a BuiltSystem).
+//! tel.op_event(Addr(1), Time::ZERO, (Addr(1), 0, 0), OpEvent::ClientSend {
+//!     attempt: 0,
+//!     tx_start: Time::ZERO,
+//!     wire_at: Time::from_nanos(50),
+//! });
+//! assert!(tel.is_enabled());
+//! assert!(Telemetry::disabled().traces().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod flight;
+pub mod registry;
+pub mod span;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pmnet_net::Addr;
+use pmnet_sim::stats::LatencyHistogram;
+use pmnet_sim::Time;
+
+use flight::{FlightBody, FlightDump, FlightRecorder};
+use registry::Registry;
+use span::{OpCompletion, OpEvent, OpKey, OpKind, OpTrace, Phase, SpanCollector};
+
+/// What a [`Telemetry`] handle records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Keep per-op span state and produce [`OpTrace`]s (plus per-phase
+    /// histograms in the registry).
+    pub trace_ops: bool,
+    /// Flight-recorder ring capacity per node (0 disables the recorder).
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            trace_ops: true,
+            // Sized so the rings of a typical world (a few clients, a
+            // couple of devices, one server) stay within L2 cache:
+            // always-on recording is paid on every hook, and a larger
+            // window mostly buys evicted history. Post-mortem harnesses
+            // that want a deeper timeline (pmnet-chaos) pass their own
+            // capacity via `flight_only`.
+            flight_capacity: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: TelemetryConfig,
+    spans: SpanCollector,
+    flight: FlightRecorder,
+    registry: Registry,
+    /// Per-kind end-to-end latency, indexed by [`OpKind`] — recorded on
+    /// the completion hot path without string lookups, folded into the
+    /// registry snapshot under `op.{kind}.latency`.
+    op_hists: [LatencyHistogram; 2],
+    /// Per-phase durations, indexed by [`Phase`] — folded into the
+    /// registry snapshot under `phase.{name}`.
+    phase_hists: [LatencyHistogram; 10],
+}
+
+impl Inner {
+    /// Attributes completions the hot path deferred and folds their
+    /// latency/phase durations into the enum-indexed histograms. Called
+    /// before any read of traces or the registry; a pure function of
+    /// recorded data, so when it runs is unobservable.
+    fn sync_spans(&mut self) {
+        let Inner {
+            spans,
+            op_hists,
+            phase_hists,
+            ..
+        } = self;
+        for trace in spans.attribute_pending() {
+            op_hists[trace.kind as usize].record(trace.latency);
+            for &(phase, d) in &trace.phases {
+                phase_hists[phase as usize].record(d);
+            }
+        }
+    }
+}
+
+/// A cloneable telemetry handle; components hold one and emit events
+/// through it. The default handle is detached and costs one branch per
+/// hook.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Telemetry {
+    /// A detached handle: every hook is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// An attached handle with the given config.
+    pub fn enabled(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                config,
+                spans: SpanCollector::new(),
+                flight: FlightRecorder::new(config.flight_capacity),
+                registry: Registry::new(),
+                op_hists: std::array::from_fn(|_| LatencyHistogram::new()),
+                phase_hists: std::array::from_fn(|_| LatencyHistogram::new()),
+            }))),
+        }
+    }
+
+    /// Full tracing: spans, registry histograms, and the flight recorder.
+    pub fn full() -> Telemetry {
+        Telemetry::enabled(TelemetryConfig::default())
+    }
+
+    /// Flight recorder only (what chaos campaigns run with): bounded
+    /// memory, no per-op span retention.
+    pub fn flight_only(capacity: usize) -> Telemetry {
+        Telemetry::enabled(TelemetryConfig {
+            trace_ops: false,
+            flight_capacity: capacity,
+        })
+    }
+
+    /// True when attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one span event for the fragment `key`, emitted by `node`
+    /// at sim-time `now` (the event's semantic stamp may lie later; see
+    /// [`OpEvent::at`]).
+    #[inline]
+    pub fn op_event(&self, node: Addr, now: Time, key: OpKey, ev: OpEvent) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            if i.config.trace_ops {
+                i.spans.record(key, ev);
+            }
+            i.flight.record(node, now, key, FlightBody::Span(ev));
+        }
+    }
+
+    /// Records an op issue (flight recorder only; span state begins with
+    /// the first [`OpEvent`]).
+    #[inline]
+    pub fn op_issue(&self, node: Addr, now: Time, key: OpKey, kind: span::OpKind) {
+        if let Some(inner) = &self.inner {
+            inner
+                .borrow_mut()
+                .flight
+                .record(node, now, key, FlightBody::Issue { kind });
+        }
+    }
+
+    /// Reports a completed op: attributes its spans (when `trace_ops`),
+    /// folds phase durations into the registry, and appends a completion
+    /// record to the flight ring.
+    pub fn op_complete(&self, node: Addr, now: Time, c: OpCompletion) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            i.flight.record(
+                node,
+                now,
+                (c.client, c.session, c.completing_seq),
+                FlightBody::Complete {
+                    kind: c.kind,
+                    latency: c.latency,
+                    retries: c.retries,
+                    evidence: c.evidence,
+                },
+            );
+            if i.config.trace_ops {
+                // Attribution and histogram folding are deferred to the
+                // next trace/registry read; completing here only purges
+                // open state and snapshots the op's events.
+                i.spans.complete(c);
+            }
+        }
+    }
+
+    /// Drops span state for fragments that will never complete (failed
+    /// or abandoned ops).
+    pub fn op_abandon(&self, client: Addr, frags: &[(u16, u32)]) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().spans.abandon(client, frags);
+        }
+    }
+
+    /// Completed per-op traces, in completion order (empty when
+    /// detached or `trace_ops` is off).
+    pub fn traces(&self) -> Vec<OpTrace> {
+        match &self.inner {
+            Some(inner) => {
+                let mut i = inner.borrow_mut();
+                i.sync_spans();
+                i.spans.traces().to_vec()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of the registry (phase/latency histograms and any
+    /// counters folded in).
+    pub fn registry(&self) -> Registry {
+        match &self.inner {
+            Some(inner) => {
+                let mut i = inner.borrow_mut();
+                i.sync_spans();
+                let i = &*i;
+                let mut reg = i.registry.clone();
+                for kind in [OpKind::Update, OpKind::Read] {
+                    let h = &i.op_hists[kind as usize];
+                    if !h.is_empty() {
+                        reg.record_histogram(kind.latency_metric(), h);
+                    }
+                }
+                for phase in Phase::ALL {
+                    let h = &i.phase_hists[phase as usize];
+                    if !h.is_empty() {
+                        reg.record_histogram(phase.metric_name(), h);
+                    }
+                }
+                reg
+            }
+            None => Registry::new(),
+        }
+    }
+
+    /// Folds counters/histograms into the registry from outside (e.g.
+    /// a harness publishing component counter groups at end of run).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|i| f(&mut i.borrow_mut().registry))
+    }
+
+    /// The merged flight-recorder timeline (empty dump when detached).
+    pub fn flight_dump(&self) -> FlightDump {
+        match &self.inner {
+            Some(inner) => inner.borrow().flight.dump(),
+            None => FlightDump::default(),
+        }
+    }
+
+    /// The active config, if attached.
+    pub fn config(&self) -> Option<TelemetryConfig> {
+        self.inner.as_ref().map(|i| i.borrow().config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmnet_sim::Dur;
+    use span::{Evidence, OpKind, Phase};
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.op_event(
+            Addr(1),
+            Time::ZERO,
+            (Addr(1), 0, 0),
+            OpEvent::ServerRecv { at: Time::ZERO },
+        );
+        t.op_complete(
+            Addr(1),
+            Time::ZERO,
+            OpCompletion {
+                client: Addr(1),
+                session: 0,
+                completing_seq: 0,
+                frag_range: (0, 0),
+                kind: OpKind::Update,
+                issued_at: Time::ZERO,
+                completed_at: Time::ZERO,
+                latency: Dur::ZERO,
+                retries: 0,
+                evidence: Evidence::ServerAck,
+            },
+        );
+        assert!(!t.is_enabled());
+        assert!(t.traces().is_empty());
+        assert!(t.flight_dump().is_empty());
+        assert!(t.config().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::full();
+        let writer = t.clone();
+        writer.op_event(
+            Addr(1),
+            Time::ZERO,
+            (Addr(1), 0, 0),
+            OpEvent::ServerRecv { at: Time::ZERO },
+        );
+        assert_eq!(t.flight_dump().events.len(), 1);
+    }
+
+    #[test]
+    fn completion_fills_registry_histograms() {
+        let t = Telemetry::full();
+        t.op_complete(
+            Addr(1),
+            Time::from_nanos(500),
+            OpCompletion {
+                client: Addr(1),
+                session: 0,
+                completing_seq: 0,
+                frag_range: (0, 0),
+                kind: OpKind::Update,
+                issued_at: Time::ZERO,
+                completed_at: Time::from_nanos(500),
+                latency: Dur::nanos(500),
+                retries: 0,
+                evidence: Evidence::LocalLog,
+            },
+        );
+        let reg = t.registry();
+        assert_eq!(reg.histogram("op.update.latency").unwrap().len(), 1);
+        assert!(reg
+            .histogram(&format!("phase.{}", Phase::Unattributed.name()))
+            .is_some());
+        assert_eq!(t.traces().len(), 1);
+    }
+
+    #[test]
+    fn flight_only_skips_span_state() {
+        let t = Telemetry::flight_only(8);
+        t.op_event(
+            Addr(1),
+            Time::ZERO,
+            (Addr(1), 0, 0),
+            OpEvent::ServerRecv { at: Time::ZERO },
+        );
+        assert!(t.traces().is_empty());
+        assert_eq!(t.flight_dump().events.len(), 1);
+    }
+}

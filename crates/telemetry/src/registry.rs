@@ -1,0 +1,191 @@
+//! The metric registry: one sink components publish counters and
+//! histograms into, replacing hand-rolled per-component flattening.
+//!
+//! Components keep owning their counter structs (they are part of the
+//! simulation state); what the registry replaces is the *flattening*: a
+//! struct implements [`CounterGroup`] once, next to its fields, and any
+//! harness folds it in with [`Registry::record_group`] under a prefix.
+//! Histograms are the fixed-memory log-bucketed
+//! [`LatencyHistogram`], so registries merge cheaply across parallel
+//! campaign workers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pmnet_sim::stats::{CounterSet, LatencyHistogram};
+use pmnet_sim::Dur;
+
+/// A named bundle of counters a component can publish wholesale.
+///
+/// Implementations call `f(field_name, value)` once per counter; the
+/// registry prefixes each name with the component's namespace, so the
+/// flattened names (`"device.forwarded"`, ...) are defined next to the
+/// fields instead of in a distant harness.
+pub trait CounterGroup {
+    /// Visits every `(name, value)` pair of the group.
+    fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64));
+}
+
+/// A registry of named counters and latency histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: CounterSet,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.add(name, n);
+    }
+
+    /// Folds a whole [`CounterGroup`] in under `prefix` (names become
+    /// `"{prefix}.{field}"`).
+    pub fn record_group(&mut self, prefix: &str, group: &dyn CounterGroup) {
+        group.visit_counters(&mut |name, v| {
+            self.counters.add(&format!("{prefix}.{name}"), v);
+        });
+    }
+
+    /// Records one duration sample into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: Dur) {
+        // Steady state is a lookup by `&str`; the owned key is only
+        // allocated the first time a name is seen.
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(d);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record(d);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Merges a whole histogram into the named slot (bucket-wise).
+    pub fn record_histogram(&mut self, name: &str, h: &LatencyHistogram) {
+        if let Some(slot) = self.histograms.get_mut(name) {
+            slot.merge(h);
+        } else {
+            self.histograms.insert(name.to_string(), h.clone());
+        }
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Histogram names in sorted order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// The flattened counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Consumes the registry, returning the flattened counters.
+    pub fn into_counter_set(self) -> CounterSet {
+        self.counters
+    }
+
+    /// Merges another registry: counters add, histograms merge bucket-
+    /// wise. Associative and commutative, for parallel campaign workers.
+    pub fn merge(&mut self, other: &Registry) {
+        self.counters.merge(&other.counters);
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// JSON-lines rendering: one `counter` object per counter, one
+    /// `histogram` object (with summary fields) per histogram, in sorted
+    /// name order.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters.iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}\n"
+            ));
+        }
+        let names: Vec<&str> = self.histogram_names().collect();
+        for name in names {
+            let mut h = self.histograms[name].clone();
+            if h.is_empty() {
+                continue;
+            }
+            let s = h.summary();
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{},\
+                 \"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}\n",
+                s.count,
+                s.mean.as_nanos(),
+                s.p50.as_nanos(),
+                s.p99.as_nanos(),
+                s.max.as_nanos(),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        hits: u64,
+        misses: u64,
+    }
+
+    impl CounterGroup for Demo {
+        fn visit_counters(&self, f: &mut dyn FnMut(&'static str, u64)) {
+            f("hits", self.hits);
+            f("misses", self.misses);
+        }
+    }
+
+    #[test]
+    fn groups_flatten_under_prefix() {
+        let mut r = Registry::new();
+        r.record_group("cache", &Demo { hits: 3, misses: 1 });
+        r.record_group("cache", &Demo { hits: 2, misses: 0 });
+        assert_eq!(r.counters().get("cache.hits"), 5);
+        assert_eq!(r.counters().get("cache.misses"), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = Registry::new();
+        a.add("x", 1);
+        a.record_duration("lat", Dur::nanos(100));
+        let mut b = Registry::new();
+        b.add("x", 2);
+        b.record_duration("lat", Dur::nanos(300));
+        a.merge(&b);
+        assert_eq!(a.counters().get("x"), 3);
+        assert_eq!(a.histogram("lat").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_lines_render() {
+        let mut r = Registry::new();
+        r.add("ops", 7);
+        r.record_duration("lat", Dur::nanos(50));
+        let j = r.to_json_lines();
+        assert!(j.contains("{\"type\":\"counter\",\"name\":\"ops\",\"value\":7}"));
+        assert!(j.contains("\"type\":\"histogram\""));
+        assert!(j.contains("\"mean_ns\":50"));
+    }
+}

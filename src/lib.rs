@@ -53,6 +53,18 @@
 //! failing schedules are ddmin-shrunk to minimal replayable artifacts.
 //! See `examples/chaos_search.rs`.
 //!
+//! ## Observability
+//!
+//! The [`telemetry`] crate is an always-compiled, runtime-gated
+//! observability layer: causal span tracing that attributes every op's
+//! measured latency to protocol phases (the paper's Figure 2 breakdown,
+//! from traces instead of constants), fixed-memory log-bucketed
+//! histograms, a metric registry, and a crash flight recorder whose
+//! timeline is embedded in chaos failure artifacts. Attach a handle with
+//! [`core::system::BuiltSystem::attach_telemetry`]; hooks are pure
+//! observation, so golden digests are bit-identical with telemetry on or
+//! off (DESIGN.md §12).
+//!
 //! ## Model checking
 //!
 //! The [`model`] crate closes the loop on correctness: a feature-gated
@@ -72,4 +84,5 @@ pub use pmnet_model as model;
 pub use pmnet_net as net;
 pub use pmnet_pmem as pmem;
 pub use pmnet_sim as sim;
+pub use pmnet_telemetry as telemetry;
 pub use pmnet_workloads as workloads;

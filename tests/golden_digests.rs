@@ -19,7 +19,11 @@ const LOSSY_RECOVERY_DIGEST: u64 = 0xcb7a_9acf_b7f0_a13b;
 /// FNV-1a over the formatted Figure-16 stress rows (saturation points for
 /// both PMNet designs). Covers the data path end to end: MAT pipeline
 /// timing, link serialization, fragmentation, and latency accounting.
-const FIG16_STRESS_DIGEST: u64 = 0x686a_39cd_a112_1c05;
+///
+/// Updated when `LatencyHistogram` moved to fixed-memory log buckets:
+/// p99 is now reported as the bucket upper edge (≤1.6% quantization),
+/// while means and throughput are tracked exactly and did not move.
+const FIG16_STRESS_DIGEST: u64 = 0x5f31_4538_d82b_5992;
 
 fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
