@@ -14,6 +14,11 @@
 //!    zero in steady state).
 //! 3. **Campaign** — the lossy-recovery chaos campaign end to end
 //!    (seed 77, the determinism-pinned workload), reporting wall-clock.
+//! 4. **Fabric** — saturation throughput of the sharded chained-replica
+//!    fabric at 1, 2 and 4 shards (simulated Gbps, so deterministic and
+//!    gated inline rather than via `--check`): two replicated chains must
+//!    hold near parity with the one unreplicated device they replace, and
+//!    four must scale past it.
 //!
 //! Modes: `--fast` shrinks every region for CI smoke runs; `--out PATH`
 //! overrides the JSON destination; `--check PATH` compares the fresh
@@ -159,6 +164,22 @@ fn campaign_wall_ms(plans: usize) -> (u128, u64) {
     (t0.elapsed().as_millis(), out.digest)
 }
 
+/// Saturation throughput of the sharded fabric: sweep the offered load
+/// (closed-loop client count) and keep the peak. Past the knee this
+/// simulator degrades rather than plateaus, so the peak over the sweep
+/// *is* the saturation point — a single client count would under-read
+/// whichever design it doesn't suit.
+fn fabric_saturation(shards: u8) -> f64 {
+    use pmnet_core::system::DesignPoint;
+    let design = DesignPoint::PmnetSharded { shards };
+    let mut best = 0.0f64;
+    for clients in [32usize, 40, 48, 56, 64] {
+        let (gbps, _, _) = pmnet_bench::stress_point(design, clients, 1024, Dur::millis(2), 3);
+        best = best.max(gbps);
+    }
+    best
+}
+
 /// Pulls `"field": <number>` out of a flat JSON file without a JSON
 /// dependency (the workspace vendors no serde).
 fn json_number(text: &str, field: &str) -> Option<f64> {
@@ -214,9 +235,35 @@ fn main() {
     let (wall_ms, digest) = campaign_wall_ms(plans);
     eprintln!("  {wall_ms} ms, digest {digest:#018x}");
 
+    eprintln!("sim_throughput: fabric saturation sweep (1/2/4 shards, 1 KiB updates)");
+    let sat1 = fabric_saturation(1);
+    let sat2 = fabric_saturation(2);
+    let sat4 = fabric_saturation(4);
+    eprintln!(
+        "  1 shard {sat1:.2} Gbps  2 shards {sat2:.2} Gbps ({:.2}x)  4 shards {sat4:.2} Gbps ({:.2}x)",
+        sat2 / sat1,
+        sat4 / sat1
+    );
+    // Simulated numbers are deterministic, so these are exact gates, not
+    // noise-tolerant baselines. A chain does ~2x the per-update packet
+    // work of a bare device (stage to the backup, collect the chain ack),
+    // so two replicated chains buy fault tolerance at near parity with
+    // the single unreplicated device, and capacity scales from there.
+    assert!(
+        sat2 > 0.8 * sat1,
+        "two chains must hold near parity with one bare device \
+         ({sat2:.2} vs {sat1:.2} Gbps)"
+    );
+    assert!(
+        sat4 > 1.15 * sat1 && sat4 > 1.2 * sat2,
+        "four chains must scale past both the bare device and two chains \
+         ({sat4:.2} vs {sat1:.2} / {sat2:.2} Gbps)"
+    );
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }},\n  \"fabric\": {{\n    \"sat_gbps_1_shard\": {sat1:.3},\n    \"sat_gbps_2_shards\": {sat2:.3},\n    \"sat_gbps_4_shards\": {sat4:.3},\n    \"scaling_4_vs_1\": {ratio41:.3}\n  }}\n}}\n",
+        ratio41 = sat4 / sat1,
         mode = if fast { "fast" } else { "full" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");

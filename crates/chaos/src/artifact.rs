@@ -45,6 +45,7 @@ fn design_name(d: DesignPoint) -> String {
         }
         DesignPoint::ServerSideLog { replicas } => format!("server-side-log:{replicas}"),
         DesignPoint::ClientSideLog { replicas } => format!("client-side-log:{replicas}"),
+        DesignPoint::PmnetSharded { shards } => format!("pmnet-sharded:{shards}"),
     }
 }
 
@@ -73,6 +74,9 @@ fn parse_design(s: &str) -> Result<DesignPoint, String> {
         }),
         "client-side-log" => Ok(DesignPoint::ClientSideLog {
             replicas: count("replicas")?,
+        }),
+        "pmnet-sharded" => Ok(DesignPoint::PmnetSharded {
+            shards: count("shards")?,
         }),
         _ => Err(format!("unknown design `{s}`")),
     }
@@ -220,6 +224,7 @@ mod tests {
             DesignPoint::ClientServerReplicated { replicas: 2 },
             DesignPoint::ServerSideLog { replicas: 2 },
             DesignPoint::ClientSideLog { replicas: 3 },
+            DesignPoint::PmnetSharded { shards: 2 },
         ] {
             assert_eq!(parse_design(&design_name(d)).unwrap(), d);
         }

@@ -11,7 +11,9 @@ use pmnet_core::system::DesignPoint;
 use pmnet_sim::{Dur, SimRng};
 
 use crate::artifact::Artifact;
-use crate::generate::{generate_lossy_recovery_plan, generate_plan, Intensity, Topology};
+use crate::generate::{
+    generate_failover_plan, generate_lossy_recovery_plan, generate_plan, Intensity, Topology,
+};
 use crate::plan::FaultPlan;
 use crate::runner::{run, Scenario, Verdict};
 
@@ -253,6 +255,49 @@ fn lossy_campaign_with_threads(
     merge_outcome(jobs, verdicts)
 }
 
+/// Executes a campaign of chained-replica failover plans on the sharded
+/// fabric designs: every plan fail-stops (or replaces) at least one chain
+/// member mid-traffic — some under a concurrent server crash, some under
+/// spine loss (see [`generate_failover_plan`]). The claim under test is
+/// the fabric's headline invariant: no client-acked update is lost when a
+/// device dies, and the system stays live through fence → promote →
+/// re-home. Fully determined by `(seed, plans_per_design)`.
+pub fn run_failover_campaign(seed: u64, plans_per_design: usize) -> CampaignOutcome {
+    failover_campaign_with_threads(seed, plans_per_design, campaign_threads())
+}
+
+fn failover_campaign_with_threads(
+    seed: u64,
+    plans_per_design: usize,
+    threads: usize,
+) -> CampaignOutcome {
+    let mut meta = SimRng::seed(seed);
+    let designs = [
+        DesignPoint::PmnetSharded { shards: 2 },
+        DesignPoint::PmnetSharded { shards: 3 },
+    ];
+    let mut jobs = Vec::with_capacity(designs.len() * plans_per_design);
+    for (di, &design) in designs.iter().enumerate() {
+        let mut design_rng = meta.fork(1 + di as u64);
+        let base = Scenario::standard(design, 0);
+        let topo = Topology::for_design(design, base.clients);
+        for index in 0..plans_per_design {
+            let mut plan_rng = design_rng.fork(index as u64);
+            let run_seed = plan_rng.uniform_u64(0..u64::MAX);
+            let plan = generate_failover_plan(&mut plan_rng, &topo, Dur::millis(8));
+            jobs.push(CampaignJob {
+                design,
+                index,
+                seed: run_seed,
+                scenario: Scenario::standard(design, run_seed),
+                plan,
+            });
+        }
+    }
+    let verdicts = execute_jobs(&jobs, threads);
+    merge_outcome(jobs, verdicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +352,35 @@ mod tests {
     }
 
     #[test]
+    fn failover_campaign_never_loses_an_acked_update() {
+        // Every plan kills at least one chain member mid-traffic; the
+        // verdict's durability audit (no acked update missing, no double
+        // apply) and liveness invariant must hold on all of them.
+        let a = run_failover_campaign(2025, 15);
+        assert_eq!(a.runs.len(), 30);
+        assert_eq!(
+            a.failure_count(),
+            0,
+            "violations: {:?}",
+            a.failures
+                .iter()
+                .map(|f| f.replay().violations)
+                .collect::<Vec<_>>()
+        );
+        // Not vacuous: the fabric must actually have driven failovers.
+        let failovers: u64 = a.runs.iter().map(|r| r.verdict.failovers).sum();
+        assert!(
+            failovers >= a.runs.len() as u64,
+            "every plan kills a member, so every run must fail over \
+             (got {failovers} across {} runs)",
+            a.runs.len()
+        );
+        let b = run_failover_campaign(2025, 15);
+        assert_eq!(a.digest, b.digest, "campaign must be bit-identical");
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn parallel_execution_is_bit_identical_to_serial() {
         // The whole tool rests on replayability: striping runs across
         // worker threads must not perturb the outcome. Compare the full
@@ -320,6 +394,9 @@ mod tests {
         }
         let serial = lossy_campaign_with_threads(2024, 6, 1);
         let parallel = lossy_campaign_with_threads(2024, 6, 4);
+        assert_eq!(serial, parallel);
+        let serial = failover_campaign_with_threads(2025, 4, 1);
+        let parallel = failover_campaign_with_threads(2025, 4, 4);
         assert_eq!(serial, parallel);
     }
 

@@ -53,6 +53,10 @@ pub struct Topology {
     pub devices: usize,
     /// Number of backbone hops (merge switch to server, inclusive).
     pub backbone_links: usize,
+    /// Number of shard chains on a sharded-fabric design (0 otherwise).
+    /// The device list interleaves chains: shard `i`'s primary is device
+    /// `2i`, its backup `2i + 1`.
+    pub shards: usize,
 }
 
 impl Topology {
@@ -64,6 +68,10 @@ impl Topology {
         let devices = match design {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => 1,
             DesignPoint::PmnetReplicated { devices } => usize::from(devices),
+            // Each shard chain is a primary plus a backup. `shards = 1`
+            // normalizes to PMNet-Switch at build time.
+            DesignPoint::PmnetSharded { shards } if shards > 1 => 2 * usize::from(shards),
+            DesignPoint::PmnetSharded { .. } => 1,
             _ => 0,
         };
         let backbone_links = match design {
@@ -72,16 +80,25 @@ impl Topology {
             DesignPoint::PmnetReplicated { devices } => usize::from(devices) + 1,
             // merge -> tor -> dev -> server
             DesignPoint::PmnetNic => 3,
+            // merge-fabric -> tor-fabric -> server (the chains hang off
+            // both fabrics; `path` carries only the direct spine)
+            DesignPoint::PmnetSharded { shards } if shards > 1 => 2,
             // merge -> tor -> server
-            DesignPoint::ClientServer
+            DesignPoint::PmnetSharded { .. }
+            | DesignPoint::ClientServer
             | DesignPoint::ClientServerReplicated { .. }
             | DesignPoint::ServerSideLog { .. }
             | DesignPoint::ClientSideLog { .. } => 2,
+        };
+        let shards = match design {
+            DesignPoint::PmnetSharded { shards } if shards > 1 => usize::from(shards),
+            _ => 0,
         };
         Topology {
             clients,
             devices,
             backbone_links,
+            shards,
         }
     }
 }
@@ -217,6 +234,77 @@ pub fn generate_lossy_recovery_plan(rng: &mut SimRng, topo: &Topology, horizon: 
                 link: pick_link(rng, topo),
                 permille: pick_permille(rng, Intensity::Medium),
                 dur: pick_dur(rng, 100, 500),
+            },
+        );
+    }
+    plan
+}
+
+/// Generates a transient plan aimed at chained-replica failover on a
+/// sharded fabric (`topo.shards >= 1` required): at least one shard loses
+/// a chain member mid-traffic — fail-stopped for good ([`Fault::DeviceFail`])
+/// or replaced after a downtime long past the fencing decision
+/// ([`Fault::DeviceReplace`], exercising the zombie re-fence path). At
+/// most one member per shard is killed, so every chain keeps a survivor
+/// to promote. Some plans also crash the server near the kill so the
+/// failover's log replay lands inside an open recovery barrier, and some
+/// blanket the window with a backbone loss burst.
+pub fn generate_failover_plan(rng: &mut SimRng, topo: &Topology, horizon: Dur) -> FaultPlan {
+    assert!(topo.shards >= 1, "failover plans need a sharded topology");
+    let mut plan = FaultPlan::new();
+    let horizon_us = (horizon.as_nanos() / 1000).max(2_000);
+    let latest_us = horizon_us * 6 / 10;
+    // Kill a member in each shard independently; re-roll until at least
+    // one shard is hit so no plan is a vacuous control run.
+    let mut hit = vec![false; topo.shards];
+    while !hit.iter().any(|&h| h) {
+        for h in &mut hit {
+            *h = rng.chance(0.6);
+        }
+    }
+    for (shard, &h) in hit.iter().enumerate() {
+        if !h {
+            continue;
+        }
+        // Primaries hold the interesting state (withheld acks, chain
+        // pendings), so aim at them more often than backups.
+        let member = if rng.chance(0.7) { 0 } else { 1 };
+        let device = 2 * shard + member;
+        let at = Dur::micros(100 + rng.uniform_u64(0..latest_us));
+        let fault = if rng.chance(0.5) {
+            Fault::DeviceFail { device }
+        } else {
+            // Long past detection (heartbeat timeout is microseconds), so
+            // the replacement always comes back as a fenced zombie.
+            Fault::DeviceReplace {
+                device,
+                downtime: pick_dur(rng, 1_000, 3_000),
+            }
+        };
+        plan.push(at, fault);
+    }
+    // A third of the plans crash the server right around the first kill:
+    // the fence/promote/re-home sequence then races an open recovery
+    // barrier and the staged-log replay.
+    if rng.chance(0.33) {
+        let first_kill_us = plan.events[0].at.as_nanos() / 1000;
+        let at = first_kill_us.saturating_sub(100) + rng.uniform_u64(0..400);
+        plan.push(
+            Dur::micros(at.max(5)),
+            Fault::ServerCrash {
+                downtime: Some(pick_dur(rng, 500, 1_500)),
+            },
+        );
+    }
+    // And some add loss on the spine, so heartbeats, fences, promotes and
+    // steering updates are themselves exposed to drops.
+    if rng.chance(0.4) {
+        plan.push(
+            Dur::micros(5 + rng.uniform_u64(0..latest_us)),
+            Fault::DropBurst {
+                link: LinkTarget::Backbone(rng.index(topo.backbone_links)),
+                permille: 100 + rng.uniform_u64(0..250) as u32,
+                dur: pick_dur(rng, 200, 1_000),
             },
         );
     }

@@ -6,7 +6,8 @@
 //! failure. This crate turns that claim into a checkable search problem:
 //!
 //! 1. **Plans** ([`plan`]) — a serializable DSL of timed fault events:
-//!    crashes with optional restart, link flaps, loss / duplication /
+//!    crashes with optional restart, permanent device fail-stops healed
+//!    by chained-replica failover, link flaps, loss / duplication /
 //!    reordering / corruption bursts, PM latency spikes.
 //! 2. **Generation** ([`generate`]) — seeded random plans at a chosen
 //!    intensity, aimed using a positional view of the topology.
@@ -58,8 +59,13 @@ pub mod runner;
 pub mod shrink;
 
 pub use artifact::Artifact;
-pub use campaign::{run_campaign, run_lossy_recovery_campaign, CampaignConfig, CampaignOutcome};
-pub use generate::{generate_lossy_recovery_plan, generate_plan, Intensity, Topology};
+pub use campaign::{
+    run_campaign, run_failover_campaign, run_lossy_recovery_campaign, CampaignConfig,
+    CampaignOutcome,
+};
+pub use generate::{
+    generate_failover_plan, generate_lossy_recovery_plan, generate_plan, Intensity, Topology,
+};
 pub use plan::{Fault, FaultEvent, FaultPlan, LinkTarget};
 pub use runner::{run, Scenario, Verdict};
 pub use shrink::{ddmin, shrink_failure, ShrinkStats};

@@ -70,6 +70,27 @@ pub enum Fault {
         /// Time until restart, if any.
         downtime: Option<Dur>,
     },
+    /// Fail-stop PMNet device `device` permanently. Unlike a permanent
+    /// [`Fault::DeviceCrash`], this counts as transient: it is aimed at
+    /// sharded-fabric designs whose chained backup takes over (fence,
+    /// promote, re-home), so the system heals even though the device
+    /// never returns. On a design without a backup chain member the
+    /// liveness invariant will (correctly) flag the resulting wedge.
+    DeviceFail {
+        /// Device index.
+        device: usize,
+    },
+    /// Fail-stop PMNet device `device`, then power a replacement back up
+    /// at the same address after `downtime`. On a sharded fabric the
+    /// failover has already re-homed the shard by then, so the returning
+    /// device is a zombie: its first heartbeat must be answered with a
+    /// re-fence, never a re-admission.
+    DeviceReplace {
+        /// Device index.
+        device: usize,
+        /// Time until the replacement powers up.
+        downtime: Dur,
+    },
     /// Crash client `client`; on restart it opens a fresh session and
     /// reissues its remaining requests.
     ClientCrash {
@@ -146,6 +167,9 @@ impl Fault {
             Fault::ServerCrash { downtime }
             | Fault::DeviceCrash { downtime, .. }
             | Fault::ClientCrash { downtime, .. } => downtime.is_some(),
+            // Healed by chained-replica failover, not by the device coming
+            // back: the fabric fences the corpse and promotes its backup.
+            Fault::DeviceFail { .. } | Fault::DeviceReplace { .. } => true,
             Fault::LinkFlap { .. }
             | Fault::DropBurst { .. }
             | Fault::DuplicateBurst { .. }
@@ -236,6 +260,12 @@ impl fmt::Display for FaultEvent {
                 if let Some(d) = downtime {
                     write!(f, " down={}", dur_ns(d))?;
                 }
+            }
+            Fault::DeviceFail { device } => {
+                write!(f, " device-fail dev={device}")?;
+            }
+            Fault::DeviceReplace { device, downtime } => {
+                write!(f, " device-replace dev={device} down={}", dur_ns(downtime))?;
             }
             Fault::ClientCrash { client, downtime } => {
                 write!(f, " client-crash client={client}")?;
@@ -410,6 +440,13 @@ impl FromStr for FaultEvent {
                     device: f.usize("dev")?,
                     downtime: f.dur_opt("down")?,
                 }),
+                "device-fail" => Ok(Fault::DeviceFail {
+                    device: f.usize("dev")?,
+                }),
+                "device-replace" => Ok(Fault::DeviceReplace {
+                    device: f.usize("dev")?,
+                    downtime: f.dur("down")?,
+                }),
                 "client-crash" => Ok(Fault::ClientCrash {
                     client: f.usize("client")?,
                     downtime: f.dur_opt("down")?,
@@ -552,6 +589,14 @@ mod tests {
                 downtime: Some(Dur::micros(600)),
             },
         );
+        p.push(Dur::micros(70), Fault::DeviceFail { device: 1 });
+        p.push(
+            Dur::micros(90),
+            Fault::DeviceReplace {
+                device: 0,
+                downtime: Dur::micros(800),
+            },
+        );
         p
     }
 
@@ -595,12 +640,26 @@ mod tests {
 
     #[test]
     fn transient_classification() {
-        // Dropping the permanent client crash (sorted index 5: second of
-        // the two t=100us events) leaves only self-healing faults.
-        assert!(sample()
-            .subset(&[true, true, true, true, true, false, true, true, true])
-            .is_transient());
-        assert!(!sample().is_transient());
+        // Dropping the permanent client crash (sorted index 7: second of
+        // the two t=100us events) leaves only self-healing faults — the
+        // permanent device-fail counts as transient because chained
+        // failover heals it.
+        let p = sample();
+        let mut keep = vec![true; p.len()];
+        let idx = p
+            .events
+            .iter()
+            .position(|e| matches!(e.fault, Fault::ClientCrash { .. }))
+            .unwrap();
+        keep[idx] = false;
+        assert!(p.subset(&keep).is_transient());
+        assert!(!p.is_transient());
+        assert!(Fault::DeviceFail { device: 0 }.is_transient());
+        assert!(Fault::DeviceReplace {
+            device: 0,
+            downtime: Dur::micros(1)
+        }
+        .is_transient());
     }
 
     #[test]

@@ -134,6 +134,11 @@ pub struct Verdict {
     pub failed_updates: u64,
     /// Device log entries still staged after the drain window.
     pub stranded_log_entries: u64,
+    /// Shard failovers the fabric coordinator drove (0 outside sharded
+    /// designs). Deliberately excluded from [`digest_line`]
+    /// (`Verdict::digest_line`) so frozen campaign digests over the
+    /// classic designs stay comparable across revisions.
+    pub failovers: u64,
     /// Simulated end time of the run, in nanoseconds.
     pub end_ns: u64,
     /// Flight-recorder timeline, captured only when an invariant fired
@@ -231,6 +236,16 @@ fn lower_plan(sys: &mut BuiltSystem, plan: &FaultPlan) -> Vec<(Time, Act)> {
             Fault::DeviceCrash { device, downtime } => {
                 if let Some(&dev) = sys.devices.get(device) {
                     sys.world.schedule_crash(dev, at, downtime);
+                }
+            }
+            Fault::DeviceFail { device } => {
+                if let Some(&dev) = sys.devices.get(device) {
+                    sys.world.schedule_crash(dev, at, None);
+                }
+            }
+            Fault::DeviceReplace { device, downtime } => {
+                if let Some(&dev) = sys.devices.get(device) {
+                    sys.world.schedule_crash(dev, at, Some(downtime));
                 }
             }
             Fault::ClientCrash { client, downtime } => {
@@ -374,6 +389,12 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     sys.attach_telemetry(&telemetry);
     let acts = lower_plan(&mut sys, plan);
 
+    // Fabric designs need their coordinator and chain members started
+    // (heartbeats, watchdog). Empty on the classic designs, so their
+    // digest lines are untouched.
+    for &n in &sys.start_nodes.clone() {
+        sys.world.start_node(n);
+    }
     for &c in &sys.clients.clone() {
         sys.world.start_node(c);
     }
@@ -464,6 +485,11 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
     }
 
     let counters = server.counters();
+    let failovers = server
+        .fabric_shard_counters()
+        .iter()
+        .map(|c| c.failovers)
+        .sum();
     let mut corrupt_dropped = counters.corrupt_dropped;
     for &d in &sys.devices {
         corrupt_dropped += sys.world.node::<PmnetDevice>(d).counters().corrupt_dropped;
@@ -507,6 +533,7 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
         client_retries,
         failed_updates: retry_counters.failed,
         stranded_log_entries: stranded as u64,
+        failovers,
         end_ns: sys.world.now().as_nanos(),
         flight,
     }
@@ -516,6 +543,7 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
 mod tests {
     use super::*;
     use crate::plan::FaultPlan;
+    use proptest::prelude::*;
 
     #[test]
     fn fault_free_plan_passes_everywhere() {
@@ -649,6 +677,56 @@ mod tests {
         assert!(v.passed, "{:?}", v.violations);
         assert_eq!(v.stranded_log_entries, 0, "device logs must drain");
         assert!(v.redo_applied > 0, "recovery must replay from device PM");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Property: however a chain-member kill interleaves with client
+        /// retries (forced by a loss burst), no update sequence number is
+        /// ever applied twice and no acked update is lost — the promoted
+        /// backup's replay and the client's retransmissions must collapse
+        /// into exactly-once application.
+        #[test]
+        fn failover_retry_interleavings_never_double_apply(
+            seed in 0u64..10_000,
+            shard in 0usize..2,
+            member in 0usize..2,
+            kill_at_us in 50u64..2_000,
+            replace in any::<bool>(),
+            lossy in any::<bool>(),
+            loss_at_us in 5u64..2_000,
+            loss_permille in 100u64..400,
+            loss_dur_us in 100u64..800,
+        ) {
+            let mut plan = FaultPlan::new();
+            let device = 2 * shard + member;
+            let fault = if replace {
+                Fault::DeviceReplace { device, downtime: Dur::millis(2) }
+            } else {
+                Fault::DeviceFail { device }
+            };
+            plan.push(Dur::micros(kill_at_us), fault);
+            if lossy {
+                plan.push(
+                    Dur::micros(loss_at_us),
+                    Fault::DropBurst {
+                        link: LinkTarget::Backbone(1),
+                        permille: loss_permille as u32,
+                        dur: Dur::micros(loss_dur_us),
+                    },
+                );
+            }
+            let scenario =
+                Scenario::standard(DesignPoint::PmnetSharded { shards: 2 }, seed);
+            let v = run(&scenario, &plan);
+            prop_assert!(
+                !v.violations.iter().any(|s| s.contains("duplicate apply")),
+                "double apply under {plan}: {:?}",
+                v.violations
+            );
+            prop_assert!(v.passed, "plan {plan} violated: {:?}", v.violations);
+        }
     }
 
     #[test]

@@ -257,6 +257,9 @@ pub struct ClientLib {
     bypass_seq: u32,
     serial: u64,
     outstanding: Option<Outstanding>,
+    /// The highest fabric epoch seen in an `EpochNotify` (sharded
+    /// designs); duplicate notices for the same epoch are no-ops.
+    fabric_epoch: u64,
     records: Vec<CompletionRecord>,
     acked_updates: Vec<(u16, u32)>,
     warmup: usize,
@@ -305,6 +308,7 @@ impl ClientLib {
             bypass_seq: 0,
             serial: 0,
             outstanding: None,
+            fabric_epoch: 0,
             records: Vec::new(),
             acked_updates: Vec::new(),
             warmup: 0,
@@ -771,6 +775,23 @@ impl ClientLib {
         let Some((header, payload)) = PmnetHeader::decode(&packet.payload) else {
             return;
         };
+        if header.ptype == PacketType::EpochNotify {
+            // The fabric re-homed a shard (epoch rides in `seq`). Any
+            // fragment still in flight may have died with the fenced
+            // device, and the ack it was waiting for will never come:
+            // resend the incomplete ones immediately. This is not a
+            // timeout, so the attempt budget is untouched; the resend is
+            // deduplicated by the new chain's log and the server.
+            let epoch = u64::from(header.seq);
+            if epoch > self.fabric_epoch {
+                self.fabric_epoch = epoch;
+                if self.outstanding.is_some() {
+                    self.send_fragments(ctx, true);
+                    self.try_complete(ctx);
+                }
+            }
+            return;
+        }
         let Some(out) = &mut self.outstanding else {
             return; // late ACK for an already-completed request
         };

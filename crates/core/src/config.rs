@@ -143,6 +143,11 @@ pub struct DeviceConfig {
     /// otherwise strand the entry — and the server's recovery barrier —
     /// forever.
     pub recovery_resend_timeout: Dur,
+    /// Liveness heartbeat period toward the fabric coordinator. `None`
+    /// (the default, and the single-device configuration) sends no
+    /// heartbeats at all; sharded fabrics set it so the server's failure
+    /// detector can fence and replace a silent device.
+    pub heartbeat_interval: Option<Dur>,
 }
 
 impl DeviceConfig {
@@ -159,7 +164,14 @@ impl DeviceConfig {
             cache_entries: 0,
             log_retry_timeout: Dur::millis(5),
             recovery_resend_timeout: Dur::millis(1),
+            heartbeat_interval: None,
         }
+    }
+
+    /// Returns a copy that emits liveness heartbeats every `interval`.
+    pub fn with_heartbeat(mut self, interval: Dur) -> DeviceConfig {
+        self.heartbeat_interval = Some(interval);
+        self
     }
 
     /// Returns a copy with read caching enabled (Section IV-D).

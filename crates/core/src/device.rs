@@ -16,7 +16,7 @@ use bytes::Bytes;
 use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Timer};
 use pmnet_telemetry::span::OpEvent;
 use pmnet_telemetry::Telemetry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::cache::ReadCache;
 use crate::config::DeviceConfig;
@@ -29,6 +29,53 @@ use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_CONGESTED, FL
 const TIMER_PERSIST_DONE: u32 = 1;
 const TIMER_RECOVERY_RESEND: u32 = 2;
 const TIMER_ENTRY_RETRY: u32 = 3;
+const TIMER_HEARTBEAT: u32 = 4;
+
+/// The device's position in its shard's replication chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceRole {
+    /// Unreplicated (the single-device configuration, or a promoted
+    /// survivor): log-and-ack exactly as the paper describes.
+    Solo,
+    /// Chain head: logs, forwards the update through the backup, and
+    /// withholds the client's PMNet-ACK until the backup's `ChainAck`
+    /// proves the update is durable twice.
+    Primary,
+    /// Chain tail: logs and acknowledges *to the primary* (`ChainAck`)
+    /// instead of to the client.
+    Backup,
+}
+
+/// Fabric wiring a sharded device needs beyond its routing table: its
+/// chain role and peer, plus the ports whose meaning the reconfiguration
+/// protocol must know (the BFS routing tables alone cannot distinguish a
+/// chain link from a bypass link).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceFabric {
+    /// Chain position.
+    pub role: DeviceRole,
+    /// The other device of this shard's chain, if any.
+    pub chain_peer: Option<Addr>,
+    /// Port of the direct link to the chain peer.
+    pub chain_port: Option<PortNo>,
+    /// Port of the direct link to the client-side fabric switch.
+    pub merge_port: Option<PortNo>,
+    /// Port of the direct link to the server-side fabric switch; also the
+    /// egress for heartbeats (they must not depend on the chain peer being
+    /// alive, or a backup failure would mute the primary's liveness too).
+    pub tor_port: Option<PortNo>,
+    /// The server (fabric coordinator) heartbeats are addressed to.
+    pub server: Addr,
+}
+
+/// Completion state of one update held back by chain replication.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChainPending {
+    /// Our own PM write finished.
+    persisted: bool,
+    /// The backup's `ChainAck` arrived.
+    chain_acked: bool,
+}
 
 /// Device-level counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +109,19 @@ pub struct DeviceCounters {
     /// PMNet requests dropped because the header hash or payload CRC
     /// failed to verify (a bit flipped in flight).
     pub corrupt_dropped: u64,
+    /// Liveness heartbeats emitted toward the fabric coordinator.
+    pub heartbeats_sent: u64,
+    /// `ChainAck`s sent to the chain primary (backup role).
+    pub chain_acks_sent: u64,
+    /// `ChainAck`s received from the chain backup (primary role).
+    pub chain_acks_received: u64,
+    /// Client PMNet-ACKs that were withheld for chain replication and
+    /// released by the backup's `ChainAck`.
+    pub chain_releases: u64,
+    /// `Fence` orders applied (log purged, device retired from the fabric).
+    pub fence_events: u64,
+    /// `Promote` orders applied (chain collapsed to solo operation).
+    pub promotions: u64,
 }
 
 impl pmnet_telemetry::registry::CounterGroup for DeviceCounters {
@@ -78,6 +138,12 @@ impl pmnet_telemetry::registry::CounterGroup for DeviceCounters {
         f("reads_parked", self.reads_parked);
         f("unroutable", self.unroutable);
         f("corrupt_dropped", self.corrupt_dropped);
+        f("heartbeats_sent", self.heartbeats_sent);
+        f("chain_acks_sent", self.chain_acks_sent);
+        f("chain_acks_received", self.chain_acks_received);
+        f("chain_releases", self.chain_releases);
+        f("fence_events", self.fence_events);
+        f("promotions", self.promotions);
     }
 }
 
@@ -111,6 +177,24 @@ pub struct PmnetDevice {
     /// updates, leaving stale values to be served (see
     /// [`PmnetDevice::with_stale_read_bug`]).
     stale_read_bug: bool,
+    /// Fabric wiring; `None` for the classic single-device configuration
+    /// (every chain/fence code path is then compile-time unreachable —
+    /// the solo fast path is byte-identical to the unsharded device).
+    fabric: Option<DeviceFabric>,
+    /// Fenced out of the fabric by the coordinator: the device forwards
+    /// transit traffic but never logs, acks, or serves again.
+    fenced: bool,
+    /// The fabric configuration epoch this device last applied; stale
+    /// (re-delivered) `Promote`/`EpochNotify` orders carry older epochs
+    /// and are ignored.
+    fabric_epoch: u64,
+    /// Primary-role bookkeeping: updates whose client ACK is withheld
+    /// until both the local persist and the backup's `ChainAck` land.
+    chain_state: HashMap<u32, ChainPending>,
+    /// Backup-role bookkeeping: hashes already chain-acked, so a
+    /// duplicate (the primary re-driving a lost `ChainAck`) is answered
+    /// from DRAM instead of re-logged.
+    chain_acked_hashes: HashSet<u32>,
     telemetry: Telemetry,
     #[cfg(feature = "recorder")]
     recorder: Recorder,
@@ -147,6 +231,11 @@ impl PmnetDevice {
             staged_resends: HashMap::new(),
             parked_reads: HashMap::new(),
             stale_read_bug: false,
+            fabric: None,
+            fenced: false,
+            fabric_epoch: 0,
+            chain_state: HashMap::new(),
+            chain_acked_hashes: HashSet::new(),
             telemetry: Telemetry::disabled(),
             #[cfg(feature = "recorder")]
             recorder: Recorder::default(),
@@ -196,6 +285,40 @@ impl PmnetDevice {
     /// Device counters.
     pub fn counters(&self) -> DeviceCounters {
         self.counters
+    }
+
+    /// Installs the fabric wiring (chain role, peer, and the ports the
+    /// reconfiguration protocol steers). Called by the system builder
+    /// after links are connected, since the port numbers only exist then.
+    pub fn set_fabric(&mut self, fabric: DeviceFabric) {
+        self.fabric = Some(fabric);
+    }
+
+    /// The device's current chain role ([`DeviceRole::Solo`] when no
+    /// fabric wiring is installed).
+    pub fn role(&self) -> DeviceRole {
+        self.fabric.map_or(DeviceRole::Solo, |f| f.role)
+    }
+
+    /// True once the coordinator has fenced this device out of the fabric.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// True while the device is powered (false between a crash and its
+    /// restore — or forever, for a fail-stopped device).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The fabric configuration epoch this device last applied.
+    pub fn fabric_epoch(&self) -> u64 {
+        self.fabric_epoch
+    }
+
+    /// Client ACKs still withheld awaiting the backup's `ChainAck`.
+    pub fn chain_pending(&self) -> usize {
+        self.chain_state.len()
     }
 
     /// Degrades (or restores, with `1`) the log PM's speed by `factor` —
@@ -319,6 +442,12 @@ impl PmnetDevice {
         self.forward(ctx, packet);
         match outcome {
             LogOutcome::Logged { ack_at } => {
+                if self.role() == DeviceRole::Primary {
+                    // Withhold the client ACK until the backup's ChainAck
+                    // proves the update is durable on both chain members.
+                    self.chain_state
+                        .insert(header.hash, ChainPending::default());
+                }
                 ctx.timer_in(
                     ack_at.saturating_since(ctx.now()),
                     Timer {
@@ -354,11 +483,28 @@ impl PmnetDevice {
                     }
                 }
             }
-            LogOutcome::Duplicate => {
+            LogOutcome::Duplicate => match self.role() {
                 // The client retransmitted a logged packet (its ACK was
                 // probably lost): re-acknowledge right away.
-                self.send_ack(ctx, header.hash);
-            }
+                DeviceRole::Solo => self.send_ack(ctx, header.hash),
+                DeviceRole::Primary => {
+                    // Still waiting on the chain: the retransmission has
+                    // already been re-forwarded down the chain above (the
+                    // backup re-drives a possibly-lost ChainAck); acking
+                    // now would claim durability the backup can't confirm.
+                    if !self.chain_state.contains_key(&header.hash) {
+                        self.send_ack(ctx, header.hash);
+                    }
+                }
+                DeviceRole::Backup => {
+                    // The primary (or the client, through it) re-drove the
+                    // update: if we already chain-acked it, that ack was
+                    // lost — resend it.
+                    if self.chain_acked_hashes.contains(&header.hash) {
+                        self.send_chain_ack(ctx, header.hash);
+                    }
+                }
+            },
             LogOutcome::Bypass(_) => {
                 // Forwarded without logging or acknowledgement; the client
                 // falls back to waiting for the server (Section IV-B1).
@@ -394,7 +540,202 @@ impl PmnetDevice {
         }
     }
 
+    /// The PM write for `hash` completed: what gets acknowledged, and to
+    /// whom, depends on the chain role.
+    fn on_persist_done(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
+        match self.role() {
+            DeviceRole::Solo => self.send_ack(ctx, hash),
+            DeviceRole::Primary => {
+                let Some(pending) = self.chain_state.get_mut(&hash) else {
+                    // Server-acked (or chain-completed) before the persist
+                    // timer fired; the solo path's send_ack no-op on an
+                    // invalidated entry has the same effect.
+                    return;
+                };
+                pending.persisted = true;
+                if pending.chain_acked {
+                    self.chain_state.remove(&hash);
+                    self.counters.chain_releases += 1;
+                    self.send_ack(ctx, hash);
+                }
+            }
+            DeviceRole::Backup => self.send_chain_ack(ctx, hash),
+        }
+    }
+
+    /// Tells the chain primary that `hash` is durable here. The header is
+    /// the logged entry's own (so the primary can match by hash) with the
+    /// type and acking device rewritten.
+    fn send_chain_ack(&mut self, ctx: &mut Ctx<'_>, hash: u32) {
+        let Some(peer) = self.fabric.and_then(|f| f.chain_peer) else {
+            return;
+        };
+        let Some(entry) = self.log.peek(hash) else {
+            return; // invalidated before the persist completed
+        };
+        let mut h = entry.header;
+        h.ptype = PacketType::ChainAck;
+        h.device_id = self.id;
+        let pkt = Packet::udp(self.addr, peer, 51000, 51000, h.encode(&[]));
+        self.chain_acked_hashes.insert(hash);
+        self.counters.chain_acks_sent += 1;
+        self.emit(ctx, peer, pkt);
+    }
+
+    /// Primary role: the backup confirmed durability of `hash`; release
+    /// the withheld client ACK once our own persist has also finished.
+    fn handle_chain_ack(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        if packet.dst != self.addr {
+            self.forward(ctx, packet);
+            return;
+        }
+        self.counters.chain_acks_received += 1;
+        let Some(pending) = self.chain_state.get_mut(&header.hash) else {
+            return; // already released, or server-acked in the meantime
+        };
+        pending.chain_acked = true;
+        if pending.persisted {
+            self.chain_state.remove(&header.hash);
+            self.counters.chain_releases += 1;
+            self.send_ack(ctx, header.hash);
+        }
+    }
+
+    /// Coordinator order: retire from the fabric. The log is purged — its
+    /// entries are now owned by the promoted chain survivor — and the
+    /// device degrades to a pure forwarder so in-flight traffic through
+    /// its links still flows. Idempotent: re-delivered fences (and fences
+    /// re-issued at a zombie that heartbeated after being retired) only
+    /// bump the epoch forward.
+    fn handle_fence(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        if packet.dst != self.addr {
+            self.forward(ctx, packet);
+            return;
+        }
+        self.fabric_epoch = self.fabric_epoch.max(u64::from(header.seq));
+        if self.fenced {
+            return;
+        }
+        self.fenced = true;
+        self.counters.fence_events += 1;
+        self.log.purge();
+        self.staged_resends.clear();
+        self.parked_reads.clear();
+        self.chain_state.clear();
+        self.chain_acked_hashes.clear();
+        ctx.trace(|| format!("fenced at epoch {}", self.fabric_epoch));
+    }
+
+    /// Coordinator order: the chain peer is gone — collapse to solo
+    /// operation. Routes that pointed through the dead peer's chain link
+    /// are flipped to the bypass links, and (primary role) every update
+    /// whose client ACK was withheld for a `ChainAck` that will never
+    /// come is acknowledged now: it is durable here, and the coordinator
+    /// has fenced the peer, so single-copy durability is the fabric's
+    /// contract from this epoch on.
+    fn handle_promote(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        if packet.dst != self.addr {
+            self.forward(ctx, packet);
+            return;
+        }
+        let epoch = u64::from(header.seq);
+        if epoch <= self.fabric_epoch {
+            return; // stale or re-delivered order
+        }
+        self.fabric_epoch = epoch;
+        let Some(fabric) = self.fabric else { return };
+        self.counters.promotions += 1;
+        if let Some(chain_port) = fabric.chain_port {
+            let reroutes: Vec<(Addr, PortNo)> = self
+                .routes
+                .iter()
+                .filter(|&(&dst, &port)| port == chain_port && Some(dst) != fabric.chain_peer)
+                .map(|(&dst, _)| {
+                    let via = if dst == fabric.server {
+                        fabric.tor_port
+                    } else {
+                        fabric.merge_port
+                    };
+                    (dst, via.unwrap_or(chain_port))
+                })
+                .collect();
+            for (dst, port) in reroutes {
+                self.routes.insert(dst, port);
+            }
+        }
+        // Release the withheld ACKs (primary role; empty otherwise).
+        let stranded: Vec<u32> = self
+            .chain_state
+            .iter()
+            .filter(|(_, p)| p.persisted)
+            .map(|(&h, _)| h)
+            .collect();
+        self.chain_state.clear();
+        for hash in stranded {
+            self.counters.chain_releases += 1;
+            self.send_ack(ctx, hash);
+        }
+        self.chain_acked_hashes.clear();
+        if let Some(f) = &mut self.fabric {
+            f.role = DeviceRole::Solo;
+            f.chain_peer = None;
+        }
+        ctx.trace(|| format!("promoted to solo at epoch {epoch}"));
+    }
+
+    /// Arms (or re-arms, after a power cycle) the heartbeat timer.
+    fn arm_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        if self.fenced || !self.alive {
+            return;
+        }
+        if let (Some(interval), Some(_)) = (self.config.heartbeat_interval, self.fabric) {
+            ctx.timer_in(
+                interval,
+                Timer {
+                    kind: TIMER_HEARTBEAT,
+                    a: 0,
+                    b: self.epoch,
+                },
+            );
+        }
+    }
+
+    /// Emits one liveness heartbeat toward the coordinator and re-arms.
+    /// Sent out the tor-facing port directly — not through the routing
+    /// table — so a primary's liveness does not depend on its backup
+    /// relaying (the route to the server runs through the chain).
+    fn send_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        if self.fenced {
+            return; // a fenced device goes silent; no re-arm either
+        }
+        let Some(fabric) = self.fabric else { return };
+        let Some(tor_port) = fabric.tor_port else {
+            return;
+        };
+        // The epoch rides in `seq`; `client` carries the device's own
+        // address so the coordinator knows who is alive regardless of the
+        // packet's rewritten src along the path.
+        let h = PmnetHeader::request(
+            PacketType::Heartbeat,
+            0,
+            self.fabric_epoch as u32,
+            self.addr,
+            fabric.server,
+            0,
+            1,
+        );
+        let pkt = Packet::udp(self.addr, fabric.server, 51000, 51000, h.encode(&[]));
+        self.counters.heartbeats_sent += 1;
+        ctx.send_after(self.config.pipeline_delay, tor_port, pkt);
+        self.arm_heartbeat(ctx);
+    }
+
     fn handle_server_ack(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, packet: Packet) {
+        // The server's ack supersedes chain replication for this update:
+        // drop any withheld-ack bookkeeping (the client is satisfied by
+        // the ServerAck forwarded below).
+        self.chain_state.remove(&header.hash);
+        self.chain_acked_hashes.remove(&header.hash);
         if let Some(entry) = self.log.invalidate(header.hash) {
             if let Some(cache) = &mut self.cache {
                 if let Some(KvFrame::Set { key, .. }) = KvFrame::decode(&entry.payload) {
@@ -713,11 +1054,18 @@ impl PmnetDevice {
             PacketType::Retrans => self.handle_retrans(ctx, header, packet),
             PacketType::AppReply => self.handle_app_reply(ctx, payload, packet),
             PacketType::RecoveryPoll => self.handle_recovery_poll(ctx, packet),
-            // ACKs from other PMNets, cache responses, and drain reports
-            // from devices further along the path are forwarded.
-            PacketType::PmnetAck | PacketType::CacheResp | PacketType::RecoveryDone => {
-                self.forward(ctx, packet)
-            }
+            PacketType::ChainAck => self.handle_chain_ack(ctx, header, packet),
+            PacketType::Fence => self.handle_fence(ctx, header, packet),
+            PacketType::Promote => self.handle_promote(ctx, header, packet),
+            // ACKs from other PMNets, cache responses, drain reports, and
+            // fabric control in transit (a peer's heartbeats, epoch
+            // notices, shard-map updates) are forwarded.
+            PacketType::PmnetAck
+            | PacketType::CacheResp
+            | PacketType::RecoveryDone
+            | PacketType::Heartbeat
+            | PacketType::EpochNotify
+            | PacketType::ShardMapUpdate => self.forward(ctx, packet),
         }
     }
 }
@@ -728,6 +1076,17 @@ impl Node for PmnetDevice {
             Msg::Packet { packet, .. } => {
                 if !self.alive {
                     return; // a powered-off device drops traffic
+                }
+                // A fenced device is a pure forwarder: transit traffic
+                // through its links still flows, but it never logs, acks,
+                // serves, or answers fabric control again. Packets
+                // addressed to it (re-delivered fences, stale polls) are
+                // absorbed.
+                if self.fenced {
+                    if packet.dst != self.addr {
+                        self.forward(ctx, packet);
+                    }
+                    return;
                 }
                 // Ingress stage: PMNet traffic is identified by the UDP
                 // port range; anything else forwards like a plain switch.
@@ -747,12 +1106,14 @@ impl Node for PmnetDevice {
                     return; // stale timer from before a crash
                 }
                 match kind {
-                    TIMER_PERSIST_DONE => self.send_ack(ctx, a as u32),
+                    TIMER_PERSIST_DONE => self.on_persist_done(ctx, a as u32),
                     TIMER_RECOVERY_RESEND => self.fire_recovery_resend(ctx, a as u32),
                     TIMER_ENTRY_RETRY => self.retry_entry(ctx, a as u32),
+                    TIMER_HEARTBEAT => self.send_heartbeat(ctx),
                     _ => {}
                 }
             }
+            Msg::Start => self.arm_heartbeat(ctx),
             // Idempotent power transitions (see the server note): a second
             // crash inside an existing downtime window is a no-op.
             Msg::Crash if !self.alive => {}
@@ -764,6 +1125,12 @@ impl Node for PmnetDevice {
                 // completed (Section IV-E).
                 let lost = self.log.crash(ctx.now());
                 self.staged_resends.clear();
+                // Chain bookkeeping is DRAM: withheld-ack state and the
+                // chain-acked set vanish. Clients re-drive incomplete
+                // updates; the server ack backstops any entry whose chain
+                // completion was mid-flight.
+                self.chain_state.clear();
+                self.chain_acked_hashes.clear();
                 // The read cache lives in volatile device memory: power
                 // loss empties it, together with the in-flight counts for
                 // entries whose log records were just lost (which would
@@ -793,7 +1160,16 @@ impl Node for PmnetDevice {
                             b: self.epoch,
                         },
                     );
+                    // A restored backup's surviving entries are durable by
+                    // definition: repair the chain by re-acking them (the
+                    // chain-acked set was DRAM).
+                    if self.role() == DeviceRole::Backup {
+                        self.send_chain_ack(ctx, hash);
+                    }
                 }
+                // Resume heartbeating: if the coordinator retired this
+                // device during the outage it answers with a fresh Fence.
+                self.arm_heartbeat(ctx);
             }
             _ => {}
         }

@@ -55,6 +55,7 @@ pub mod config;
 pub mod device;
 #[cfg(feature = "recorder")]
 pub mod events;
+pub mod fabric;
 pub mod kvproto;
 pub mod logstore;
 pub mod protocol;
@@ -67,9 +68,10 @@ pub use client::{
     RtoEstimator, UpdateOutcome,
 };
 pub use config::{DeviceConfig, HostProfile, RetryConfig, SystemConfig};
-pub use device::PmnetDevice;
+pub use device::{DeviceFabric, DeviceRole, PmnetDevice};
 #[cfg(feature = "recorder")]
 pub use events::{Event, EventKind, Recorder};
+pub use fabric::{FabricMap, FabricSteering, ReconfigAction, ShardChain, ShardMap, SteerSide};
 pub use logstore::{LogOutcome, LogStore};
 pub use protocol::{PacketType, PmnetHeader, PMNET_PORT_HI, PMNET_PORT_LO};
 pub use server::{RequestHandler, ServerLib};

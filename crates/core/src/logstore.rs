@@ -289,6 +289,20 @@ impl LogStore {
         self.pm.schedule_read(now, bytes)
     }
 
+    /// Drops every entry and derived index without touching the
+    /// invalidation counters. Used when the fabric coordinator fences the
+    /// device: its entries are owned by the promoted chain survivor from
+    /// that epoch on, not individually acknowledged, so counting them as
+    /// invalidations would misreport protocol activity. Returns how many
+    /// entries were purged.
+    pub fn purge(&mut self) -> usize {
+        let purged = self.entries.len();
+        self.entries.clear();
+        self.outstanding.clear();
+        self.used_bytes = 0;
+        purged
+    }
+
     /// Power failure: entries whose PM write had not completed by `now`
     /// never reached the persistence domain. Returns how many were lost.
     pub fn crash(&mut self, now: Time) -> usize {
@@ -455,6 +469,19 @@ mod tests {
         for &(_, bytes) in &manifest {
             assert_eq!(bytes as usize, crate::protocol::HEADER_LEN + 10);
         }
+    }
+
+    #[test]
+    fn purge_clears_everything_without_counting_invalidations() {
+        let mut s = store();
+        s.try_log(Time::ZERO, hdr(1), payload(10), Addr(9), 51000, 51000);
+        s.try_log(Time::ZERO, hdr(2), payload(10), Addr(9), 51000, 51000);
+        assert_eq!(s.purge(), 2);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.used_bytes(), 0);
+        assert!(!s.has_outstanding(Addr(9), Addr(1), 1));
+        assert_eq!(s.counters().invalidated, 0, "purge is not invalidation");
+        assert_eq!(s.counters().logged, 2);
     }
 
     #[test]

@@ -62,6 +62,32 @@ pub enum PacketType {
     /// ACK. The server's recovery barrier waits for one of these from
     /// every registered device.
     RecoveryDone = 9,
+    /// Chained replication (sharded fabric): the backup device confirms to
+    /// its shard primary that an update is persisted in the backup's log.
+    /// The primary withholds the client's PMNet-ACK until its own persist
+    /// *and* this confirmation have both arrived, so a client-acked update
+    /// is always durable on two devices.
+    ChainAck = 10,
+    /// Periodic liveness beacon from a fabric device to the server's
+    /// failover driver. `seq` carries the sender's fabric epoch.
+    Heartbeat = 11,
+    /// Fences a failed (or zombie) device out of the fabric: the receiver
+    /// wipes its log, stops heartbeating/acking, and degrades to a pure
+    /// forwarder. `seq` carries the fabric epoch. Idempotent.
+    Fence = 12,
+    /// Role change after a failover, interpreted by the receiver's current
+    /// role: a backup becomes the shard's solo head; a primary that lost
+    /// its backup becomes solo and releases withheld ACKs. `seq` carries
+    /// the fabric epoch; stale or repeated deliveries are ignored.
+    Promote = 13,
+    /// Fabric epoch bump broadcast to clients: an outstanding update should
+    /// be retransmitted immediately so it reaches the re-homed shard.
+    /// `seq` carries the fabric epoch.
+    EpochNotify = 14,
+    /// New steering entry for a fabric switch: the payload encodes
+    /// `(shard, head, tail)`, `seq` carries the fabric epoch. Consumed by
+    /// the switch it is addressed to; never forwarded.
+    ShardMapUpdate = 15,
 }
 
 impl PacketType {
@@ -76,6 +102,12 @@ impl PacketType {
             7 => PacketType::AppReply,
             8 => PacketType::RecoveryPoll,
             9 => PacketType::RecoveryDone,
+            10 => PacketType::ChainAck,
+            11 => PacketType::Heartbeat,
+            12 => PacketType::Fence,
+            13 => PacketType::Promote,
+            14 => PacketType::EpochNotify,
+            15 => PacketType::ShardMapUpdate,
             _ => return None,
         })
     }
@@ -309,7 +341,7 @@ mod tests {
     fn short_or_garbage_bodies_decode_to_none() {
         assert!(PmnetHeader::decode(&Bytes::from_static(b"tiny")).is_none());
         let mut bad = sample().encode(b"").to_vec();
-        bad[0] = 0x0F; // unknown type
+        bad[0] = 0x00; // type 0 is not assigned
         assert!(PmnetHeader::decode(&Bytes::from(bad)).is_none());
     }
 
@@ -363,6 +395,30 @@ mod tests {
         let (h2, _) = PmnetHeader::decode(&body).unwrap();
         assert_eq!(h2.ptype, PacketType::RecoveryDone);
         assert_eq!(h2.client, Addr(100));
+    }
+
+    #[test]
+    fn fabric_control_types_round_trip_with_flags() {
+        for ptype in [
+            PacketType::ChainAck,
+            PacketType::Heartbeat,
+            PacketType::Fence,
+            PacketType::Promote,
+            PacketType::EpochNotify,
+            PacketType::ShardMapUpdate,
+        ] {
+            let h = PmnetHeader::request(ptype, 3, 17, Addr(2001), Addr(1000), 0, 1);
+            let body = h.encode(b"");
+            let (h2, _) = PmnetHeader::decode(&body).unwrap();
+            assert_eq!(h2.ptype, ptype);
+            assert_eq!(h2.seq, 17, "fabric epoch rides in seq");
+            // The high nibble stays flag space even for type 15.
+            let mut flagged = h;
+            flagged.flags = FLAG_REDO;
+            let (h3, _) = PmnetHeader::decode(&flagged.encode(b"")).unwrap();
+            assert_eq!(h3.ptype, ptype);
+            assert!(h3.is_redo());
+        }
     }
 
     #[test]

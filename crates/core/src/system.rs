@@ -15,10 +15,15 @@
 //! ServerLog(r)  : Client-Server, primary logs at kernel + (r−1) replica
 //!                 logger-servers on the ToR
 //! ClientLog(r)  : Client-Server + (r−1) peer loggers on the merge switch
+//! Sharded(n)    : clients ── merge-fabric ──╥ P_i ══ B_i ╥── tor-fabric ── server
+//!                 (n chains; merge steers updates to shard heads, tor
+//!                 steers replies through shard tails; n = 1 degenerates
+//!                 to PMNet-Switch exactly)
 //! ```
 
 use bytes::Bytes;
-use pmnet_net::{Addr, Switch, World};
+use pmnet_net::topology::{validate_shards, ShardSpec};
+use pmnet_net::{Addr, FabricSwitch, PortNo, Switch, World};
 use pmnet_sim::stats::{CounterSet, LatencyHistogram};
 use pmnet_sim::{Dur, NodeId, SimRng, Time};
 use pmnet_telemetry::registry::Registry;
@@ -29,8 +34,16 @@ use crate::client::{
     AppRequest, ClientLib, ClientMode, ClientRetryCounters, RequestKind, RequestSource,
 };
 use crate::config::SystemConfig;
-use crate::device::PmnetDevice;
+use crate::device::{DeviceFabric, DeviceRole, PmnetDevice};
+use crate::fabric::{FabricMap, FabricSteering, ShardChain, SteerSide};
 use crate::server::{IdealHandler, RequestHandler, ServerLib};
+
+/// How often a sharded chain member beacons its liveness.
+const FABRIC_HEARTBEAT_INTERVAL: Dur = Dur::micros(100);
+/// Silence past this long declares a chain member fail-stop.
+const FABRIC_HEARTBEAT_TIMEOUT: Dur = Dur::micros(400);
+/// The coordinator's watchdog sweep period.
+const FABRIC_CHECK_INTERVAL: Dur = Dur::micros(100);
 
 /// The evaluated system designs (Sections VI-A4 and VI-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +77,15 @@ pub enum DesignPoint {
         /// Total logger copies (local + peers).
         replicas: u8,
     },
+    /// A sharded PMNet fabric: the client/session space is consistent-hash
+    /// partitioned across `shards` device chains (primary + chained
+    /// backup each), with heartbeat-driven failover that never loses a
+    /// client-acked update. `shards = 1` takes the PMNet-Switch code path
+    /// literally — same topology, same RNG draws, same digests.
+    PmnetSharded {
+        /// Number of shards (each a primary/backup device chain).
+        shards: u8,
+    },
 }
 
 /// Addresses used by the standard topologies.
@@ -80,6 +102,13 @@ pub mod addrs {
     pub const REPLICA_BASE: u32 = 3000;
     /// First peer logger.
     pub const PEER_BASE: u32 = 4000;
+    /// First shard backup device; shard `i`'s backup is
+    /// `SHARD_BACKUP_BASE + i` (its primary is `DEVICE_BASE + i`).
+    pub const SHARD_BACKUP_BASE: u32 = 2100;
+    /// The client-side fabric switch (sharded designs).
+    pub const MERGE_SWITCH: Addr = Addr(5000);
+    /// The server-side fabric switch (sharded designs).
+    pub const TOR_SWITCH: Addr = Addr(5001);
 
     /// The address of client `i`.
     pub fn client(i: usize) -> Addr {
@@ -106,6 +135,11 @@ pub struct BuiltSystem {
     /// order; consecutive pairs are the links on the client→server path.
     /// Fault injectors (see `pmnet-chaos`) use this to aim link faults.
     pub path: Vec<NodeId>,
+    /// Nodes beyond the clients that need a kick-off signal (the sharded
+    /// fabric's coordinator and its heartbeat-bearing devices). Empty for
+    /// the classic designs, whose event streams — and therefore golden
+    /// digests — must stay byte-stable.
+    pub start_nodes: Vec<NodeId>,
 }
 
 /// Builds systems for a design point.
@@ -186,6 +220,9 @@ impl SystemBuilder {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => {
                 ClientMode::Pmnet { needed_acks: 1 }
             }
+            // One ack completes: the primary only acks once the chain has
+            // the update durably twice, and a server ack is stronger still.
+            DesignPoint::PmnetSharded { .. } => ClientMode::Pmnet { needed_acks: 1 },
             DesignPoint::PmnetReplicated { devices } => ClientMode::Pmnet {
                 needed_acks: devices,
             },
@@ -216,6 +253,39 @@ impl SystemBuilder {
         if let Err(e) = self.config.validate() {
             panic!("invalid SystemConfig: {e}");
         }
+        // A single-shard fabric is *literally* the PMNet-Switch design:
+        // same topology, same node order, same RNG draws. The golden
+        // digests hold by construction, not by coincidence.
+        if let DesignPoint::PmnetSharded { shards } = self.design {
+            assert!(shards >= 1, "a sharded fabric needs at least one shard");
+            if shards == 1 {
+                self.design = DesignPoint::PmnetSwitch;
+            }
+        }
+        let shard_chains: Vec<ShardChain> = match self.design {
+            DesignPoint::PmnetSharded { shards } => (0..u32::from(shards))
+                .map(|i| ShardChain {
+                    primary: Addr(addrs::DEVICE_BASE + i),
+                    backup: Some(Addr(addrs::SHARD_BACKUP_BASE + i)),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        if !shard_chains.is_empty() {
+            let specs: Vec<ShardSpec> = shard_chains
+                .iter()
+                .map(|c| {
+                    let mut devs = vec![c.primary];
+                    devs.extend(c.backup);
+                    ShardSpec::chain(devs)
+                })
+                .collect();
+            let mut reserved = vec![addrs::SERVER, addrs::MERGE_SWITCH, addrs::TOR_SWITCH];
+            reserved.extend((0..self.sources.len()).map(addrs::client));
+            if let Err(e) = validate_shards(&specs, &reserved) {
+                panic!("invalid shard topology: {e}");
+            }
+        }
         let cfg = self.config;
         let mode = self.client_mode();
         let mut world = World::new(seed);
@@ -244,11 +314,21 @@ impl SystemBuilder {
         let device_count = match self.design {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetNic => 1,
             DesignPoint::PmnetReplicated { devices } => usize::from(devices),
+            DesignPoint::PmnetSharded { shards } => 2 * usize::from(shards),
             _ => 0,
         };
-        let device_addrs: Vec<Addr> = (0..device_count)
-            .map(|i| Addr(addrs::DEVICE_BASE + i as u32))
-            .collect();
+        let device_addrs: Vec<Addr> = if shard_chains.is_empty() {
+            (0..device_count)
+                .map(|i| Addr(addrs::DEVICE_BASE + i as u32))
+                .collect()
+        } else {
+            // Shard order, primary before backup — matches
+            // `FabricMap::live_members` on the fresh fabric.
+            shard_chains
+                .iter()
+                .flat_map(|c| [c.primary].into_iter().chain(c.backup))
+                .collect()
+        };
 
         // Server(s).
         let mut replicas = Vec::new();
@@ -281,6 +361,16 @@ impl SystemBuilder {
                     };
                     s = s.with_early_log(100, first);
                 }
+                DesignPoint::PmnetSharded { .. } => {
+                    s = s.with_fabric(
+                        FabricMap::new(shard_chains.clone()),
+                        addrs::MERGE_SWITCH,
+                        addrs::TOR_SWITCH,
+                        (0..clients.len()).map(addrs::client).collect(),
+                        FABRIC_HEARTBEAT_TIMEOUT,
+                        FABRIC_CHECK_INTERVAL,
+                    );
+                }
                 _ => {}
             }
             if let Some(f) = self.map_server.take() {
@@ -289,8 +379,22 @@ impl SystemBuilder {
             world.add_node(Box::new(s))
         };
 
-        // The merge switch in front of the clients (Section VI-A1).
-        let merge = world.add_node(Box::new(Switch::new("merge")));
+        // The merge switch in front of the clients (Section VI-A1). For a
+        // sharded fabric it is a steering switch: updates detour to their
+        // shard's chain head.
+        let merge = if shard_chains.is_empty() {
+            world.add_node(Box::new(Switch::new("merge")))
+        } else {
+            world.add_node(Box::new(
+                FabricSwitch::new("merge")
+                    .with_addr(addrs::MERGE_SWITCH)
+                    .with_steering(Box::new(FabricSteering::new(
+                        SteerSide::Merge,
+                        addrs::SERVER,
+                        &shard_chains,
+                    ))),
+            ))
+        };
         for &c in &clients {
             world.connect(c, merge, cfg.link);
         }
@@ -298,6 +402,10 @@ impl SystemBuilder {
         // The path from merge switch to server, per design.
         let mut devices = Vec::new();
         let mut path = vec![merge];
+        let mut start_nodes = Vec::new();
+        // Route overrides applied after `populate_switch_routes` (BFS
+        // prefers the bypass links; chain routing must win over them).
+        let mut route_overrides: Vec<(NodeId, Addr, PortNo)> = Vec::new();
         match self.design {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetReplicated { .. } => {
                 let mut prev = merge;
@@ -329,6 +437,78 @@ impl SystemBuilder {
                 world.connect(dev, server, cfg.link);
                 devices.push(dev);
                 path.extend([tor, dev, server]);
+            }
+            DesignPoint::PmnetSharded { shards } => {
+                // Server-side steering switch: replies and invalidations
+                // detour through the shard's chain tail.
+                let tor = world.add_node(Box::new(
+                    FabricSwitch::new("tor")
+                        .with_addr(addrs::TOR_SWITCH)
+                        .with_steering(Box::new(FabricSteering::new(
+                            SteerSide::Tor,
+                            addrs::SERVER,
+                            &shard_chains,
+                        ))),
+                ));
+                // Direct merge—tor backbone: control packets and unsteered
+                // traffic never depend on any one chain being alive.
+                world.connect(merge, tor, cfg.link);
+                let devcfg = cfg.device.with_heartbeat(FABRIC_HEARTBEAT_INTERVAL);
+                for (i, chain) in shard_chains.iter().enumerate() {
+                    let p_addr = chain.primary;
+                    let b_addr = chain.backup.expect("sharded chains are replicated");
+                    let p = world.add_node(Box::new(PmnetDevice::new(
+                        format!("pmnet-p{i}"),
+                        1 + i as u8,
+                        p_addr,
+                        devcfg,
+                    )));
+                    let b = world.add_node(Box::new(PmnetDevice::new(
+                        format!("pmnet-b{i}"),
+                        101 + i as u8,
+                        b_addr,
+                        devcfg,
+                    )));
+                    // Five links per shard: the chain itself, both members'
+                    // ingress from the merge (the backup's is the promote
+                    // bypass), and both members' egress to the tor (the
+                    // primary's doubles as its heartbeat/demote bypass).
+                    let (p_merge, _) = world.connect(p, merge, cfg.link);
+                    let (p_chain, b_chain) = world.connect(p, b, cfg.link);
+                    let (p_tor, _) = world.connect(p, tor, cfg.link);
+                    let (b_merge, _) = world.connect(b, merge, cfg.link);
+                    let (b_tor, _) = world.connect(b, tor, cfg.link);
+                    world.node_mut::<PmnetDevice>(p).set_fabric(DeviceFabric {
+                        role: DeviceRole::Primary,
+                        chain_peer: Some(b_addr),
+                        chain_port: Some(p_chain),
+                        merge_port: Some(p_merge),
+                        tor_port: Some(p_tor),
+                        server: addrs::SERVER,
+                    });
+                    world.node_mut::<PmnetDevice>(b).set_fabric(DeviceFabric {
+                        role: DeviceRole::Backup,
+                        chain_peer: Some(p_addr),
+                        chain_port: Some(b_chain),
+                        merge_port: Some(b_merge),
+                        tor_port: Some(b_tor),
+                        server: addrs::SERVER,
+                    });
+                    // BFS routing prefers the 2-hop bypass links; chain
+                    // routing must win so both logs see every update and
+                    // every invalidation. Promote flips these back.
+                    route_overrides.push((p, addrs::SERVER, p_chain));
+                    for j in 0..clients.len() {
+                        route_overrides.push((b, addrs::client(j), b_chain));
+                    }
+                    devices.push(p);
+                    devices.push(b);
+                }
+                world.connect(tor, server, cfg.link);
+                path.extend([tor, server]);
+                let _ = shards;
+                start_nodes.push(server);
+                start_nodes.extend(devices.iter().copied());
             }
             DesignPoint::ClientServer
             | DesignPoint::ClientServerReplicated { .. }
@@ -396,6 +576,9 @@ impl SystemBuilder {
         }
 
         world.populate_switch_routes();
+        for (node, dst, port) in route_overrides {
+            self::install_device_route(&mut world, node, dst, port);
+        }
         BuiltSystem {
             world,
             clients,
@@ -404,8 +587,16 @@ impl SystemBuilder {
             replicas,
             merge,
             path,
+            start_nodes,
         }
     }
+}
+
+/// Overrides one forwarding entry on an already-wired PMNet device (used
+/// for the chain-routing overrides the BFS tables cannot express).
+fn install_device_route(world: &mut World, node: NodeId, dst: Addr, port: PortNo) {
+    use pmnet_net::Node as _;
+    world.node_mut::<PmnetDevice>(node).install_route(dst, port);
 }
 
 /// Aggregated results of one run.
@@ -430,6 +621,12 @@ pub struct RunMetrics {
 impl BuiltSystem {
     /// Starts every client and runs until all finish or `deadline` passes.
     pub fn run_clients(&mut self, deadline: Dur) {
+        // Fabric designs also start the coordinator and devices (arming
+        // heartbeats and the watchdog); empty for classic designs so their
+        // event streams stay byte-identical to the seed.
+        for &n in &self.start_nodes.clone() {
+            self.world.start_node(n);
+        }
         for &c in &self.clients.clone() {
             self.world.start_node(c);
         }
@@ -516,11 +713,20 @@ impl BuiltSystem {
 
     /// Log entries still staged across every device. A converged system
     /// drains to zero: each entry is either invalidated by a server-ACK on
-    /// the fast path or confirmed by a redo ack during recovery.
+    /// the fast path or confirmed by a redo ack during recovery. Fenced
+    /// and fail-stopped devices are excluded — their entries are retired
+    /// with them (the surviving chain member re-drove every acked update).
     pub fn stranded_log_entries(&self) -> usize {
         self.devices
             .iter()
-            .map(|&d| self.world.node::<PmnetDevice>(d).log_len())
+            .map(|&d| {
+                let dev = self.world.node::<PmnetDevice>(d);
+                if dev.is_fenced() || !dev.is_alive() {
+                    0
+                } else {
+                    dev.log_len()
+                }
+            })
             .sum()
     }
 
@@ -576,6 +782,12 @@ impl BuiltSystem {
         registry.record_group("server", &server.counters());
         if let Some(rec) = server.recovery() {
             registry.record_group("recovery", &rec);
+        }
+        // One group per shard so flight-recorder timelines show exactly
+        // which shard fenced, promoted, and re-homed. Empty (and therefore
+        // digest-invisible) outside sharded designs.
+        for (i, shard) in server.fabric_shard_counters().iter().enumerate() {
+            registry.record_group(&format!("fabric.shard{i}"), shard);
         }
     }
 
@@ -743,10 +955,85 @@ mod tests {
             DesignPoint::ServerSideLog { replicas: 3 },
             DesignPoint::ClientSideLog { replicas: 1 },
             DesignPoint::ClientSideLog { replicas: 3 },
+            DesignPoint::PmnetSharded { shards: 1 },
+            DesignPoint::PmnetSharded { shards: 2 },
+            DesignPoint::PmnetSharded { shards: 3 },
         ] {
             let m = quick(design);
             assert_eq!(m.completed, 100, "{design:?}");
         }
+    }
+
+    #[test]
+    fn single_shard_fabric_is_bit_identical_to_pmnet_switch() {
+        // Not "close": the builder rewrites shards=1 to PmnetSwitch before
+        // any node or RNG draw exists, so every metric matches exactly.
+        let sw = quick(DesignPoint::PmnetSwitch);
+        let sh = quick(DesignPoint::PmnetSharded { shards: 1 });
+        assert_eq!(sw.completed, sh.completed);
+        assert_eq!(sw.latency.mean(), sh.latency.mean());
+        assert_eq!(sw.client_retries, sh.client_retries);
+        assert_eq!(sw.end, sh.end);
+    }
+
+    #[test]
+    fn sharded_fabric_chains_withhold_no_acked_update() {
+        let mut b = SystemBuilder::new(
+            DesignPoint::PmnetSharded { shards: 2 },
+            SystemConfig::default(),
+        );
+        for _ in 0..4 {
+            b = b.client(Box::new(MicroSource::updates(50, 100)));
+        }
+        let mut sys = b.build(11);
+        sys.run_clients(Dur::secs(1));
+        let m = sys.metrics();
+        assert_eq!(m.completed, 4 * 50);
+        // Every acked update reached the server, in order, exactly once.
+        let acked = sys.acked_updates();
+        let server = sys.world.node::<ServerLib>(sys.server);
+        crate::audit::verify(server.audit_log(), &acked).expect("audit");
+        assert_eq!(sys.stranded_log_entries(), 0);
+    }
+
+    #[test]
+    fn killing_a_primary_mid_run_loses_no_acked_update() {
+        let mut b = SystemBuilder::new(
+            DesignPoint::PmnetSharded { shards: 2 },
+            SystemConfig::default(),
+        );
+        for _ in 0..4 {
+            b = b.client(Box::new(MicroSource::updates(60, 100)));
+        }
+        let mut sys = b.build(23);
+        // Fail-stop shard 0's primary mid-traffic; the fabric must fence
+        // it, promote the backup, and re-drive everything it was holding.
+        let p0 = sys.devices[0];
+        sys.world
+            .schedule_crash(p0, Time::ZERO + Dur::millis(1), None);
+        sys.run_clients(Dur::secs(1));
+        let m = sys.metrics();
+        assert_eq!(m.completed, 4 * 60, "clients wedged after failover");
+        let server = sys.world.node::<ServerLib>(sys.server);
+        assert_eq!(
+            server.recovery_pending(),
+            0,
+            "failover barrier never closed"
+        );
+        let fabric = server.fabric_map().expect("sharded design");
+        assert_eq!(fabric.epoch(), 1, "exactly one reconfiguration");
+        assert!(fabric.is_retired(Addr(addrs::DEVICE_BASE)));
+        let counters = server.fabric_shard_counters();
+        assert_eq!(counters[0].failovers, 1);
+        assert!(counters[0].fences_sent >= 1);
+        assert!(counters[0].promotes_sent >= 1);
+        assert_eq!(counters[1].failovers, 0, "healthy shard reconfigured");
+        let acked = sys.acked_updates();
+        let server = sys.world.node::<ServerLib>(sys.server);
+        if let Err(violations) = crate::audit::verify(server.audit_log(), &acked) {
+            panic!("acked updates lost in failover: {violations:?}");
+        }
+        assert_eq!(sys.stranded_log_entries(), 0);
     }
 
     #[test]

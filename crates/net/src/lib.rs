@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+mod fabric;
 mod packet;
 mod port;
 mod runtime;
@@ -48,6 +49,7 @@ mod switch;
 pub mod topology;
 
 pub use addr::Addr;
+pub use fabric::{FabricSwitch, Steering};
 pub use packet::{Packet, Proto, ETH_IP_UDP_OVERHEAD, TCP_EXTRA_OVERHEAD};
 pub use port::{LinkSpec, PortCounters, PortNo, PortTable};
 pub use runtime::{AnyNode, Ctx, EchoHost, Msg, Node, Timer, World};

@@ -7,7 +7,9 @@
 //! re-run with `--nocapture`, confirm the shift is expected, and update
 //! the constants — the diff then documents that behaviour moved.
 
-use pmnet::chaos::run_lossy_recovery_campaign;
+use pmnet::chaos::{
+    run_campaign, run_failover_campaign, run_lossy_recovery_campaign, CampaignConfig,
+};
 use pmnet::core::system::DesignPoint;
 use pmnet::sim::Dur;
 
@@ -24,6 +26,12 @@ const LOSSY_RECOVERY_DIGEST: u64 = 0xcb7a_9acf_b7f0_a13b;
 /// p99 is now reported as the bucket upper edge (≤1.6% quantization),
 /// while means and throughput are tracked exactly and did not move.
 const FIG16_STRESS_DIGEST: u64 = 0x5f31_4538_d82b_5992;
+
+/// Seed-77 failover campaign, 5 plans x 2 sharded designs. Covers the
+/// chained-replica fabric end to end: heartbeat timeout, fencing, backup
+/// promotion, shard re-homing, staged-log replay through the recovery
+/// barrier, and client re-steering.
+const FAILOVER_CAMPAIGN_DIGEST: u64 = 0xf37a_2ad4_7e32_24c3;
 
 fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -44,6 +52,41 @@ fn lossy_recovery_campaign_digest_is_pinned() {
          (got {:#018x}); if intentional, update the golden constant",
         outcome.digest
     );
+}
+
+#[test]
+fn failover_campaign_digest_is_pinned() {
+    let outcome = run_failover_campaign(77, 5);
+    assert_eq!(outcome.failure_count(), 0, "campaign must converge");
+    assert_eq!(
+        outcome.digest, FAILOVER_CAMPAIGN_DIGEST,
+        "seed-77 failover digest moved: fabric behaviour changed \
+         (got {:#018x}); if intentional, update the golden constant",
+        outcome.digest
+    );
+}
+
+#[test]
+fn single_shard_fabric_campaign_is_bit_identical_to_pmnet_switch() {
+    // `PmnetSharded { shards: 1 }` is rewritten to `PmnetSwitch` inside
+    // the builder before any node or RNG draw exists, so a whole chaos
+    // campaign — plans, verdicts, digest — matches the switch design bit
+    // for bit. This is the guard that sharding stays strictly additive:
+    // the single-device data path is byte-identical to the seed's.
+    let base = CampaignConfig {
+        seed: 9,
+        plans_per_design: 3,
+        ..CampaignConfig::default()
+    };
+    let switch = run_campaign(&CampaignConfig {
+        designs: vec![DesignPoint::PmnetSwitch],
+        ..base.clone()
+    });
+    let sharded = run_campaign(&CampaignConfig {
+        designs: vec![DesignPoint::PmnetSharded { shards: 1 }],
+        ..base
+    });
+    assert_eq!(switch.digest, sharded.digest);
 }
 
 #[test]
