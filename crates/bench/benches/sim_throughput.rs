@@ -11,10 +11,16 @@
 //! 2. **Codec** — encode/decode round trips of [`KvFrame`] inside
 //!    [`PmnetHeader`] payloads, with allocations-per-frame from the
 //!    counting allocator (the pooled zero-copy path should hold this near
-//!    zero in steady state).
-//! 3. **Campaign** — the lossy-recovery chaos campaign end to end
+//!    zero in steady state). A second loop pushes the same frames through
+//!    the doorbell batch framing (`BatchBuilder`/`BatchFrames`) to price
+//!    the coalesced wire format.
+//! 3. **E2E** — wall-clock operations per second of the full simulated
+//!    system (clients, switch device, server) at batch window 1 and 16,
+//!    so a regression anywhere in the stack shows up even if the codec
+//!    microbenchmark stays flat.
+//! 4. **Campaign** — the lossy-recovery chaos campaign end to end
 //!    (seed 77, the determinism-pinned workload), reporting wall-clock.
-//! 4. **Fabric** — saturation throughput of the sharded chained-replica
+//! 5. **Fabric** — saturation throughput of the sharded chained-replica
 //!    fabric at 1, 2 and 4 shards (simulated Gbps, so deterministic and
 //!    gated inline rather than via `--check`): two replicated chains must
 //!    hold near parity with the one unreplicated device they replace, and
@@ -30,8 +36,11 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use bytes::Bytes;
+use pmnet_core::batch::{BatchBuilder, BatchFrames};
+use pmnet_core::config::{BatchConfig, SystemConfig};
 use pmnet_core::kvproto::KvFrame;
 use pmnet_core::protocol::{PacketType, PmnetHeader};
+use pmnet_core::system::{DesignPoint, MicroSource, SystemBuilder};
 use pmnet_net::Addr;
 use pmnet_sim::meter::{CountingAlloc, Meter};
 use pmnet_sim::{Dur, Engine, NodeId, SimRng, Time};
@@ -158,6 +167,80 @@ fn codec_loop(iters: u64) -> (f64, f64) {
     (r.events_per_sec, r.allocs_per_event)
 }
 
+/// The same frames pushed through the doorbell batch framing: `window`
+/// frames packed per [`BatchBuilder`], decoded back out through
+/// [`BatchFrames`] with the zero-copy payload slices. Returns
+/// (frames/sec, allocs/frame) counted over *frames*, not batches.
+fn codec_batched_loop(iters: u64, window: u64) -> (f64, f64) {
+    let key = Bytes::from_static(b"bench-key-0123456789");
+    let value = Bytes::from(vec![0xA5u8; 512]);
+    let per_frame = 20 + 2 + key.len() + value.len() + 64;
+    let m = Meter::start();
+    let mut sink = 0u64;
+    let mut frames_done = 0u64;
+    while frames_done < iters {
+        let mut builder = BatchBuilder::with_capacity(window as usize * per_frame);
+        for i in 0..window {
+            let frame = KvFrame::Set {
+                key: key.clone(),
+                value: value.clone(),
+            };
+            let body = frame.encode();
+            let seq = frames_done + i;
+            let hdr = PmnetHeader::request(
+                PacketType::UpdateReq,
+                (seq & 0xFFFF) as u16,
+                seq as u32,
+                Addr(1),
+                Addr(2),
+                0,
+                1,
+            )
+            .with_payload(&body);
+            builder.push(&hdr, &body);
+        }
+        let wire = builder.finish();
+        let batch = BatchFrames::decode(&wire).expect("self-encoded batch");
+        for (h, body) in batch {
+            let decoded = KvFrame::decode(&body).expect("self-encoded frame");
+            if let KvFrame::Set { value, .. } = &decoded {
+                sink = sink.wrapping_add(u64::from(value[0])) + u64::from(h.seq);
+            }
+            frames_done += 1;
+        }
+    }
+    std::hint::black_box(sink);
+    let r = m.finish(frames_done);
+    (r.events_per_sec, r.allocs_per_event)
+}
+
+/// Wall-clock end-to-end throughput: the full simulated system (closed-
+/// loop clients, PMNet switch device, server) run to completion, scored
+/// as completed client operations per host second. This prices the whole
+/// stack — event loop, codec, device, server — so a regression anywhere
+/// moves it even when the codec microbenchmark stays flat.
+fn e2e_ops_per_sec(clients: usize, updates_per_client: usize, window: u32) -> f64 {
+    let cfg = SystemConfig {
+        batch: BatchConfig::windowed(window),
+        ..SystemConfig::default()
+    };
+    let mut b = SystemBuilder::new(DesignPoint::PmnetSwitch, cfg);
+    for _ in 0..clients {
+        b = b.client(Box::new(MicroSource::updates(updates_per_client, 512)));
+    }
+    let mut sys = b.build(7);
+    let t0 = Instant::now();
+    sys.run_clients(Dur::secs(120));
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let m = sys.metrics();
+    assert_eq!(
+        m.completed,
+        clients * updates_per_client,
+        "e2e benchmark workload must finish (window {window})"
+    );
+    m.completed as f64 / wall
+}
+
 fn campaign_wall_ms(plans: usize) -> (u128, u64) {
     let t0 = Instant::now();
     let out = pmnet_chaos::run_lossy_recovery_campaign(77, plans);
@@ -170,7 +253,6 @@ fn campaign_wall_ms(plans: usize) -> (u128, u64) {
 /// *is* the saturation point — a single client count would under-read
 /// whichever design it doesn't suit.
 fn fabric_saturation(shards: u8) -> f64 {
-    use pmnet_core::system::DesignPoint;
     let design = DesignPoint::PmnetSharded { shards };
     let mut best = 0.0f64;
     for clients in [32usize, 40, 48, 56, 64] {
@@ -212,6 +294,7 @@ fn main() {
     } else {
         (65_536, 2_000_000u64, 500_000u64, 200)
     };
+    let (e2e_clients, e2e_updates) = if fast { (8, 150) } else { (16, 400) };
 
     eprintln!("sim_throughput: event-list churn (hold={hold}, iters={iters})");
     let mut rng = SimRng::seed(42);
@@ -228,8 +311,22 @@ fn main() {
     );
 
     eprintln!("sim_throughput: codec round trips (iters={codec_iters})");
+    codec_loop(codec_iters / 10); // warm the buffer pools
     let (frames_ps, allocs_pf) = codec_loop(codec_iters);
     eprintln!("  {frames_ps:.0} frames/s, {allocs_pf:.3} allocs/frame");
+
+    eprintln!("sim_throughput: batched codec round trips (iters={codec_iters}, window=16)");
+    codec_batched_loop(codec_iters / 10, 16);
+    let (frames_ps_batched, allocs_pf_batched) = codec_batched_loop(codec_iters, 16);
+    eprintln!("  {frames_ps_batched:.0} frames/s, {allocs_pf_batched:.3} allocs/frame");
+
+    eprintln!(
+        "sim_throughput: e2e system run ({e2e_clients} clients x {e2e_updates} updates, \
+         windows 1 and 16)"
+    );
+    let e2e_ops = e2e_ops_per_sec(e2e_clients, e2e_updates, 1);
+    let e2e_ops_batched = e2e_ops_per_sec(e2e_clients, e2e_updates, 16);
+    eprintln!("  window 1: {e2e_ops:.0} ops/s  window 16: {e2e_ops_batched:.0} ops/s");
 
     eprintln!("sim_throughput: lossy-recovery campaign (seed 77, {plans} plans)");
     let (wall_ms, digest) = campaign_wall_ms(plans);
@@ -262,7 +359,7 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }},\n  \"fabric\": {{\n    \"sat_gbps_1_shard\": {sat1:.3},\n    \"sat_gbps_2_shards\": {sat2:.3},\n    \"sat_gbps_4_shards\": {sat4:.3},\n    \"scaling_4_vs_1\": {ratio41:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4},\n    \"frames_per_sec_batched\": {frames_ps_batched:.1},\n    \"allocs_per_frame_batched\": {allocs_pf_batched:.4}\n  }},\n  \"e2e\": {{\n    \"clients\": {e2e_clients},\n    \"updates_per_client\": {e2e_updates},\n    \"ops_per_sec\": {e2e_ops:.1},\n    \"ops_per_sec_batched\": {e2e_ops_batched:.1}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }},\n  \"fabric\": {{\n    \"sat_gbps_1_shard\": {sat1:.3},\n    \"sat_gbps_2_shards\": {sat2:.3},\n    \"sat_gbps_4_shards\": {sat4:.3},\n    \"scaling_4_vs_1\": {ratio41:.3}\n  }}\n}}\n",
         ratio41 = sat4 / sat1,
         mode = if fast { "fast" } else { "full" },
     );
@@ -286,8 +383,48 @@ fn main() {
         // The absolute gate catches same-machine regressions; the
         // heap-normalized gate rescues runs on slower hardware (both
         // engines scale down together unless the wheel itself regressed).
+        let mut failed = false;
         if eps_ratio < 0.80 && speedup_ratio < 0.80 {
             eprintln!("sim_throughput: FAIL — events/sec regressed more than 20%");
+            failed = true;
+        }
+        // Throughput gates for the codec and end-to-end regions use the
+        // event-list ratio as the machine-speed proxy: a slower box drags
+        // every region down together, a real regression moves one region
+        // while the proxy holds. Baselines predating a field skip its
+        // gate, so the check stays usable across baseline generations.
+        for (field, fresh) in [
+            ("frames_per_sec", frames_ps),
+            ("frames_per_sec_batched", frames_ps_batched),
+            ("ops_per_sec", e2e_ops),
+            ("ops_per_sec_batched", e2e_ops_batched),
+        ] {
+            let Some(base) = json_number(&baseline, field) else {
+                eprintln!("sim_throughput: baseline has no {field}; skipping gate");
+                continue;
+            };
+            let ratio = fresh / base;
+            eprintln!(
+                "sim_throughput: check {field}: {:.1}% of baseline",
+                ratio * 100.0
+            );
+            if ratio < 0.80 && ratio / eps_ratio.min(1.0) < 0.80 {
+                eprintln!("sim_throughput: FAIL — {field} regressed more than 20%");
+                failed = true;
+            }
+        }
+        // Allocations per frame are near-deterministic, so this is an
+        // absolute bound rather than a ratio.
+        if let Some(base) = json_number(&baseline, "allocs_per_frame") {
+            if allocs_pf > base + 0.1 {
+                eprintln!(
+                    "sim_throughput: FAIL — allocs/frame rose to {allocs_pf:.3} \
+                     (baseline {base:.3})"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

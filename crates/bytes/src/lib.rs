@@ -8,10 +8,12 @@
 //! characteristics are preserved: clones and slices are refcount bumps, and
 //! [`BytesMut::freeze`] hands its allocation over without copying.
 //!
-//! Beyond the upstream API, builders draw their backing `Vec` from a
+//! Beyond the upstream API, builders draw their backing storage from a
 //! thread-local pool that is refilled when the last `Bytes` handle to an
-//! allocation drops. On the simulator hot path (one header encode per hop)
-//! this makes the steady-state encode path allocation-free.
+//! allocation drops. The pool holds whole `Arc<Vec<u8>>` handles — not bare
+//! `Vec`s — so a recycled builder's `freeze()` reuses the Arc header as well
+//! as the byte storage: the steady-state encode → freeze → drop cycle
+//! performs zero heap allocations.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -24,23 +26,28 @@ const POOL_MAX_CAP: usize = 16 * 1024;
 const POOL_MAX_LEN: usize = 128;
 
 thread_local! {
-    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static BUF_POOL: RefCell<Vec<Arc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Takes a pooled buffer with at least `cap` capacity, or allocates one.
-fn pool_take(cap: usize) -> Vec<u8> {
+/// Takes a pooled buffer handle with at least `cap` capacity, or allocates
+/// one. The returned Arc is always uniquely owned.
+fn pool_take(cap: usize) -> Arc<Vec<u8>> {
     BUF_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         if let Some(pos) = pool.iter().rposition(|b| b.capacity() >= cap) {
             return pool.swap_remove(pos);
         }
         drop(pool);
-        Vec::with_capacity(cap)
+        Arc::new(Vec::with_capacity(cap))
     })
 }
 
-/// Returns a buffer to the pool if it is worth keeping.
-fn pool_put(mut buf: Vec<u8>) {
+/// Returns a buffer handle to the pool if this was the last reference and
+/// the allocation is worth keeping.
+fn pool_put(mut arc: Arc<Vec<u8>>) {
+    let Some(buf) = Arc::get_mut(&mut arc) else {
+        return; // still shared: other handles keep the storage alive
+    };
     if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAP {
         return;
     }
@@ -48,7 +55,7 @@ fn pool_put(mut buf: Vec<u8>) {
     BUF_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         if pool.len() < POOL_MAX_LEN {
-            pool.push(buf);
+            pool.push(arc);
         }
     });
 }
@@ -90,11 +97,11 @@ impl Bytes {
         }
     }
 
-    /// Copies a slice into a new buffer.
+    /// Copies a slice into a new buffer (pooled storage when available).
     pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
-        let mut buf = pool_take(bytes.len());
-        buf.extend_from_slice(bytes);
-        Bytes::from(buf)
+        let mut m = BytesMut::with_capacity(bytes.len());
+        m.extend_from_slice(bytes);
+        m.freeze()
     }
 
     /// Number of bytes in the buffer.
@@ -140,10 +147,14 @@ impl Bytes {
 impl Drop for Bytes {
     fn drop(&mut self) {
         // If this was the last handle to a shared allocation, recycle the
-        // backing Vec into the thread-local builder pool.
+        // whole Arc (header + Vec) into the thread-local builder pool.
+        // The strong-count probe filters still-shared handles with a plain
+        // atomic load; `pool_put`'s `Arc::get_mut` re-verifies uniqueness
+        // (via the heavier weak-lock CAS), so a racing clone on another
+        // thread costs at worst a missed recycle, never a shared recycle.
         if let Storage::Shared(arc) = std::mem::take(&mut self.data) {
-            if let Ok(buf) = Arc::try_unwrap(arc) {
-                pool_put(buf);
+            if Arc::strong_count(&arc) == 1 {
+                pool_put(arc);
             }
         }
     }
@@ -222,15 +233,19 @@ impl std::hash::Hash for Bytes {
 }
 
 /// A growable byte buffer that freezes into an immutable [`Bytes`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Invariant: `buf` is uniquely owned (strong count 1) for the builder's
+/// whole lifetime — `Clone` deep-copies and the Arc is never shared until
+/// [`BytesMut::freeze`] hands it to a `Bytes`.
+#[derive(Debug, PartialEq, Eq)]
 pub struct BytesMut {
-    buf: Vec<u8>,
+    buf: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
-    /// An empty builder.
+    /// An empty builder (pooled storage when available).
     pub fn new() -> BytesMut {
-        BytesMut::default()
+        BytesMut::with_capacity(0)
     }
 
     /// An empty builder with reserved capacity, drawn from the thread-local
@@ -239,6 +254,10 @@ impl BytesMut {
         BytesMut {
             buf: pool_take(cap),
         }
+    }
+
+    fn buf_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.buf).expect("BytesMut backing storage is uniquely owned")
     }
 
     /// Number of bytes written so far.
@@ -253,13 +272,34 @@ impl BytesMut {
 
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
-        self.buf.extend_from_slice(extend);
+        self.buf_mut().extend_from_slice(extend);
     }
 
     /// Converts the accumulated bytes into an immutable [`Bytes`] without
-    /// copying: the builder's allocation is handed over as-is.
+    /// copying or allocating: the builder's Arc is handed over as-is.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+        let end = self.buf.len();
+        Bytes {
+            data: Storage::Shared(self.buf),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        // A derived clone would share the Arc and break the uniqueness
+        // invariant; a builder clone is a deep copy.
+        let mut m = BytesMut::with_capacity(self.buf.len());
+        m.extend_from_slice(&self.buf);
+        m
     }
 }
 
@@ -268,6 +308,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.buf_mut()
     }
 }
 
@@ -299,7 +345,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        self.buf_mut().extend_from_slice(src);
     }
 }
 
@@ -399,5 +445,34 @@ mod tests {
         let a2 = a.clone();
         drop(a);
         assert_eq!(&a2[..], &[1u8; 16][..]);
+    }
+
+    #[test]
+    fn recycled_arc_header_is_reused_whole() {
+        // The pool keeps the Arc itself: take → freeze → drop → take must
+        // hand back the identical Arc allocation, not just the same Vec.
+        BUF_POOL.with(|p| p.borrow_mut().clear());
+        let m = BytesMut::with_capacity(64);
+        let arc_ptr = Arc::as_ptr(&m.buf);
+        drop(m.freeze()); // empty Bytes, storage pooled
+        let m2 = BytesMut::with_capacity(32);
+        assert_eq!(
+            Arc::as_ptr(&m2.buf),
+            arc_ptr,
+            "pool must recycle the Arc handle, not only the Vec"
+        );
+    }
+
+    #[test]
+    fn builder_clone_is_a_deep_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(b"orig");
+        let mut c = m.clone();
+        c.put_slice(b"+more");
+        assert_eq!(&m[..], b"orig");
+        assert_eq!(&c[..], b"orig+more");
+        // Both remain independently freezable (uniqueness held).
+        assert_eq!(&m.freeze()[..], b"orig");
+        assert_eq!(&c.freeze()[..], b"orig+more");
     }
 }

@@ -25,6 +25,10 @@ pub struct Artifact {
     pub design: DesignPoint,
     /// Whether the deliberate dedup bug was planted.
     pub dedup_bug: bool,
+    /// Doorbell batching window the run used (1 = unbatched). Emitted in
+    /// the text format only when not 1, so pre-batching artifacts parse
+    /// and render unchanged.
+    pub batch_window: u32,
     /// The (minimized) fault plan.
     pub plan: FaultPlan,
     /// Flight-recorder timeline from the failing run, when one was
@@ -89,6 +93,7 @@ impl Artifact {
             seed: scenario.seed,
             design: scenario.design,
             dedup_bug: scenario.plant_dedup_bug,
+            batch_window: scenario.batch_window,
             plan,
             flight: None,
         }
@@ -106,6 +111,7 @@ impl Artifact {
     pub fn scenario(&self) -> Scenario {
         let mut s = Scenario::standard(self.design, self.seed);
         s.plant_dedup_bug = self.dedup_bug;
+        s.batch_window = self.batch_window.max(1);
         s
     }
 
@@ -123,6 +129,9 @@ impl fmt::Display for Artifact {
         writeln!(f, "seed={}", self.seed)?;
         writeln!(f, "design={}", design_name(self.design))?;
         writeln!(f, "dedup_bug={}", self.dedup_bug)?;
+        if self.batch_window != 1 {
+            writeln!(f, "batch_window={}", self.batch_window)?;
+        }
         write!(f, "{}", self.plan)?;
         if let Some(dump) = &self.flight {
             // The flight header starts with `#`, every timeline line with
@@ -141,6 +150,7 @@ impl FromStr for Artifact {
         let mut seed = None;
         let mut design = None;
         let mut dedup_bug = false;
+        let mut batch_window = 1u32;
         let mut plan_lines = String::new();
         let mut flight_lines = String::new();
         for line in text.lines() {
@@ -161,6 +171,10 @@ impl FromStr for Artifact {
                 dedup_bug = v
                     .parse()
                     .map_err(|_| format!("bad dedup_bug line `{line}`"))?;
+            } else if let Some(v) = line.strip_prefix("batch_window=") {
+                batch_window = v
+                    .parse()
+                    .map_err(|_| format!("bad batch_window line `{line}`"))?;
             } else {
                 plan_lines.push_str(line);
                 plan_lines.push('\n');
@@ -175,6 +189,7 @@ impl FromStr for Artifact {
             seed: seed.ok_or("artifact: missing seed= line")?,
             design: design.ok_or("artifact: missing design= line")?,
             dedup_bug,
+            batch_window,
             plan: plan_lines.parse()?,
             flight,
         })
@@ -201,9 +216,26 @@ mod tests {
             seed: 77,
             design: DesignPoint::PmnetSwitch,
             dedup_bug: true,
+            batch_window: 1,
             plan,
             flight: None,
         }
+    }
+
+    #[test]
+    fn batch_window_round_trips_and_defaults_to_one() {
+        let mut a = sample();
+        a.batch_window = 16;
+        let text = a.to_string();
+        assert!(text.contains("batch_window=16"));
+        let back: Artifact = text.parse().expect("parse back");
+        assert_eq!(a, back);
+        assert_eq!(back.scenario().batch_window, 16);
+        // Window 1 is left implicit so pre-batching artifacts stay exact.
+        let plain = sample();
+        assert!(!plain.to_string().contains("batch_window"));
+        let back: Artifact = plain.to_string().parse().expect("parse");
+        assert_eq!(back.batch_window, 1);
     }
 
     #[test]

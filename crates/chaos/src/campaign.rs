@@ -223,12 +223,25 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
 /// barrier closed — is what these plans attack. Fully determined by
 /// `(seed, plans_per_design)`.
 pub fn run_lossy_recovery_campaign(seed: u64, plans_per_design: usize) -> CampaignOutcome {
-    lossy_campaign_with_threads(seed, plans_per_design, campaign_threads())
+    lossy_campaign_with_threads(seed, plans_per_design, 1, campaign_threads())
+}
+
+/// [`run_lossy_recovery_campaign`] with every run batched at
+/// `batch_window` (devices and server apply). The plan/seed derivation is
+/// identical, so `batch_window: 1` reproduces the unbatched campaign
+/// digest exactly — the frozen goldens pin that equivalence.
+pub fn run_lossy_recovery_campaign_with_window(
+    seed: u64,
+    plans_per_design: usize,
+    batch_window: u32,
+) -> CampaignOutcome {
+    lossy_campaign_with_threads(seed, plans_per_design, batch_window, campaign_threads())
 }
 
 fn lossy_campaign_with_threads(
     seed: u64,
     plans_per_design: usize,
+    batch_window: u32,
     threads: usize,
 ) -> CampaignOutcome {
     let mut meta = SimRng::seed(seed);
@@ -246,7 +259,7 @@ fn lossy_campaign_with_threads(
                 design,
                 index,
                 seed: run_seed,
-                scenario: Scenario::standard(design, run_seed),
+                scenario: Scenario::standard(design, run_seed).with_batch_window(batch_window),
                 plan,
             });
         }
@@ -263,12 +276,25 @@ fn lossy_campaign_with_threads(
 /// device dies, and the system stays live through fence → promote →
 /// re-home. Fully determined by `(seed, plans_per_design)`.
 pub fn run_failover_campaign(seed: u64, plans_per_design: usize) -> CampaignOutcome {
-    failover_campaign_with_threads(seed, plans_per_design, campaign_threads())
+    failover_campaign_with_threads(seed, plans_per_design, 1, campaign_threads())
+}
+
+/// [`run_failover_campaign`] with every run batched at `batch_window`:
+/// chained-replica failover under doorbell batching, where a staged (not
+/// yet persisted) window on the dying primary must be re-driven by client
+/// retries rather than falsely acked.
+pub fn run_failover_campaign_with_window(
+    seed: u64,
+    plans_per_design: usize,
+    batch_window: u32,
+) -> CampaignOutcome {
+    failover_campaign_with_threads(seed, plans_per_design, batch_window, campaign_threads())
 }
 
 fn failover_campaign_with_threads(
     seed: u64,
     plans_per_design: usize,
+    batch_window: u32,
     threads: usize,
 ) -> CampaignOutcome {
     let mut meta = SimRng::seed(seed);
@@ -289,7 +315,7 @@ fn failover_campaign_with_threads(
                 design,
                 index,
                 seed: run_seed,
-                scenario: Scenario::standard(design, run_seed),
+                scenario: Scenario::standard(design, run_seed).with_batch_window(batch_window),
                 plan,
             });
         }
@@ -392,12 +418,63 @@ mod tests {
             assert_eq!(serial.digest, parallel.digest, "threads={threads}");
             assert_eq!(serial, parallel, "threads={threads}");
         }
-        let serial = lossy_campaign_with_threads(2024, 6, 1);
-        let parallel = lossy_campaign_with_threads(2024, 6, 4);
+        let serial = lossy_campaign_with_threads(2024, 6, 1, 1);
+        let parallel = lossy_campaign_with_threads(2024, 6, 1, 4);
         assert_eq!(serial, parallel);
-        let serial = failover_campaign_with_threads(2025, 4, 1);
-        let parallel = failover_campaign_with_threads(2025, 4, 4);
+        let serial = failover_campaign_with_threads(2025, 4, 1, 1);
+        let parallel = failover_campaign_with_threads(2025, 4, 1, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn window_one_campaigns_match_the_unbatched_entry_points() {
+        // The `_with_window` variants derive plans and seeds identically,
+        // so window 1 must reproduce the frozen campaign digests exactly.
+        let a = run_lossy_recovery_campaign(2024, 4);
+        let b = run_lossy_recovery_campaign_with_window(2024, 4, 1);
+        assert_eq!(a, b);
+        let a = run_failover_campaign(2025, 3);
+        let b = run_failover_campaign_with_window(2025, 3, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_lossy_recovery_campaign_converges() {
+        // Crash-under-loss with doorbell batching live on every hop: a
+        // staged window dies with the device's volatile state, so the
+        // convergence and durability invariants exercise the batch path's
+        // crash story, not just its fast path.
+        let out = run_lossy_recovery_campaign_with_window(2024, 8, 16);
+        assert_eq!(
+            out.failure_count(),
+            0,
+            "violations: {:?}",
+            out.failures
+                .iter()
+                .map(|f| f.replay().violations)
+                .collect::<Vec<_>>()
+        );
+        let redo: u64 = out.runs.iter().map(|r| r.verdict.redo_applied).sum();
+        assert!(redo > 0, "no run replayed a redo log");
+        // Replay artifacts carry the window, so a failure would reproduce.
+        let b = run_lossy_recovery_campaign_with_window(2024, 8, 16);
+        assert_eq!(out.digest, b.digest, "batched campaign must replay");
+    }
+
+    #[test]
+    fn batched_failover_campaign_never_loses_an_acked_update() {
+        let out = run_failover_campaign_with_window(2025, 6, 16);
+        assert_eq!(
+            out.failure_count(),
+            0,
+            "violations: {:?}",
+            out.failures
+                .iter()
+                .map(|f| f.replay().violations)
+                .collect::<Vec<_>>()
+        );
+        let failovers: u64 = out.runs.iter().map(|r| r.verdict.failovers).sum();
+        assert!(failovers >= out.runs.len() as u64, "vacuous campaign");
     }
 
     #[test]

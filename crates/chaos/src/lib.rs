@@ -60,7 +60,8 @@ pub mod shrink;
 
 pub use artifact::Artifact;
 pub use campaign::{
-    run_campaign, run_failover_campaign, run_lossy_recovery_campaign, CampaignConfig,
+    run_campaign, run_failover_campaign, run_failover_campaign_with_window,
+    run_lossy_recovery_campaign, run_lossy_recovery_campaign_with_window, CampaignConfig,
     CampaignOutcome,
 };
 pub use generate::{

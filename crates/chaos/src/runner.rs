@@ -43,6 +43,10 @@ pub struct Scenario {
     /// on the primary — used to prove the harness catches real
     /// protocol-level defects.
     pub plant_dedup_bug: bool,
+    /// Doorbell batching window on every device and the server's apply
+    /// path; 1 (the default) is the unbatched fast path, so all frozen
+    /// campaign digests keep their meaning.
+    pub batch_window: u32,
     /// Wall-clock (simulated) budget for the run.
     pub deadline: Dur,
     /// Extra settling time after the clients finish (or the deadline
@@ -62,6 +66,7 @@ impl Scenario {
             requests_per_client: 40,
             payload_bytes: 64,
             plant_dedup_bug: false,
+            batch_window: 1,
             deadline: Dur::millis(200),
             drain: Dur::millis(20),
         }
@@ -70,6 +75,12 @@ impl Scenario {
     /// Returns a copy with the dedup bug planted.
     pub fn with_dedup_bug(mut self) -> Scenario {
         self.plant_dedup_bug = true;
+        self
+    }
+
+    /// Returns a copy running with the given doorbell batching window.
+    pub fn with_batch_window(mut self, window: u32) -> Scenario {
+        self.batch_window = window;
         self
     }
 
@@ -90,6 +101,7 @@ impl Scenario {
                 retry_budget: 16,
                 settle_window: Dur::millis(20),
             },
+            batch: pmnet_core::config::BatchConfig::windowed(self.batch_window.max(1)),
             ..SystemConfig::default()
         };
         let mut b = SystemBuilder::new(self.design, config);

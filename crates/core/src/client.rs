@@ -27,6 +27,7 @@ use pmnet_sim::{Dur, SimRng, Time};
 use pmnet_telemetry::span::{AckKind, Evidence, OpCompletion, OpEvent, OpKind};
 use pmnet_telemetry::Telemetry;
 
+use crate::batch::BatchFrames;
 use crate::config::{HostProfile, RetryConfig, MTU_BYTES};
 #[cfg(feature = "recorder")]
 use crate::events::{Event, EventKind, Recorder};
@@ -772,9 +773,25 @@ impl ClientLib {
     }
 
     fn on_post_stack_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        // A coalesced batch from a device: every inner frame is processed
+        // as if it had arrived alone (each carries its own identity hash).
+        // The batch check comes first — a batch body never parses as a
+        // plain header, and vice versa.
+        if crate::batch::is_batch(&packet.payload) {
+            if let Some(frames) = BatchFrames::decode(&packet.payload) {
+                for (header, payload) in frames {
+                    self.on_post_stack_frame(ctx, header, payload);
+                }
+            }
+            return;
+        }
         let Some((header, payload)) = PmnetHeader::decode(&packet.payload) else {
             return;
         };
+        self.on_post_stack_frame(ctx, header, payload);
+    }
+
+    fn on_post_stack_frame(&mut self, ctx: &mut Ctx<'_>, header: PmnetHeader, payload: Bytes) {
         if header.ptype == PacketType::EpochNotify {
             // The fabric re-homed a shard (epoch rides in `seq`). Any
             // fragment still in flight may have died with the fenced
@@ -953,7 +970,18 @@ impl Node for ClientLib {
                 // Raw off the wire: stamp the wire arrival for span
                 // attribution, then traverse the receive stack.
                 if self.telemetry.is_enabled() {
-                    if let Some(h) = PmnetHeader::peek(&packet.payload) {
+                    // A coalesced batch carries several acks behind one wire
+                    // arrival: every inner frame gets its own recv stamp so
+                    // per-op spans stay attributable.
+                    let mut headers: Vec<PmnetHeader> = Vec::new();
+                    if crate::batch::is_batch(&packet.payload) {
+                        if let Some(frames) = BatchFrames::decode(&packet.payload) {
+                            headers.extend(frames.map(|(h, _)| h));
+                        }
+                    } else if let Some(h) = PmnetHeader::peek(&packet.payload) {
+                        headers.push(h);
+                    }
+                    for h in headers {
                         let kind = match h.ptype {
                             PacketType::PmnetAck => Some(if h.device_id >= PEER_LOGGER_ID_BASE {
                                 AckKind::Peer(h.device_id)

@@ -194,6 +194,72 @@ impl DeviceConfig {
     }
 }
 
+/// Doorbell batching/coalescing policy, applied on every hop: the device
+/// stages log appends and covers a whole window with one PM persist fence,
+/// coalesces the window's client ACKs into one batch packet per client,
+/// and the server applies a window of deliverable updates behind a single
+/// fence.
+///
+/// `window: 1` (the default) is the per-packet path and is bit-identical
+/// to the unbatched system — the golden digests pin this. Batching is an
+/// ordering-preserving optimization: entries within a window persist (and
+/// apply) in arrival order, and the single fence covering the window
+/// provides the same durable-before-acknowledged guarantee as a fence per
+/// entry ("Correct, Fast Remote Persistence"'s batch-ordering argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Doorbell window: entries staged before a flush. 1 disables
+    /// batching entirely (per-packet persists and ACKs).
+    pub window: u32,
+    /// Hard cap on frames coalesced into one batch packet.
+    pub max_frames: usize,
+    /// Longest a staged entry may wait for its window to fill before a
+    /// partial flush (bounds the latency cost of coalescing).
+    pub max_wait: Dur,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            window: 1,
+            max_frames: 64,
+            // Roughly one 1 KiB-payload device pipeline traversal: long
+            // enough to fill a window under load, short enough to stay
+            // well below an RTT when traffic is sparse.
+            max_wait: Dur::micros(2),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A policy with the given window and default cap/wait.
+    pub fn windowed(window: u32) -> BatchConfig {
+        BatchConfig {
+            window,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// True when batching is active (`window > 1`).
+    pub fn is_batched(&self) -> bool {
+        self.window > 1
+    }
+
+    /// Validates the knobs; returns the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("batch.window must be >= 1".into());
+        }
+        if self.max_frames == 0 {
+            return Err("batch.max_frames must be >= 1".into());
+        }
+        if self.window > 1 && self.max_wait == Dur::ZERO {
+            return Err("batch.max_wait must be non-zero when batching".into());
+        }
+        Ok(())
+    }
+}
+
 /// Client retransmission/backoff policy (RFC 6298-style RTO estimation)
 /// and the system-wide convergence settle bound.
 ///
@@ -285,6 +351,9 @@ pub struct SystemConfig {
     /// Base delay before the recovering server re-polls devices that have
     /// not yet reported `RecoveryDone` (doubles per round).
     pub recovery_poll_timeout: Dur,
+    /// Doorbell batching/coalescing policy for every hop (`window: 1`
+    /// disables it; the per-packet path is untouched).
+    pub batch: BatchConfig,
     /// Gap-detector retransmission rounds (with exponential backoff)
     /// before the server skips an unrecoverable gap — a hole left by a
     /// client that crashed before any copy of the missing packet became
@@ -307,6 +376,7 @@ impl Default for SystemConfig {
             gap_timeout: Dur::micros(100),
             retry: RetryConfig::default(),
             recovery_poll_timeout: Dur::micros(500),
+            batch: BatchConfig::default(),
             gap_skip_rounds: 8,
         }
     }
@@ -320,11 +390,18 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with the given batching policy on every hop.
+    pub fn with_batch(mut self, batch: BatchConfig) -> SystemConfig {
+        self.batch = batch;
+        self
+    }
+
     /// Validates the retry/backoff/recovery knobs; the system builder
     /// calls this before assembling a world so a nonsensical configuration
     /// fails loudly instead of silently wedging or spinning.
     pub fn validate(&self) -> Result<(), String> {
         self.retry.validate()?;
+        self.batch.validate()?;
         if self.client_timeout == Dur::ZERO {
             return Err("client_timeout must be non-zero".into());
         }
@@ -437,6 +514,39 @@ mod tests {
     fn default_retry_config_is_valid() {
         assert_eq!(RetryConfig::default().validate(), Ok(()));
         assert_eq!(SystemConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn batch_config_validates_bounds() {
+        assert_eq!(BatchConfig::default().validate(), Ok(()));
+        assert!(!BatchConfig::default().is_batched());
+        assert!(BatchConfig::windowed(16).is_batched());
+        assert_eq!(BatchConfig::windowed(16).validate(), Ok(()));
+        assert!(BatchConfig::windowed(0)
+            .validate()
+            .unwrap_err()
+            .contains("window"));
+        let b = BatchConfig {
+            max_frames: 0,
+            ..BatchConfig::default()
+        };
+        assert!(b.validate().unwrap_err().contains("max_frames"));
+        let b = BatchConfig {
+            window: 4,
+            max_wait: Dur::ZERO,
+            ..BatchConfig::default()
+        };
+        assert!(b.validate().unwrap_err().contains("max_wait"));
+        // An unbatched config may carry a zero wait (it is never armed).
+        let b = BatchConfig {
+            window: 1,
+            max_wait: Dur::ZERO,
+            ..BatchConfig::default()
+        };
+        assert_eq!(b.validate(), Ok(()));
+        // The system-level knob threads through validation.
+        let s = SystemConfig::default().with_batch(BatchConfig::windowed(0));
+        assert!(s.validate().unwrap_err().contains("batch.window"));
     }
 
     #[test]

@@ -18,18 +18,28 @@ use pmnet_telemetry::span::OpEvent;
 use pmnet_telemetry::Telemetry;
 use std::collections::{HashMap, HashSet};
 
+use crate::batch::{BatchBuilder, FRAME_PREFIX_LEN};
 use crate::cache::ReadCache;
-use crate::config::DeviceConfig;
+use crate::config::{BatchConfig, DeviceConfig};
 #[cfg(feature = "recorder")]
 use crate::events::{Event, EventKind, Recorder};
 use crate::kvproto::KvFrame;
 use crate::logstore::{BypassReason, LogOutcome, LogStore};
-use crate::protocol::{is_pmnet_port, PacketType, PmnetHeader, FLAG_CONGESTED, FLAG_REDO};
+use crate::protocol::{
+    is_pmnet_port, PacketType, PmnetHeader, FLAG_CONGESTED, FLAG_REDO, HEADER_LEN,
+};
 
 const TIMER_PERSIST_DONE: u32 = 1;
 const TIMER_RECOVERY_RESEND: u32 = 2;
 const TIMER_ENTRY_RETRY: u32 = 3;
 const TIMER_HEARTBEAT: u32 = 4;
+/// Doorbell deadline: a staged window flushes after `batch.max_wait` even
+/// if it never fills. `a` carries the window id (`batch_seq` at arming
+/// time) so a window that already flushed on occupancy ignores the fire.
+const TIMER_BATCH_FLUSH: u32 = 5;
+/// The single PM write covering a flushed window completed. `a` carries
+/// the batch id.
+const TIMER_BATCH_PERSIST: u32 = 6;
 
 /// The device's position in its shard's replication chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +132,18 @@ pub struct DeviceCounters {
     pub fence_events: u64,
     /// `Promote` orders applied (chain collapsed to solo operation).
     pub promotions: u64,
+    /// Doorbell windows flushed, each behind a single PM fence.
+    pub batches_flushed: u64,
+    /// Log entries persisted through batched flushes.
+    pub batched_entries: u64,
+    /// Per-entry PM fences elided by batching
+    /// (`batched_entries - batches_flushed`).
+    pub batch_fences_elided: u64,
+    /// Client PMNet-ACKs that rode in a coalesced batch packet (the
+    /// coalesced subset of `acks_sent`).
+    pub coalesced_acks: u64,
+    /// Coalesced batch ACK packets emitted (each carries ≥ 2 ACK frames).
+    pub batch_ack_packets: u64,
 }
 
 impl pmnet_telemetry::registry::CounterGroup for DeviceCounters {
@@ -144,6 +166,11 @@ impl pmnet_telemetry::registry::CounterGroup for DeviceCounters {
         f("chain_releases", self.chain_releases);
         f("fence_events", self.fence_events);
         f("promotions", self.promotions);
+        f("batches_flushed", self.batches_flushed);
+        f("batched_entries", self.batched_entries);
+        f("batch_fences_elided", self.batch_fences_elided);
+        f("coalesced_acks", self.coalesced_acks);
+        f("batch_ack_packets", self.batch_ack_packets);
     }
 }
 
@@ -195,6 +222,15 @@ pub struct PmnetDevice {
     /// duplicate (the primary re-driving a lost `ChainAck`) is answered
     /// from DRAM instead of re-logged.
     chain_acked_hashes: HashSet<u32>,
+    /// Doorbell batching policy; `window: 1` (the default) takes the
+    /// per-packet code path untouched.
+    batch: BatchConfig,
+    /// Monotone window id: bumped on every flush so a pending
+    /// [`TIMER_BATCH_FLUSH`] for an already-flushed window is ignored.
+    batch_seq: u64,
+    /// Flushed windows whose single PM write is still in flight, keyed by
+    /// batch id; the hashes ack (by role) when the write completes.
+    inflight_batches: HashMap<u64, Vec<u32>>,
     telemetry: Telemetry,
     #[cfg(feature = "recorder")]
     recorder: Recorder,
@@ -236,6 +272,9 @@ impl PmnetDevice {
             fabric_epoch: 0,
             chain_state: HashMap::new(),
             chain_acked_hashes: HashSet::new(),
+            batch: BatchConfig::default(),
+            batch_seq: 0,
+            inflight_batches: HashMap::new(),
             telemetry: Telemetry::disabled(),
             #[cfg(feature = "recorder")]
             recorder: Recorder::default(),
@@ -246,6 +285,20 @@ impl PmnetDevice {
     /// requests, persists, and cache hits cross it.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs the doorbell batching policy. With `window: 1` (the
+    /// default) every update takes the per-packet path: one PM fence and
+    /// one ACK packet each, bit-identical to the unbatched device.
+    pub fn set_batch(&mut self, batch: BatchConfig) {
+        self.batch = batch;
+    }
+
+    /// Builder form of [`PmnetDevice::set_batch`].
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> PmnetDevice {
+        self.batch = batch;
+        self
     }
 
     /// **Fault-injection hook**: stops the read cache from being updated
@@ -417,14 +470,27 @@ impl PmnetDevice {
         // way, so the fast path's timing is unchanged (Figure 3: egress
         // forward in parallel with PM logging).
         let arrival = ctx.now() + self.pipeline_for(payload.len());
-        let outcome = self.log.try_log(
-            arrival,
-            header,
-            payload.clone(),
-            server,
-            client_port,
-            server_port,
-        );
+        let outcome = if self.batch.is_batched() {
+            // Doorbell mode: admit behind the window; the PM write (and
+            // its fence) is deferred to the whole window's single flush.
+            self.log.try_stage(
+                arrival,
+                header,
+                payload.clone(),
+                server,
+                client_port,
+                server_port,
+            )
+        } else {
+            self.log.try_log(
+                arrival,
+                header,
+                payload.clone(),
+                server,
+                client_port,
+                server_port,
+            )
+        };
         let mut packet = packet;
         if matches!(
             outcome,
@@ -482,6 +548,58 @@ impl PmnetDevice {
                         }
                     }
                 }
+            }
+            LogOutcome::Staged => {
+                // Admitted behind the doorbell. Everything the Logged arm
+                // sets up except the persist timer — the window's single
+                // flush owns that.
+                if self.role() == DeviceRole::Primary {
+                    self.chain_state
+                        .insert(header.hash, ChainPending::default());
+                }
+                self.telemetry.op_event(
+                    self.addr,
+                    ctx.now(),
+                    (header.client, header.session, header.seq),
+                    OpEvent::DeviceBatchStage {
+                        device: self.id,
+                        at: ctx.now(),
+                    },
+                );
+                ctx.timer_in(
+                    self.config.log_retry_timeout,
+                    Timer {
+                        kind: TIMER_ENTRY_RETRY,
+                        a: u64::from(header.hash),
+                        b: self.epoch,
+                    },
+                );
+                if !self.stale_read_bug {
+                    if let Some(cache) = &mut self.cache {
+                        if let Some(KvFrame::Set { key, value }) = KvFrame::decode(&payload) {
+                            cache.on_update(&key, &value);
+                        }
+                    }
+                }
+                if self.log.staged_len() >= self.batch.window as usize {
+                    // Window full: ring the doorbell now.
+                    self.flush_batch(ctx);
+                } else if self.log.staged_len() == 1 {
+                    // First entry of a fresh window: bound its wait.
+                    ctx.timer_in(
+                        self.batch.max_wait,
+                        Timer {
+                            kind: TIMER_BATCH_FLUSH,
+                            a: self.batch_seq,
+                            b: self.epoch,
+                        },
+                    );
+                }
+            }
+            LogOutcome::Duplicate if self.log.is_staged(header.hash) => {
+                // The original still sits behind the doorbell: it is not
+                // durable yet, so no role may acknowledge it. The window's
+                // flush-and-persist will ack (or chain-ack) it.
             }
             LogOutcome::Duplicate => match self.role() {
                 // The client retransmitted a logged packet (its ACK was
@@ -563,6 +681,143 @@ impl PmnetDevice {
         }
     }
 
+    /// Rings the doorbell: every staged entry persists behind **one** PM
+    /// write (one fence for the whole window), and the window acks
+    /// together when that write completes.
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_>) {
+        let Some((ack_at, hashes)) = self.log.flush_staged(ctx.now()) else {
+            return;
+        };
+        // Retire the window id so a pending doorbell-deadline timer for
+        // this window fizzles.
+        self.batch_seq += 1;
+        let id = self.batch_seq;
+        self.counters.batches_flushed += 1;
+        self.counters.batched_entries += hashes.len() as u64;
+        self.counters.batch_fences_elided += hashes.len() as u64 - 1;
+        for &hash in &hashes {
+            let Some(entry) = self.log.peek(hash) else {
+                continue;
+            };
+            let key = (entry.header.client, entry.header.session, entry.header.seq);
+            self.telemetry.op_event(
+                self.addr,
+                ctx.now(),
+                key,
+                OpEvent::DeviceBatchFlush {
+                    device: self.id,
+                    at: ctx.now(),
+                },
+            );
+            // The durability point of a staged entry is its flush (the
+            // write is now scheduled), mirroring `try_log` on the
+            // per-packet path.
+            #[cfg(feature = "recorder")]
+            self.recorder.record(Event {
+                at: ctx.now(),
+                client: entry.header.client,
+                session: entry.header.session,
+                seq: entry.header.seq,
+                kind: EventKind::DeviceLogged { device: self.addr },
+            });
+        }
+        ctx.timer_in(
+            ack_at.saturating_since(ctx.now()),
+            Timer {
+                kind: TIMER_BATCH_PERSIST,
+                a: id,
+                b: self.epoch,
+            },
+        );
+        self.inflight_batches.insert(id, hashes);
+    }
+
+    /// The window's single PM write completed: run the per-entry persist
+    /// logic, then coalesce the releasable client ACKs into batch packets
+    /// (chain ACKs stay per-packet — the peer link is device-to-device).
+    fn on_batch_persist_done(&mut self, ctx: &mut Ctx<'_>, batch_id: u64) {
+        let Some(hashes) = self.inflight_batches.remove(&batch_id) else {
+            return;
+        };
+        let mut ready: Vec<u32> = Vec::with_capacity(hashes.len());
+        for hash in hashes {
+            match self.role() {
+                DeviceRole::Solo => ready.push(hash),
+                DeviceRole::Primary => {
+                    let Some(pending) = self.chain_state.get_mut(&hash) else {
+                        continue; // server-acked or chain-completed already
+                    };
+                    pending.persisted = true;
+                    if pending.chain_acked {
+                        self.chain_state.remove(&hash);
+                        self.counters.chain_releases += 1;
+                        ready.push(hash);
+                    }
+                }
+                DeviceRole::Backup => self.send_chain_ack(ctx, hash),
+            }
+        }
+        self.send_coalesced_acks(ctx, &ready);
+    }
+
+    /// Sends the window's client ACKs, coalescing same-flow ACKs into one
+    /// batch packet (capped at `batch.max_frames`). Singleton groups go
+    /// out as plain ACK packets, byte-identical to the per-packet path.
+    fn send_coalesced_acks(&mut self, ctx: &mut Ctx<'_>, hashes: &[u32]) {
+        // Group by destination flow. Entries invalidated since the flush
+        // (a raced server ACK) drop out here, same as `send_ack`'s no-op.
+        let mut groups: Vec<((Addr, u16, u16), Vec<u32>)> = Vec::new();
+        for &hash in hashes {
+            let Some(entry) = self.log.peek(hash) else {
+                continue;
+            };
+            let key = (entry.header.client, entry.server_port, entry.client_port);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(hash),
+                None => groups.push((key, vec![hash])),
+            }
+        }
+        for ((client, server_port, client_port), group) in groups {
+            for chunk in group.chunks(self.batch.max_frames.max(1)) {
+                if chunk.len() == 1 {
+                    self.send_ack(ctx, chunk[0]);
+                    continue;
+                }
+                let mut b =
+                    BatchBuilder::with_capacity(chunk.len() * (FRAME_PREFIX_LEN + HEADER_LEN));
+                let mut keys = Vec::with_capacity(chunk.len());
+                for &hash in chunk {
+                    let Some(entry) = self.log.peek(hash) else {
+                        continue;
+                    };
+                    b.push(&entry.header.ack_from_device(self.id), &[]);
+                    keys.push((entry.header.client, entry.header.session, entry.header.seq));
+                }
+                if b.is_empty() {
+                    continue;
+                }
+                let n = u64::from(b.count());
+                let packet = Packet::udp(self.addr, client, server_port, client_port, b.finish());
+                self.counters.acks_sent += n;
+                self.counters.coalesced_acks += n;
+                self.counters.batch_ack_packets += 1;
+                if let Some(d) = self.emit(ctx, client, packet) {
+                    for key in keys {
+                        self.telemetry.op_event(
+                            self.addr,
+                            ctx.now(),
+                            key,
+                            OpEvent::DeviceAckSend {
+                                device: self.id,
+                                at: ctx.now() + d,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Tells the chain primary that `hash` is durable here. The header is
     /// the logged entry's own (so the primary can match by hash) with the
     /// type and acking device rewritten.
@@ -623,6 +878,7 @@ impl PmnetDevice {
         self.parked_reads.clear();
         self.chain_state.clear();
         self.chain_acked_hashes.clear();
+        self.inflight_batches.clear();
         ctx.trace(|| format!("fenced at epoch {}", self.fabric_epoch));
     }
 
@@ -1110,6 +1366,11 @@ impl Node for PmnetDevice {
                     TIMER_RECOVERY_RESEND => self.fire_recovery_resend(ctx, a as u32),
                     TIMER_ENTRY_RETRY => self.retry_entry(ctx, a as u32),
                     TIMER_HEARTBEAT => self.send_heartbeat(ctx),
+                    // Doorbell deadline: flush only if this window has not
+                    // already flushed on occupancy.
+                    TIMER_BATCH_FLUSH if a == self.batch_seq => self.flush_batch(ctx),
+                    TIMER_BATCH_FLUSH => {}
+                    TIMER_BATCH_PERSIST => self.on_batch_persist_done(ctx, a),
                     _ => {}
                 }
             }
@@ -1125,6 +1386,10 @@ impl Node for PmnetDevice {
                 // completed (Section IV-E).
                 let lost = self.log.crash(ctx.now());
                 self.staged_resends.clear();
+                // Flushed-but-unpersisted windows die with their timers
+                // (the epoch bump); staged-but-unflushed entries were
+                // dropped by `log.crash` — none were ever acknowledged.
+                self.inflight_batches.clear();
                 // Chain bookkeeping is DRAM: withheld-ack state and the
                 // chain-acked set vanish. Clients re-drive incomplete
                 // updates; the server ack backstops any entry whose chain
@@ -1514,6 +1779,110 @@ mod tests {
         assert_eq!(w.node::<EchoHost>(server).received(), 2);
         // Collision-free logged packets stay unflagged.
         assert_eq!(d.log_len(), 1);
+    }
+
+    #[test]
+    fn batched_updates_share_one_fence_and_coalesce_acks() {
+        let (mut w, client, dev, server) = rig(SystemConfig::default().device);
+        w.node_mut::<PmnetDevice>(dev)
+            .set_batch(BatchConfig::windowed(4));
+        for seq in 1..=4u32 {
+            let (_, pkt) = update_packet(seq, b"payload");
+            w.inject(client, pkt);
+        }
+        w.run_for(pmnet_sim::Dur::millis(5));
+        let d = w.node::<PmnetDevice>(dev);
+        // One doorbell window: one flush, three fences elided.
+        assert_eq!(d.counters().batches_flushed, 1);
+        assert_eq!(d.counters().batched_entries, 4);
+        assert_eq!(d.counters().batch_fences_elided, 3);
+        // All four ACKs rode in a single coalesced packet.
+        assert_eq!(d.counters().acks_sent, 4);
+        assert_eq!(d.counters().coalesced_acks, 4);
+        assert_eq!(d.counters().batch_ack_packets, 1);
+        assert_eq!(d.log_len(), 4);
+        // Forwarding stayed cut-through: the server saw every update.
+        assert_eq!(w.node::<EchoHost>(server).received(), 4);
+        // The client received exactly one packet — the ack batch.
+        assert_eq!(w.node::<EchoHost>(client).received(), 1);
+    }
+
+    #[test]
+    fn doorbell_deadline_flushes_a_partial_window() {
+        let mut config = SystemConfig::default().device;
+        config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        config.recovery_resend_timeout = pmnet_sim::Dur::secs(3600);
+        let (mut w, client, dev, _server) = rig(config);
+        let mut batch = BatchConfig::windowed(16);
+        batch.max_wait = pmnet_sim::Dur::micros(5);
+        w.node_mut::<PmnetDevice>(dev).set_batch(batch);
+        // Two updates: far short of the 16-entry window; only the
+        // doorbell deadline can release them.
+        for seq in 1..=2u32 {
+            let (_, pkt) = update_packet(seq, b"x");
+            w.inject(client, pkt);
+        }
+        w.run_for(pmnet_sim::Dur::millis(5));
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.counters().batches_flushed, 1);
+        assert_eq!(d.counters().batched_entries, 2);
+        assert_eq!(d.counters().acks_sent, 2);
+        assert_eq!(d.counters().batch_ack_packets, 1);
+    }
+
+    #[test]
+    fn duplicate_of_a_staged_update_is_not_acked_early() {
+        let mut config = SystemConfig::default().device;
+        config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        config.recovery_resend_timeout = pmnet_sim::Dur::secs(3600);
+        let (mut w, client, dev, server) = rig(config);
+        let mut batch = BatchConfig::windowed(16);
+        // A deadline long enough that the duplicate arrives while the
+        // original still sits staged.
+        batch.max_wait = pmnet_sim::Dur::millis(1);
+        w.node_mut::<PmnetDevice>(dev).set_batch(batch);
+        let (_, pkt) = update_packet(1, b"dup");
+        w.inject(client, pkt.clone());
+        w.run_for(pmnet_sim::Dur::micros(100));
+        // Still staged: the retransmission must not be acknowledged.
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().acks_sent, 0);
+        w.inject(client, pkt);
+        w.run_for(pmnet_sim::Dur::micros(100));
+        assert_eq!(w.node::<PmnetDevice>(dev).counters().acks_sent, 0);
+        // The deadline flush releases exactly one ack (no duplicates).
+        w.run_for(pmnet_sim::Dur::millis(5));
+        let d = w.node::<PmnetDevice>(dev);
+        assert_eq!(d.counters().batches_flushed, 1);
+        assert_eq!(d.counters().acks_sent, 1);
+        // Coalescing never kicked in for a singleton window.
+        assert_eq!(d.counters().batch_ack_packets, 0);
+        assert_eq!(w.node::<EchoHost>(client).received(), 1);
+        // Both copies were forwarded (cut-through is unconditional).
+        assert_eq!(w.node::<EchoHost>(server).received(), 2);
+    }
+
+    #[test]
+    fn batched_window_dies_with_a_crash_before_the_doorbell() {
+        let mut config = SystemConfig::default().device;
+        config.log_retry_timeout = pmnet_sim::Dur::secs(3600);
+        config.recovery_resend_timeout = pmnet_sim::Dur::secs(3600);
+        let (mut w, client, dev, _server) = rig(config);
+        let mut batch = BatchConfig::windowed(16);
+        batch.max_wait = pmnet_sim::Dur::millis(1);
+        w.node_mut::<PmnetDevice>(dev).set_batch(batch);
+        for seq in 1..=3u32 {
+            let (_, pkt) = update_packet(seq, b"doomed");
+            w.inject(client, pkt);
+        }
+        // Crash after the updates are staged but before the 1 ms doorbell.
+        w.schedule_crash(dev, pmnet_sim::Time::from_nanos(500_000), None);
+        w.run_for(pmnet_sim::Dur::millis(10));
+        let d = w.node::<PmnetDevice>(dev);
+        // Nothing was ever acknowledged, so losing the window is safe.
+        assert_eq!(d.counters().acks_sent, 0);
+        assert_eq!(d.counters().batches_flushed, 0);
+        assert_eq!(d.log_len(), 0, "staged entries are volatile");
+        assert_eq!(w.node::<EchoHost>(client).received(), 0);
     }
 
     #[test]

@@ -55,29 +55,46 @@ pub enum KvFrame {
 
 impl KvFrame {
     /// Serializes the frame.
+    ///
+    /// The builder is drawn from the thread-local recycle pool and its
+    /// whole allocation returns there when the last `Bytes` handle drops,
+    /// so the steady-state encode path allocates nothing.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Writes the frame into an existing buffer — used by batch framing to
+    /// pack several frames into one backing allocation.
+    pub fn encode_into(&self, b: &mut impl BufMut) {
+        // Tag + length prefix staged on the stack: one append for the
+        // prefix instead of one per field (each `put_*` re-checks unique
+        // ownership and spare capacity).
         match self {
             KvFrame::Get { key } => {
-                b.put_u8(b'G');
-                b.put_u16_le(key.len() as u16);
+                let mut p = [b'G', 0, 0];
+                p[1..3].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                b.put_slice(&p);
                 b.put_slice(key);
             }
             KvFrame::Set { key, value } => {
-                b.put_u8(b'S');
-                b.put_u16_le(key.len() as u16);
+                let mut p = [b'S', 0, 0];
+                p[1..3].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                b.put_slice(&p);
                 b.put_slice(key);
                 b.put_slice(value);
             }
             KvFrame::Del { key } => {
-                b.put_u8(b'D');
-                b.put_u16_le(key.len() as u16);
+                let mut p = [b'D', 0, 0];
+                p[1..3].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                b.put_slice(&p);
                 b.put_slice(key);
             }
             KvFrame::Value { key, value, found } => {
-                b.put_u8(b'V');
-                b.put_u8(u8::from(*found));
-                b.put_u16_le(key.len() as u16);
+                let mut p = [b'V', u8::from(*found), 0, 0];
+                p[2..4].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                b.put_slice(&p);
                 b.put_slice(key);
                 b.put_slice(value);
             }
@@ -86,11 +103,10 @@ impl KvFrame {
                 b.put_slice(bytes);
             }
         }
-        b.freeze()
     }
 
     /// Exact wire length of [`KvFrame::encode`]'s output.
-    fn encoded_len(&self) -> usize {
+    pub fn encoded_len(&self) -> usize {
         match self {
             KvFrame::Get { key } | KvFrame::Del { key } => 3 + key.len(),
             KvFrame::Set { key, value } => 3 + key.len() + value.len(),

@@ -49,6 +49,7 @@
 pub mod alt;
 pub mod api;
 pub mod audit;
+pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod config;
@@ -62,12 +63,13 @@ pub mod protocol;
 pub mod server;
 pub mod system;
 
+pub use batch::{BatchBuilder, BatchFrames};
 pub use cache::{CacheState, ReadCache};
 pub use client::{
     ClientLib, ClientMode, ClientRetryCounters, CompletionRecord, RequestKind, RequestSource,
     RtoEstimator, UpdateOutcome,
 };
-pub use config::{DeviceConfig, HostProfile, RetryConfig, SystemConfig};
+pub use config::{BatchConfig, DeviceConfig, HostProfile, RetryConfig, SystemConfig};
 pub use device::{DeviceFabric, DeviceRole, PmnetDevice};
 #[cfg(feature = "recorder")]
 pub use events::{Event, EventKind, Recorder};

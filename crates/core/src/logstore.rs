@@ -54,6 +54,9 @@ pub enum LogOutcome {
         /// Persist-completion instant.
         ack_at: Time,
     },
+    /// Staged behind the doorbell: the entry is in the log table but its
+    /// PM write (and therefore its ACK) waits for [`LogStore::flush_staged`].
+    Staged,
     /// Already logged (client retransmission); re-acknowledge immediately.
     Duplicate,
     /// Not logged; forward silently.
@@ -105,6 +108,13 @@ pub struct LogStore {
     /// still in flight to the server, so a read from the same session
     /// must not overtake it.
     outstanding: HashMap<(Addr, Addr, u16), u32>,
+    /// Entries staged behind the doorbell (insertion order); their PM
+    /// write is deferred to the next [`LogStore::flush_staged`].
+    staged: Vec<u32>,
+    /// Bytes the staged entries will write — counted against the Eq. 2
+    /// queue bound so a doorbell window cannot promise more than the SRAM
+    /// buffer holds.
+    staged_bytes: u64,
     counters: LogCounters,
 }
 
@@ -119,6 +129,8 @@ impl LogStore {
             queue_bytes: config.log_queue_bytes,
             used_bytes: 0,
             outstanding: HashMap::new(),
+            staged: Vec::new(),
+            staged_bytes: 0,
             counters: LogCounters::default(),
         }
     }
@@ -154,6 +166,68 @@ impl LogStore {
         (crate::protocol::HEADER_LEN + payload.len() + 16) as u64
     }
 
+    /// Runs the admission checks shared by [`LogStore::try_log`] and
+    /// [`LogStore::try_stage`]; `Ok(bytes)` admits the entry.
+    fn admit(
+        &mut self,
+        now: Time,
+        header: &PmnetHeader,
+        payload: &Bytes,
+    ) -> Result<u64, LogOutcome> {
+        if let Some(existing) = self.entries.get(&header.hash) {
+            if existing.header.session == header.session
+                && existing.header.seq == header.seq
+                && existing.header.client == header.client
+            {
+                // Client retransmission of an already-logged packet (its
+                // ACK may have been lost): idempotent.
+                return Err(LogOutcome::Duplicate);
+            }
+            self.counters.bypass_collision += 1;
+            return Err(LogOutcome::Bypass(BypassReason::HashCollision));
+        }
+        let bytes = Self::entry_bytes(payload);
+        if self.entries.len() >= self.max_entries || self.used_bytes + bytes > self.max_bytes {
+            self.counters.bypass_full += 1;
+            return Err(LogOutcome::Bypass(BypassReason::LogFull));
+        }
+        if self.pm.queued_bytes(now) + self.staged_bytes + bytes > self.queue_bytes {
+            self.counters.bypass_queue += 1;
+            return Err(LogOutcome::Bypass(BypassReason::QueueFull));
+        }
+        Ok(bytes)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_entry(
+        &mut self,
+        header: PmnetHeader,
+        payload: Bytes,
+        server: Addr,
+        client_port: u16,
+        server_port: u16,
+        persisted_at: Time,
+        bytes: u64,
+    ) {
+        self.entries.insert(
+            header.hash,
+            LogEntry {
+                header,
+                payload,
+                server,
+                client_port,
+                server_port,
+                persisted_at,
+            },
+        );
+        self.used_bytes += bytes;
+        *self
+            .outstanding
+            .entry((server, header.client, header.session))
+            .or_insert(0) += 1;
+        self.counters.logged += 1;
+    }
+
     /// Offers an update packet to the log.
     pub fn try_log(
         &mut self,
@@ -164,46 +238,91 @@ impl LogStore {
         client_port: u16,
         server_port: u16,
     ) -> LogOutcome {
-        if let Some(existing) = self.entries.get(&header.hash) {
-            if existing.header.session == header.session
-                && existing.header.seq == header.seq
-                && existing.header.client == header.client
-            {
-                // Client retransmission of an already-logged packet (its
-                // ACK may have been lost): idempotent.
-                return LogOutcome::Duplicate;
-            }
-            self.counters.bypass_collision += 1;
-            return LogOutcome::Bypass(BypassReason::HashCollision);
-        }
-        let bytes = Self::entry_bytes(&payload);
-        if self.entries.len() >= self.max_entries || self.used_bytes + bytes > self.max_bytes {
-            self.counters.bypass_full += 1;
-            return LogOutcome::Bypass(BypassReason::LogFull);
-        }
-        if self.pm.queued_bytes(now) + bytes > self.queue_bytes {
-            self.counters.bypass_queue += 1;
-            return LogOutcome::Bypass(BypassReason::QueueFull);
-        }
+        let bytes = match self.admit(now, &header, &payload) {
+            Ok(bytes) => bytes,
+            Err(outcome) => return outcome,
+        };
         let ack_at = self.pm.schedule_write(now, bytes as u32);
-        self.entries.insert(
-            header.hash,
-            LogEntry {
-                header,
-                payload,
-                server,
-                client_port,
-                server_port,
-                persisted_at: ack_at,
-            },
+        self.insert_entry(
+            header,
+            payload,
+            server,
+            client_port,
+            server_port,
+            ack_at,
+            bytes,
         );
-        self.used_bytes += bytes;
-        *self
-            .outstanding
-            .entry((server, header.client, header.session))
-            .or_insert(0) += 1;
-        self.counters.logged += 1;
         LogOutcome::Logged { ack_at }
+    }
+
+    /// Offers an update packet to the log behind the doorbell: the entry
+    /// is admitted (same checks and backpressure as [`LogStore::try_log`],
+    /// with staged-but-unwritten bytes counted against the queue bound)
+    /// but its PM write is deferred until [`LogStore::flush_staged`] rings
+    /// the doorbell for the whole window. Until then the entry is not
+    /// durable: `persisted_at` is the end of time, so a crash drops it and
+    /// a recovery manifest excludes it.
+    pub fn try_stage(
+        &mut self,
+        now: Time,
+        header: PmnetHeader,
+        payload: Bytes,
+        server: Addr,
+        client_port: u16,
+        server_port: u16,
+    ) -> LogOutcome {
+        let bytes = match self.admit(now, &header, &payload) {
+            Ok(bytes) => bytes,
+            Err(outcome) => return outcome,
+        };
+        let hash = header.hash;
+        self.insert_entry(
+            header,
+            payload,
+            server,
+            client_port,
+            server_port,
+            Time::MAX,
+            bytes,
+        );
+        self.staged.push(hash);
+        self.staged_bytes += bytes;
+        LogOutcome::Staged
+    }
+
+    /// Rings the doorbell: one PM write (one persist fence) covers every
+    /// staged entry, amortizing the per-write latency across the window.
+    /// Returns the common persist-completion instant and the staged hashes
+    /// in arrival order, or `None` if nothing was staged. Entries already
+    /// invalidated while staged (their server-ACK overtook the doorbell)
+    /// are skipped but their queued bytes are still written.
+    pub fn flush_staged(&mut self, now: Time) -> Option<(Time, Vec<u32>)> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let ack_at = self.pm.schedule_write(now, self.staged_bytes as u32);
+        let staged = std::mem::take(&mut self.staged);
+        let mut hashes = Vec::with_capacity(staged.len());
+        for h in staged {
+            if let Some(e) = self.entries.get_mut(&h) {
+                e.persisted_at = ack_at;
+                hashes.push(h);
+            }
+        }
+        self.staged_bytes = 0;
+        Some((ack_at, hashes))
+    }
+
+    /// Entries currently staged behind the doorbell.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True while `hash` sits staged behind the doorbell (admitted, not
+    /// yet covered by a flush's PM write). The scan is bounded by the
+    /// batch window — a handful of entries.
+    pub fn is_staged(&self, hash: u32) -> bool {
+        self.staged.contains(&hash)
     }
 
     /// Whether a live entry from `(client, session)` to `server` remains
@@ -299,6 +418,8 @@ impl LogStore {
         let purged = self.entries.len();
         self.entries.clear();
         self.outstanding.clear();
+        self.staged.clear();
+        self.staged_bytes = 0;
         self.used_bytes = 0;
         purged
     }
@@ -306,6 +427,10 @@ impl LogStore {
     /// Power failure: entries whose PM write had not completed by `now`
     /// never reached the persistence domain. Returns how many were lost.
     pub fn crash(&mut self, now: Time) -> usize {
+        // Staged entries never rang the doorbell: their `persisted_at` is
+        // `Time::MAX`, so the retain below drops them all.
+        self.staged.clear();
+        self.staged_bytes = 0;
         let before = self.entries.len();
         let mut lost_bytes = 0;
         self.entries.retain(|_, e| {
@@ -482,6 +607,108 @@ mod tests {
         assert!(!s.has_outstanding(Addr(9), Addr(1), 1));
         assert_eq!(s.counters().invalidated, 0, "purge is not invalidation");
         assert_eq!(s.counters().logged, 2);
+    }
+
+    #[test]
+    fn staged_entries_persist_together_behind_one_fence() {
+        let mut s = store();
+        for seq in 0..4 {
+            assert_eq!(
+                s.try_stage(Time::ZERO, hdr(seq), payload(100), Addr(9), 51000, 51000),
+                LogOutcome::Staged
+            );
+        }
+        assert_eq!(s.staged_len(), 4);
+        // Not durable yet: a crash before the doorbell loses everything,
+        // and a recovery manifest sees nothing.
+        assert!(s
+            .recovery_manifest(Addr(9), Time::ZERO + Dur::millis(1))
+            .is_empty());
+        let (ack_at, hashes) = s.flush_staged(Time::ZERO).expect("staged entries");
+        assert_eq!(hashes.len(), 4);
+        assert_eq!(s.staged_len(), 0);
+        // One write covers 4 x 136 B: transfer scales, the 273 ns write
+        // latency is paid once (vs 4x for per-entry writes).
+        let mut per_entry = store();
+        let mut last = Time::ZERO;
+        for seq in 0..4 {
+            if let LogOutcome::Logged { ack_at } =
+                per_entry.try_log(Time::ZERO, hdr(seq), payload(100), Addr(9), 51000, 51000)
+            {
+                last = last.max(ack_at);
+            }
+        }
+        // The PM pipeline overlaps write latency with transfer, so the
+        // batch completes no later than the last per-entry write — while
+        // issuing one write (one fence) instead of four.
+        assert!(ack_at <= last, "batched persist must not lose to per-entry");
+        assert_eq!(s.pm_mut().counters().writes, 1, "one fence per window");
+        assert_eq!(per_entry.pm_mut().counters().writes, 4);
+        // After the flush every entry is durable at the same instant.
+        for h in &hashes {
+            assert_eq!(s.peek(*h).unwrap().persisted_at, ack_at);
+        }
+        assert_eq!(
+            s.recovery_manifest(Addr(9), ack_at).len(),
+            4,
+            "flushed entries are recoverable"
+        );
+    }
+
+    #[test]
+    fn staged_bytes_count_against_the_queue_bound() {
+        let mut s = LogStore::new(&DeviceConfig::fpga().with_log_queue_bytes(2048));
+        let mut staged = 0;
+        let mut bypassed = 0;
+        for i in 0..20 {
+            match s.try_stage(Time::ZERO, hdr(i), payload(1000), Addr(9), 51000, 51000) {
+                LogOutcome::Staged => staged += 1,
+                LogOutcome::Bypass(BypassReason::QueueFull) => bypassed += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(staged, 1, "one 1036 B entry fits the 2 KiB bound");
+        assert!(bypassed > 0, "staging must not overcommit the SRAM queue");
+    }
+
+    #[test]
+    fn crash_before_doorbell_loses_staged_entries() {
+        let mut s = store();
+        s.try_stage(Time::ZERO, hdr(1), payload(10), Addr(9), 51000, 51000);
+        s.try_stage(Time::ZERO, hdr(2), payload(10), Addr(9), 51000, 51000);
+        assert_eq!(s.crash(Time::ZERO + Dur::millis(10)), 2);
+        assert_eq!(s.staged_len(), 0);
+        assert!(s.flush_staged(Time::ZERO + Dur::millis(10)).is_none());
+    }
+
+    #[test]
+    fn invalidated_while_staged_is_skipped_by_the_flush() {
+        let mut s = store();
+        let h = hdr(1);
+        s.try_stage(Time::ZERO, h, payload(10), Addr(9), 51000, 51000);
+        s.try_stage(Time::ZERO, hdr(2), payload(10), Addr(9), 51000, 51000);
+        assert!(s.invalidate(h.hash).is_some());
+        let (_, hashes) = s.flush_staged(Time::ZERO).unwrap();
+        assert_eq!(hashes.len(), 1, "invalidated entry drops out of the batch");
+        assert_ne!(hashes[0], h.hash);
+    }
+
+    #[test]
+    fn duplicate_of_a_staged_entry_is_detected() {
+        let mut s = store();
+        let h = hdr(1);
+        assert_eq!(
+            s.try_stage(Time::ZERO, h, payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Staged
+        );
+        assert_eq!(
+            s.try_stage(Time::ZERO, h, payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Duplicate
+        );
+        assert_eq!(
+            s.try_log(Time::ZERO, h, payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Duplicate
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use pmnet_net::Addr;
-use pmnet_pmem::crc32;
+use pmnet_pmem::{crc32, crc32_finish, crc32_init, crc32_update};
 
 /// Low end of the reserved PMNet UDP port range.
 pub const PMNET_PORT_LO: u16 = 51000;
@@ -188,11 +188,13 @@ impl PmnetHeader {
     /// logged and acknowledged the update. (`flags` and `device_id` stay
     /// uncovered: they are legitimately rewritten in-network.)
     fn frag_crc(&self, payload: &[u8]) -> u32 {
-        let mut buf = Vec::with_capacity(4 + payload.len());
-        buf.extend_from_slice(&self.frag_idx.to_le_bytes());
-        buf.extend_from_slice(&self.frag_cnt.to_le_bytes());
-        buf.extend_from_slice(payload);
-        crc32(&buf)
+        // Streamed so the geometry prefix + payload never materialize in a
+        // scratch Vec: this runs once per encode on the hot path.
+        let mut geom = [0u8; 4];
+        geom[..2].copy_from_slice(&self.frag_idx.to_le_bytes());
+        geom[2..].copy_from_slice(&self.frag_cnt.to_le_bytes());
+        let state = crc32_update(crc32_init(), &geom);
+        crc32_finish(crc32_update(state, payload))
     }
 
     /// The CRC-32 `HashVal` of this header (Section IV-A1): computed over
@@ -225,19 +227,35 @@ impl PmnetHeader {
     }
 
     /// Encodes the header followed by `payload` into a datagram body.
+    ///
+    /// The builder is drawn from the thread-local recycle pool and its
+    /// whole allocation (Arc handle included) returns there when the last
+    /// `Bytes` drops, so the steady-state encode path allocates nothing.
     pub fn encode(&self, payload: &[u8]) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
-        buf.put_u8(self.ptype as u8 | self.flags);
-        buf.put_u16_le(self.session);
-        buf.put_u32_le(self.seq);
-        buf.put_u32_le(self.hash);
-        buf.put_u32_le(self.pcrc);
-        buf.put_u32_le(self.client.0);
-        buf.put_u16_le(self.frag_idx);
-        buf.put_u16_le(self.frag_cnt);
-        buf.put_u8(self.device_id);
-        buf.put_slice(payload);
+        self.encode_into(&mut buf, payload);
         buf.freeze()
+    }
+
+    /// Writes the header followed by `payload` into an existing buffer —
+    /// the building block batch framing uses to pack several frames into
+    /// one backing allocation.
+    pub fn encode_into(&self, buf: &mut impl BufMut, payload: &[u8]) {
+        // Staged on the stack so the buffer sees two appends (header,
+        // payload) instead of ten — each `put_*` re-checks unique
+        // ownership and spare capacity, which dominates at this size.
+        let mut h = [0u8; HEADER_LEN];
+        h[0] = self.ptype as u8 | self.flags;
+        h[1..3].copy_from_slice(&self.session.to_le_bytes());
+        h[3..7].copy_from_slice(&self.seq.to_le_bytes());
+        h[7..11].copy_from_slice(&self.hash.to_le_bytes());
+        h[11..15].copy_from_slice(&self.pcrc.to_le_bytes());
+        h[15..19].copy_from_slice(&self.client.0.to_le_bytes());
+        h[19..21].copy_from_slice(&self.frag_idx.to_le_bytes());
+        h[21..23].copy_from_slice(&self.frag_cnt.to_le_bytes());
+        h[23] = self.device_id;
+        buf.put_slice(&h);
+        buf.put_slice(payload);
     }
 
     /// Decodes a datagram body into header + payload.

@@ -24,13 +24,13 @@ use std::fmt;
 
 use bytes::Bytes;
 use pmnet_net::{Addr, Ctx, Msg, Node, Packet, PortNo, Proto, Timer};
-use pmnet_pmem::{PmDevice, PmDeviceConfig};
+use pmnet_pmem::{CostModel, PmDevice, PmDeviceConfig};
 use pmnet_sim::{Dur, SimRng, Time};
 use pmnet_telemetry::span::OpEvent;
 use pmnet_telemetry::Telemetry;
 
 use crate::audit::{AuditEntry, AuditLog};
-use crate::config::HostProfile;
+use crate::config::{BatchConfig, HostProfile};
 #[cfg(feature = "recorder")]
 use crate::events::{Event, EventKind, Recorder};
 use crate::fabric::{FabricMap, FabricSteering, ReconfigAction};
@@ -43,6 +43,9 @@ const TIMER_GAP: u32 = 20;
 const TIMER_JOB_DONE: u32 = 21;
 const TIMER_RECOVERY_POLL: u32 = 22;
 const TIMER_FABRIC_CHECK: u32 = 23;
+/// Doorbell deadline for a partially filled apply batch; `a` carries the
+/// staging window id so a stale deadline can't flush a later window.
+const TIMER_APPLY_FLUSH: u32 = 24;
 
 /// How many fabric check ticks a reconfiguration's orders are re-sent
 /// for. Every order is idempotent at its receiver (epoch fencing), so
@@ -169,6 +172,13 @@ pub struct ServerCounters {
     /// Bypass reads parked behind an open recovery barrier (served once
     /// every device reported `RecoveryDone`).
     pub bypasses_parked: u64,
+    /// Updates that went through the batched apply path.
+    pub batched_applies: u64,
+    /// Combined apply jobs submitted to the worker pool.
+    pub apply_batches: u64,
+    /// Handler fence drains amortized away by batching (window size minus
+    /// one per combined job).
+    pub apply_fences_elided: u64,
 }
 
 impl pmnet_telemetry::registry::CounterGroup for ServerCounters {
@@ -183,6 +193,9 @@ impl pmnet_telemetry::registry::CounterGroup for ServerCounters {
         f("corrupt_dropped", self.corrupt_dropped);
         f("gaps_skipped", self.gaps_skipped);
         f("bypasses_parked", self.bypasses_parked);
+        f("batched_applies", self.batched_applies);
+        f("apply_batches", self.apply_batches);
+        f("apply_fences_elided", self.apply_fences_elided);
     }
 }
 
@@ -303,12 +316,29 @@ enum Job {
         src_port: u16,
         proto: Proto,
     },
+    /// A doorbell window of updates applied behind one combined worker
+    /// occupancy (and one amortized fence drain); each entry is completed
+    /// — replicated, acked — exactly as a solo [`Job::Update`] would be.
+    UpdateBatch { entries: Vec<StagedApply> },
     Bypass {
         header: PmnetHeader,
         reply: Option<Bytes>,
         src_port: u16,
         proto: Proto,
     },
+}
+
+/// One delivered update waiting in the apply-batch staging window. The
+/// handler has already applied it (and audit/recorder have seen it); only
+/// the worker occupancy and the acks are deferred to the batch job.
+#[derive(Debug)]
+struct StagedApply {
+    service: Dur,
+    client: Addr,
+    session: u16,
+    frag_headers: Vec<PmnetHeader>,
+    src_port: u16,
+    proto: Proto,
 }
 
 /// The server node.
@@ -323,6 +353,12 @@ pub struct ServerLib {
     assembly: HashMap<(Addr, u16), Vec<PendingPkt>>,
     jobs: HashMap<u64, Job>,
     next_job: u64,
+    batch: BatchConfig,
+    /// Delivered updates staged for the next combined apply job.
+    apply_stage: Vec<StagedApply>,
+    /// Staging window id; bumped at every flush so a stale doorbell
+    /// deadline (armed for an already-flushed window) is a no-op.
+    apply_seq: u64,
     counters: ServerCounters,
     gap_timeout: Dur,
     /// No-progress gap-detector rounds per stream (drives the exponential
@@ -406,6 +442,9 @@ impl ServerLib {
             assembly: HashMap::new(),
             jobs: HashMap::new(),
             next_job: 0,
+            batch: BatchConfig::default(),
+            apply_stage: Vec::new(),
+            apply_seq: 0,
             counters: ServerCounters::default(),
             gap_timeout,
             gap_rounds: HashMap::new(),
@@ -457,6 +496,17 @@ impl ServerLib {
     /// Registers the PMNet devices to poll during recovery.
     pub fn with_devices(mut self, devices: Vec<Addr>) -> ServerLib {
         self.devices = devices;
+        self
+    }
+
+    /// Configures doorbell-batched apply: in-order updates are staged and
+    /// submitted to the worker pool as one combined job per window, with
+    /// the redundant per-op fence drains amortized away. `window: 1` (the
+    /// default) keeps the per-update path byte-identical.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> ServerLib {
+        batch.validate().expect("invalid batch config");
+        self.batch = batch;
         self
     }
 
@@ -799,17 +849,61 @@ impl ServerLib {
                 r.last_redo_at = ctx.now();
             }
         }
-        self.enqueue_job(
-            ctx,
-            service,
-            Job::Update {
+        if self.batch.is_batched() {
+            self.counters.batched_applies += 1;
+            self.apply_stage.push(StagedApply {
+                service,
                 client,
                 session,
                 frag_headers,
                 src_port,
                 proto,
-            },
-        );
+            });
+            if self.apply_stage.len() >= self.batch.window as usize {
+                self.flush_apply_batch(ctx);
+            } else if self.apply_stage.len() == 1 {
+                // First entry of a new window: arm the doorbell deadline.
+                ctx.timer_in(
+                    self.batch.max_wait,
+                    Timer {
+                        kind: TIMER_APPLY_FLUSH,
+                        a: self.apply_seq,
+                        b: self.epoch,
+                    },
+                );
+            }
+        } else {
+            self.enqueue_job(
+                ctx,
+                service,
+                Job::Update {
+                    client,
+                    session,
+                    frag_headers,
+                    src_port,
+                    proto,
+                },
+            );
+        }
+    }
+
+    /// Submits the staged window as one combined worker job. The per-op
+    /// handler times each include one `sfence` drain; a batch needs only
+    /// the last, so the other `n - 1` are given back at the calibrated
+    /// per-fence cost.
+    fn flush_apply_batch(&mut self, ctx: &mut Ctx<'_>) {
+        let staged = std::mem::take(&mut self.apply_stage);
+        self.apply_seq += 1;
+        if staged.is_empty() {
+            return;
+        }
+        let elided = staged.len() as u64 - 1;
+        let fence_refund = CostModel::optane_server().per_fence * elided;
+        let service: Dur = staged.iter().map(|s| s.service).sum();
+        let service = service.saturating_sub(fence_refund);
+        self.counters.apply_batches += 1;
+        self.counters.apply_fences_elided += elided;
+        self.enqueue_job(ctx, service, Job::UpdateBatch { entries: staged });
     }
 
     fn finish_update_job(
@@ -1478,6 +1572,18 @@ impl Node for ServerLib {
                                 src_port,
                                 proto,
                             ),
+                            Some(Job::UpdateBatch { entries }) => {
+                                for e in entries {
+                                    self.finish_update_job(
+                                        ctx,
+                                        e.client,
+                                        e.session,
+                                        e.frag_headers,
+                                        e.src_port,
+                                        e.proto,
+                                    );
+                                }
+                            }
                             Some(Job::Bypass {
                                 header,
                                 reply,
@@ -1495,6 +1601,10 @@ impl Node for ServerLib {
                             None => {}
                         }
                     }
+                    TIMER_APPLY_FLUSH if b == self.epoch && a == self.apply_seq => {
+                        self.flush_apply_batch(ctx);
+                    }
+                    TIMER_APPLY_FLUSH => {}
                     TIMER_GAP => self.on_gap_timer(ctx, a, b),
                     TIMER_FABRIC_CHECK => {
                         if b != self.epoch {
@@ -1561,6 +1671,7 @@ impl Node for ServerLib {
                 self.reorder.clear();
                 self.assembly.clear();
                 self.jobs.clear();
+                self.apply_stage.clear();
                 self.gap_rounds.clear();
                 self.parked_bypass.clear();
                 self.pending_replication.clear();

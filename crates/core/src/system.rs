@@ -343,7 +343,8 @@ impl SystemBuilder {
             )
             .with_devices(device_addrs.clone())
             .with_recovery_poll_timeout(cfg.recovery_poll_timeout)
-            .with_gap_skip_rounds(cfg.gap_skip_rounds);
+            .with_gap_skip_rounds(cfg.gap_skip_rounds)
+            .with_batch(cfg.batch);
             match self.design {
                 DesignPoint::ClientServerReplicated { replicas: r } => {
                     let backups: Vec<Addr> = (1..r)
@@ -410,12 +411,10 @@ impl SystemBuilder {
             DesignPoint::PmnetSwitch | DesignPoint::PmnetReplicated { .. } => {
                 let mut prev = merge;
                 for (i, addr) in device_addrs.iter().enumerate() {
-                    let dev = world.add_node(Box::new(PmnetDevice::new(
-                        format!("pmnet{i}"),
-                        1 + i as u8,
-                        *addr,
-                        cfg.device,
-                    )));
+                    let dev = world.add_node(Box::new(
+                        PmnetDevice::new(format!("pmnet{i}"), 1 + i as u8, *addr, cfg.device)
+                            .with_batch(cfg.batch),
+                    ));
                     world.connect(prev, dev, cfg.link);
                     devices.push(dev);
                     path.push(dev);
@@ -427,12 +426,10 @@ impl SystemBuilder {
             DesignPoint::PmnetNic => {
                 let tor = world.add_node(Box::new(Switch::new("tor")));
                 world.connect(merge, tor, cfg.link);
-                let dev = world.add_node(Box::new(PmnetDevice::new(
-                    "pmnet-nic",
-                    1,
-                    device_addrs[0],
-                    cfg.device,
-                )));
+                let dev = world.add_node(Box::new(
+                    PmnetDevice::new("pmnet-nic", 1, device_addrs[0], cfg.device)
+                        .with_batch(cfg.batch),
+                ));
                 world.connect(tor, dev, cfg.link);
                 world.connect(dev, server, cfg.link);
                 devices.push(dev);
@@ -457,18 +454,14 @@ impl SystemBuilder {
                 for (i, chain) in shard_chains.iter().enumerate() {
                     let p_addr = chain.primary;
                     let b_addr = chain.backup.expect("sharded chains are replicated");
-                    let p = world.add_node(Box::new(PmnetDevice::new(
-                        format!("pmnet-p{i}"),
-                        1 + i as u8,
-                        p_addr,
-                        devcfg,
-                    )));
-                    let b = world.add_node(Box::new(PmnetDevice::new(
-                        format!("pmnet-b{i}"),
-                        101 + i as u8,
-                        b_addr,
-                        devcfg,
-                    )));
+                    let p = world.add_node(Box::new(
+                        PmnetDevice::new(format!("pmnet-p{i}"), 1 + i as u8, p_addr, devcfg)
+                            .with_batch(cfg.batch),
+                    ));
+                    let b = world.add_node(Box::new(
+                        PmnetDevice::new(format!("pmnet-b{i}"), 101 + i as u8, b_addr, devcfg)
+                            .with_batch(cfg.batch),
+                    ));
                     // Five links per shard: the chain itself, both members'
                     // ingress from the merge (the backup's is the promote
                     // bypass), and both members' egress to the tor (the
@@ -1034,6 +1027,77 @@ mod tests {
             panic!("acked updates lost in failover: {violations:?}");
         }
         assert_eq!(sys.stranded_log_entries(), 0);
+    }
+
+    #[test]
+    fn batched_devices_complete_the_workload_and_amortize_fences() {
+        use crate::config::BatchConfig;
+        let cfg = SystemConfig {
+            batch: BatchConfig::windowed(16),
+            ..SystemConfig::default()
+        };
+        let mut b = SystemBuilder::new(DesignPoint::PmnetSwitch, cfg);
+        for _ in 0..8 {
+            b = b.client(Box::new(MicroSource::updates(50, 100)));
+        }
+        let mut sys = b.build(7);
+        sys.run_clients(Dur::secs(1));
+        let m = sys.metrics();
+        assert_eq!(m.completed, 8 * 50, "clients wedged under batching");
+        // Every client-acked update still reaches the server exactly once
+        // and in order — batching must not weaken the durability contract.
+        let acked = sys.acked_updates();
+        let server = sys.world.node::<ServerLib>(sys.server);
+        crate::audit::verify(server.audit_log(), &acked).expect("audit");
+        assert_eq!(sys.stranded_log_entries(), 0);
+        let d = sys.world.node::<PmnetDevice>(sys.devices[0]);
+        let c = d.counters();
+        assert!(c.batches_flushed > 0, "no batch ever flushed: {c:?}");
+        assert!(
+            c.batch_fences_elided > 0,
+            "doorbell windows never filled past one entry: {c:?}"
+        );
+        let sc = sys.world.node::<ServerLib>(sys.server).counters();
+        assert!(sc.apply_batches > 0, "server never batched applies: {sc:?}");
+        assert_eq!(sc.batched_applies, sc.updates_applied);
+    }
+
+    #[test]
+    fn batched_sharded_fabric_withholds_no_acked_update() {
+        use crate::config::BatchConfig;
+        let cfg = SystemConfig {
+            batch: BatchConfig::windowed(8),
+            ..SystemConfig::default()
+        };
+        let mut b = SystemBuilder::new(DesignPoint::PmnetSharded { shards: 2 }, cfg);
+        for _ in 0..4 {
+            b = b.client(Box::new(MicroSource::updates(50, 100)));
+        }
+        let mut sys = b.build(11);
+        sys.run_clients(Dur::secs(1));
+        let m = sys.metrics();
+        assert_eq!(m.completed, 4 * 50, "clients wedged under batching");
+        let acked = sys.acked_updates();
+        let server = sys.world.node::<ServerLib>(sys.server);
+        crate::audit::verify(server.audit_log(), &acked).expect("audit");
+        assert_eq!(sys.stranded_log_entries(), 0);
+    }
+
+    #[test]
+    fn window_one_batch_config_is_bit_identical_to_default() {
+        use crate::config::BatchConfig;
+        let base = quick(DesignPoint::PmnetSwitch);
+        let cfg = SystemConfig {
+            batch: BatchConfig::windowed(1),
+            ..SystemConfig::default()
+        };
+        let gated = UpdateExperiment::new(DesignPoint::PmnetSwitch, cfg)
+            .requests_per_client(100)
+            .run(7);
+        assert_eq!(base.completed, gated.completed);
+        assert_eq!(base.latency.mean(), gated.latency.mean());
+        assert_eq!(base.client_retries, gated.client_retries);
+        assert_eq!(base.end, gated.end);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Property tests for the batch framing: arbitrary frame sets round-trip
+//! exactly through one backing allocation, truncation at every split
+//! point is detected rather than panicked, and corrupt count/length
+//! fields can never make the decoder over-read — a data-plane parser must
+//! tolerate any traffic.
+
+use bytes::Bytes;
+use pmnet_core::batch::{is_batch, BatchBuilder, BatchFrames, BATCH_HDR_LEN, FRAME_PREFIX_LEN};
+use pmnet_core::protocol::{PacketType, PmnetHeader, HEADER_LEN};
+use pmnet_net::Addr;
+use proptest::prelude::*;
+
+fn header(session: u16, seq: u32) -> PmnetHeader {
+    PmnetHeader::request(PacketType::UpdateReq, session, seq, Addr(3), Addr(9), 0, 1)
+}
+
+fn build(session: u16, payloads: &[Vec<u8>]) -> Bytes {
+    let mut b = BatchBuilder::with_capacity(64);
+    for (i, p) in payloads.iter().enumerate() {
+        b.push(&header(session, i as u32).with_payload(p), p);
+    }
+    b.finish()
+}
+
+proptest! {
+    #[test]
+    fn batches_round_trip_and_share_the_backing_allocation(
+        session in any::<u16>(),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 0..7),
+    ) {
+        let body = build(session, &payloads);
+        prop_assert!(is_batch(&body));
+        // A batch body is never mistaken for a plain frame.
+        prop_assert!(PmnetHeader::decode(&body).is_none());
+
+        let base = body.as_ref().as_ptr() as usize;
+        let mut it = BatchFrames::decode(&body).expect("self-encoded batch");
+        let frames: Vec<_> = it.by_ref().collect();
+        prop_assert!(!it.malformed());
+        prop_assert_eq!(frames.len(), payloads.len());
+
+        let mut expect_off = BATCH_HDR_LEN;
+        for (i, ((h, p), sent)) in frames.iter().zip(&payloads).enumerate() {
+            prop_assert_eq!(h.seq, i as u32);
+            prop_assert_eq!(h.session, session);
+            prop_assert_eq!(&p[..], &sent[..]);
+            prop_assert!(h.verify(Addr(9), p), "inner checksums must hold");
+            // Pointer equality: the payload is a slice of the batch's
+            // backing allocation at its exact wire offset, not a copy.
+            expect_off += FRAME_PREFIX_LEN + HEADER_LEN;
+            if !sent.is_empty() {
+                prop_assert_eq!(p.as_ref().as_ptr() as usize, base + expect_off);
+            }
+            expect_off += sent.len();
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_split_point_is_flagged_never_panics(
+        session in any::<u16>(),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..5),
+    ) {
+        let body = build(session, &payloads);
+        for cut in 0..body.len() {
+            let cut_body = body.slice(..cut);
+            match BatchFrames::decode(&cut_body) {
+                None => prop_assert!(cut < BATCH_HDR_LEN),
+                Some(mut it) => {
+                    let n = it.by_ref().count();
+                    prop_assert!(n < payloads.len());
+                    prop_assert!(it.malformed(), "cut at {} silently accepted", cut);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic_or_over_read(
+        session in any::<u16>(),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..5),
+        flip_at in any::<usize>(),
+        flip_bits in any::<u8>(),
+    ) {
+        // Flipping any byte of a valid batch — magic, count, a length
+        // prefix, a header, a payload — must leave the decoder total:
+        // every yielded payload stays in bounds of the corrupted body.
+        let body = build(session, &payloads);
+        let mut raw = body.to_vec();
+        let at = flip_at % raw.len();
+        raw[at] ^= flip_bits;
+        let total = raw.len();
+        let corrupt = Bytes::from(raw);
+        if let Some(mut it) = BatchFrames::decode(&corrupt) {
+            let base = corrupt.as_ref().as_ptr() as usize;
+            for (_, p) in it.by_ref() {
+                let start = p.as_ref().as_ptr() as usize;
+                prop_assert!(start >= base);
+                prop_assert!(start - base + p.len() <= total);
+            }
+            let _ = it.malformed();
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_batch_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let body = Bytes::from(bytes);
+        if let Some(mut it) = BatchFrames::decode(&body) {
+            // Iteration must terminate and stay in bounds on any input.
+            let n = it.by_ref().count();
+            prop_assert!(n <= body.len() / (FRAME_PREFIX_LEN + HEADER_LEN));
+        }
+    }
+
+    #[test]
+    fn oversized_length_fields_are_rejected(
+        session in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..40),
+        claimed in any::<u16>(),
+    ) {
+        // Overwrite the first frame's length prefix with an arbitrary
+        // claim: anything but the true length must flag malformation on
+        // that frame (the remaining bytes can't parse as counted frames),
+        // and can never over-read.
+        let body = build(session, std::slice::from_ref(&payload));
+        let true_len = (HEADER_LEN + payload.len()) as u16;
+        let mut raw = body.to_vec();
+        raw[BATCH_HDR_LEN..BATCH_HDR_LEN + 2].copy_from_slice(&claimed.to_le_bytes());
+        let corrupt = Bytes::from(raw);
+        let mut it = BatchFrames::decode(&corrupt).expect("magic intact");
+        let n = it.by_ref().count();
+        if claimed == true_len {
+            prop_assert_eq!(n, 1);
+            prop_assert!(!it.malformed());
+        } else {
+            // Any other claim misparses: too short for a header, past the
+            // body end, or a misaligned frame boundary that leaves
+            // trailing bytes — all flagged.
+            prop_assert!(it.malformed());
+            prop_assert!(n <= 1);
+        }
+    }
+}

@@ -3,11 +3,34 @@
 //! The PMNet header carries a CRC-32 `HashVal` that the device uses to
 //! index its log (Section IV-A1); the WAL uses the same code to checksum
 //! records. Implemented locally to keep the dependency set minimal.
+//!
+//! Two interfaces over the same kernels:
+//!
+//! * [`crc32`] — one-shot.
+//! * [`crc32_init`] / [`crc32_update`] / [`crc32_finish`] — streaming,
+//!   for checksumming logically concatenated parts (header fields + a
+//!   payload) without materializing the concatenation in a scratch `Vec`.
+//!
+//! Two kernels compute the same values:
+//!
+//! * Slice-by-16 tables — sixteen lookups fold sixteen input bytes per
+//!   iteration; the serial dependency between iterations is a single XOR
+//!   into the next chunk's first word, so the loads pipeline freely.
+//!   Always available, and used for short/remainder input.
+//! * PCLMULQDQ folding (x86-64, runtime-detected) — the carry-less
+//!   multiply reduction from Intel's "Fast CRC Computation for Generic
+//!   Polynomials" paper: four 128-bit lanes fold 64 bytes per iteration,
+//!   collapsed by a Barrett reduction. Roughly 5-10x the table kernel on
+//!   the ~0.5-1.5 KiB payloads the protocol checksums per frame.
 
 const POLY: u32 = 0xEDB8_8320;
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Sixteen tables: `TABLES[0]` is the classic CRC table; `TABLES[k][b]`
+/// is the CRC of byte `b` followed by `k` zero bytes, so a 16-byte block
+/// can be folded with one lookup per byte and no loop-carried dependency
+/// inside the block.
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -16,13 +39,147 @@ const fn build_table() -> [u32; 256] {
             c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 16] = build_tables();
+
+#[inline]
+fn update_raw(c: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if data.len() >= 64
+        && is_x86_feature_detected!("pclmulqdq")
+        && is_x86_feature_detected!("sse4.1")
+    {
+        // SAFETY: feature presence just checked.
+        return unsafe { update_pclmul(c, data) };
+    }
+    update_tables(c, data)
+}
+
+/// The PCLMULQDQ fold: the CRC state is XORed into the first 16-byte
+/// block (the CRC is linear over GF(2), so this is equivalent to seeding
+/// the register), four lanes fold 64 bytes per step, then the lanes and
+/// any 16-byte stragglers collapse into one 128-bit value that a Barrett
+/// reduction maps back to the 32-bit register. Sub-16-byte tails reuse
+/// the table kernel. Constants are x^N mod P precomputations for the
+/// reflected IEEE polynomial, from the Intel paper (also used verbatim in
+/// zlib's crc32_simd and the crc32fast crate).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+unsafe fn update_pclmul(crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::*;
+
+    const K1: i64 = 0x0000_0001_5444_2bd4;
+    const K2: i64 = 0x0000_0001_c6e4_1596;
+    const K3: i64 = 0x0000_0001_7519_97d0;
+    const K4: i64 = 0x0000_0000_ccaa_009e;
+    const K5: i64 = 0x0000_0001_63cd_6124;
+    const MU: i64 = 0x0000_0001_f701_1641;
+    const POLY_FULL: i64 = 0x0000_0001_db71_0641;
+
+    #[inline]
+    unsafe fn fold16(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+        let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+        _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+    }
+
+    let mut ptr = data.as_ptr().cast::<__m128i>();
+    let mut len = data.len();
+
+    let mut x3 = _mm_loadu_si128(ptr);
+    let mut x2 = _mm_loadu_si128(ptr.add(1));
+    let mut x1 = _mm_loadu_si128(ptr.add(2));
+    let mut x0 = _mm_loadu_si128(ptr.add(3));
+    ptr = ptr.add(4);
+    len -= 64;
+    x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(crc as i32));
+
+    let k1k2 = _mm_set_epi64x(K2, K1);
+    while len >= 64 {
+        x3 = fold16(x3, _mm_loadu_si128(ptr), k1k2);
+        x2 = fold16(x2, _mm_loadu_si128(ptr.add(1)), k1k2);
+        x1 = fold16(x1, _mm_loadu_si128(ptr.add(2)), k1k2);
+        x0 = fold16(x0, _mm_loadu_si128(ptr.add(3)), k1k2);
+        ptr = ptr.add(4);
+        len -= 64;
+    }
+
+    let k3k4 = _mm_set_epi64x(K4, K3);
+    let mut x = fold16(x3, x2, k3k4);
+    x = fold16(x, x1, k3k4);
+    x = fold16(x, x0, k3k4);
+    while len >= 16 {
+        x = fold16(x, _mm_loadu_si128(ptr), k3k4);
+        ptr = ptr.add(1);
+        len -= 16;
+    }
+
+    // 128 -> 64 bits.
+    let low32 = _mm_set_epi32(0, 0, 0, !0);
+    let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+    let x = _mm_xor_si128(
+        _mm_clmulepi64_si128(_mm_and_si128(x, low32), _mm_set_epi64x(0, K5), 0x00),
+        _mm_srli_si128(x, 4),
+    );
+
+    // Barrett reduction, 64 -> 32 bits.
+    let pu = _mm_set_epi64x(MU, POLY_FULL);
+    let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, low32), pu, 0x10);
+    let t2 = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(t1, low32), pu, 0x00), x);
+    let c = _mm_extract_epi32(t2, 1) as u32;
+
+    // Remaining 0..16 tail bytes through the table kernel.
+    update_tables(c, std::slice::from_raw_parts(ptr.cast::<u8>(), len))
+}
+
+#[inline]
+fn update_tables(mut c: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        // The fixed-size view compiles the four word reads into plain
+        // unaligned loads (per-byte indexing defeats that).
+        let block: &[u8; 16] = chunk.try_into().unwrap();
+        let w0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]) ^ c;
+        let w1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let w2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let w3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+        c = TABLES[15][(w0 & 0xFF) as usize]
+            ^ TABLES[14][((w0 >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((w0 >> 16) & 0xFF) as usize]
+            ^ TABLES[12][(w0 >> 24) as usize]
+            ^ TABLES[11][(w1 & 0xFF) as usize]
+            ^ TABLES[10][((w1 >> 8) & 0xFF) as usize]
+            ^ TABLES[9][((w1 >> 16) & 0xFF) as usize]
+            ^ TABLES[8][(w1 >> 24) as usize]
+            ^ TABLES[7][(w2 & 0xFF) as usize]
+            ^ TABLES[6][((w2 >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((w2 >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(w2 >> 24) as usize]
+            ^ TABLES[3][(w3 & 0xFF) as usize]
+            ^ TABLES[2][((w3 >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((w3 >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(w3 >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
 
 /// Computes the CRC-32 (IEEE) of `data`.
 ///
@@ -32,16 +189,40 @@ static TABLE: [u32; 256] = build_table();
 /// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
+    crc32_finish(crc32_update(crc32_init(), data))
+}
+
+/// Starts a streaming CRC-32 computation.
+#[inline]
+pub fn crc32_init() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Folds `data` into a streaming CRC-32 state. Feeding parts in sequence
+/// yields exactly the CRC of their concatenation.
+#[inline]
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    update_raw(state, data)
+}
+
+/// Finalizes a streaming CRC-32 state into the checksum value.
+#[inline]
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The classic loop the slice-by-16 kernel must match bit for bit.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c = TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF
+    }
 
     #[test]
     fn known_vectors() {
@@ -52,6 +233,64 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+    }
+
+    #[test]
+    fn slice_by_16_matches_bytewise_at_every_length() {
+        // Cover every chunk remainder (0..16) and lengths spanning several
+        // 16-byte blocks, with non-trivial byte patterns.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167) ^ (i >> 3)) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "mismatch at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data = b"pmnet: in-network data persistence, 2021";
+        let whole = crc32(data);
+        for split in 0..=data.len() {
+            let s = crc32_update(crc32_init(), &data[..split]);
+            let s = crc32_update(s, &data[split..]);
+            assert_eq!(crc32_finish(s), whole, "mismatch at split {split}");
+        }
+        // Three-way split, arbitrary points.
+        let s = crc32_update(crc32_init(), &data[..7]);
+        let s = crc32_update(s, &data[7..29]);
+        let s = crc32_update(s, &data[29..]);
+        assert_eq!(crc32_finish(s), whole);
+    }
+
+    #[test]
+    fn kernels_agree_on_multi_block_payloads() {
+        // Past 64 bytes the folding kernel takes over where available;
+        // these lengths cover several 64-byte folds plus every 16-byte
+        // straggler count and tail length around realistic payload sizes.
+        let data: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
+        for len in [64, 65, 79, 80, 127, 128, 500, 512, 534, 1024, 1500, 2048] {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "mismatch at len {len}"
+            );
+        }
+        // Streaming hand-off between kernels: every split point of a
+        // payload long enough that both sides can take the folding path.
+        let body = &data[..600];
+        let whole = crc32(body);
+        for split in 0..=body.len() {
+            let s = crc32_update(crc32_init(), &body[..split]);
+            let s = crc32_update(s, &body[split..]);
+            assert_eq!(crc32_finish(s), whole, "mismatch at split {split}");
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod kv;
 
 pub use arena::{ArenaStats, PmArena, PmPtr, LINE};
 pub use cost::CostModel;
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_finish, crc32_init, crc32_update};
 pub use device::{PmDevice, PmDeviceConfig, PmDeviceCounters};
 pub use persistent::{KvOp, PersistentKv};
 pub use wal::{Wal, WalStats};

@@ -302,6 +302,12 @@ fn render_body(b: &FlightBody) -> String {
             OpEvent::DeviceCacheResp { device, at } => {
                 format!("cache-resp device={device} at={}", at.as_nanos())
             }
+            OpEvent::DeviceBatchStage { device, at } => {
+                format!("batch-stage device={device} at={}", at.as_nanos())
+            }
+            OpEvent::DeviceBatchFlush { device, at } => {
+                format!("batch-flush device={device} at={}", at.as_nanos())
+            }
             OpEvent::ServerRecv { at } => format!("server-recv at={}", at.as_nanos()),
             OpEvent::ServerApply { at } => format!("server-apply at={}", at.as_nanos()),
             OpEvent::ServerSend { at } => format!("server-send at={}", at.as_nanos()),

@@ -105,7 +105,7 @@ struct Inner {
     op_hists: [LatencyHistogram; 2],
     /// Per-phase durations, indexed by [`Phase`] — folded into the
     /// registry snapshot under `phase.{name}`.
-    phase_hists: [LatencyHistogram; 10],
+    phase_hists: [LatencyHistogram; 11],
 }
 
 impl Inner {

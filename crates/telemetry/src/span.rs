@@ -85,6 +85,24 @@ pub enum OpEvent {
         /// Wire-exit time of the response.
         at: Time,
     },
+    /// A PMNet device staged the fragment behind its doorbell window
+    /// (batched mode): the entry is admitted but its PM write waits for
+    /// the window's single flush.
+    DeviceBatchStage {
+        /// Device id within the path.
+        device: u8,
+        /// Staging time.
+        at: Time,
+    },
+    /// The doorbell rang: the device flushed the window holding this
+    /// fragment into one PM write. The span between stage and flush is
+    /// attributed to [`Phase::BatchWait`].
+    DeviceBatchFlush {
+        /// Device id within the path.
+        device: u8,
+        /// Flush time.
+        at: Time,
+    },
     /// The fragment arrived at the server NIC (before the kernel/user RX
     /// stack).
     ServerRecv {
@@ -117,6 +135,8 @@ impl OpEvent {
             | OpEvent::DeviceRecv { at, .. }
             | OpEvent::DeviceAckSend { at, .. }
             | OpEvent::DeviceCacheResp { at, .. }
+            | OpEvent::DeviceBatchStage { at, .. }
+            | OpEvent::DeviceBatchFlush { at, .. }
             | OpEvent::ServerRecv { at }
             | OpEvent::ServerApply { at }
             | OpEvent::ServerSend { at } => at,
@@ -156,6 +176,9 @@ pub enum Phase {
     /// Device MAT pipeline + PM persist (or cache lookup) up to the
     /// ack's wire exit.
     Device,
+    /// Time the fragment sat staged behind the device's doorbell window
+    /// waiting for the batch flush (zero on the per-packet path).
+    BatchWait,
     /// Server kernel + user RX stack traversal.
     ServerStack,
     /// Server handler service time (incl. worker queueing and TX stack).
@@ -179,6 +202,7 @@ impl Phase {
             Phase::ClientTx => "client_tx",
             Phase::WireOut => "wire_out",
             Phase::Device => "device",
+            Phase::BatchWait => "batch_wait",
             Phase::ServerStack => "server_stack",
             Phase::Handler => "handler",
             Phase::WireBack => "wire_back",
@@ -196,6 +220,7 @@ impl Phase {
             Phase::ClientTx => "phase.client_tx",
             Phase::WireOut => "phase.wire_out",
             Phase::Device => "phase.device",
+            Phase::BatchWait => "phase.batch_wait",
             Phase::ServerStack => "phase.server_stack",
             Phase::Handler => "phase.handler",
             Phase::WireBack => "phase.wire_back",
@@ -206,11 +231,12 @@ impl Phase {
     }
 
     /// Every phase, in path order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::RetryWait,
         Phase::ClientTx,
         Phase::WireOut,
         Phase::Device,
+        Phase::BatchWait,
         Phase::ServerStack,
         Phase::Handler,
         Phase::WireBack,
@@ -554,7 +580,34 @@ fn walk_chain(c: &OpCompletion, evs: &[OpEvent], phases: &mut Vec<(Phase, Dur)>)
                     |e| matches!(e, OpEvent::DeviceRecv { device: d, .. } if *d == device),
                 )?
                 .at();
-                (send, recv, [(Phase::Device, send - recv), zero], 1)
+                // Batched mode: if the completing attempt was staged and
+                // flushed inside this hop's span, the stage→flush wait is
+                // BatchWait, not device pipeline/persist time.
+                let stage = latest_before(
+                    evs,
+                    send,
+                    |e| matches!(e, OpEvent::DeviceBatchStage { device: d, .. } if *d == device),
+                )
+                .map(OpEvent::at)
+                .filter(|&s| s >= recv);
+                let flush = latest_before(
+                    evs,
+                    send,
+                    |e| matches!(e, OpEvent::DeviceBatchFlush { device: d, .. } if *d == device),
+                )
+                .map(OpEvent::at);
+                match (stage, flush) {
+                    (Some(s), Some(f)) if s <= f => (
+                        send,
+                        recv,
+                        [
+                            (Phase::Device, (s - recv) + (send - f)),
+                            (Phase::BatchWait, f - s),
+                        ],
+                        2,
+                    ),
+                    _ => (send, recv, [(Phase::Device, send - recv), zero], 1),
+                }
             }
             Evidence::CacheResp => {
                 let send = latest_before(evs, arrive, |e| {
@@ -751,6 +804,63 @@ mod tests {
         assert_eq!(tr.phase(Phase::ClientTx), Dur::nanos(50));
         assert_eq!(tr.phase(Phase::WireOut), Dur::nanos(100));
         assert_eq!(tr.phase(Phase::Device), Dur::nanos(150));
+        assert_eq!(tr.phase_sum(), tr.latency);
+    }
+
+    #[test]
+    fn batched_device_chain_splits_batch_wait_from_device_time() {
+        let mut sc = SpanCollector::new();
+        let key = (Addr(1), 1, 7);
+        sc.record(
+            key,
+            OpEvent::ClientSend {
+                attempt: 0,
+                tx_start: t(100),
+                wire_at: t(150),
+            },
+        );
+        sc.record(
+            key,
+            OpEvent::DeviceRecv {
+                device: 0,
+                at: t(250),
+            },
+        );
+        sc.record(
+            key,
+            OpEvent::DeviceBatchStage {
+                device: 0,
+                at: t(280),
+            },
+        );
+        sc.record(
+            key,
+            OpEvent::DeviceBatchFlush {
+                device: 0,
+                at: t(380),
+            },
+        );
+        sc.record(
+            key,
+            OpEvent::DeviceAckSend {
+                device: 0,
+                at: t(450),
+            },
+        );
+        sc.record(
+            key,
+            OpEvent::ClientRecv {
+                kind: AckKind::Device(0),
+                at: t(530),
+            },
+        );
+        sc.complete(completion(Evidence::DeviceAck { device: 0 }, 500));
+        let tr = &sc.traces()[0];
+        // 30ns pre-stage + 70ns post-flush pipeline/persist; 100ns waiting
+        // for the window to fill.
+        assert_eq!(tr.phase(Phase::Device), Dur::nanos(100));
+        assert_eq!(tr.phase(Phase::BatchWait), Dur::nanos(100));
+        assert_eq!(tr.phase(Phase::Unattributed), Dur::ZERO);
         assert_eq!(tr.phase_sum(), tr.latency);
     }
 

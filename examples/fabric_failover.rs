@@ -12,14 +12,20 @@
 //! prove the digest is bit-identical for the fixed seed, and the summed
 //! failover count proves the kills were not vacuous.
 //!
+//! A second pass runs the same campaign shape with a doorbell batching
+//! window of 16 on every hop, proving chain staging and promote/re-home
+//! replay compose with coalesced acks and one-fence-per-batch appends.
+//!
 //! Run with: `cargo run --release --example fabric_failover`
 
-use pmnet::chaos::run_failover_campaign;
+use pmnet::chaos::{run_failover_campaign, run_failover_campaign_with_window};
 use pmnet::core::system::DesignPoint;
 
 fn main() {
     const SEED: u64 = 2025;
     const PLANS_PER_DESIGN: usize = 50; // x2 sharded designs = 100 runs
+    const BATCH_WINDOW: u32 = 16;
+    const BATCH_PLANS_PER_DESIGN: usize = 15; // x2 sharded designs = 30 batched runs
 
     println!("fabric-failover campaign: {PLANS_PER_DESIGN} plans x 2 designs, seed {SEED}");
     let outcome = run_failover_campaign(SEED, PLANS_PER_DESIGN);
@@ -64,4 +70,32 @@ fn main() {
         outcome.runs.len()
     );
     println!("all runs converged across {failovers} failovers; digest stable.");
+
+    println!(
+        "fabric-failover campaign (batch window {BATCH_WINDOW}): \
+         {BATCH_PLANS_PER_DESIGN} plans x 2 designs, seed {SEED}"
+    );
+    let batched = run_failover_campaign_with_window(SEED, BATCH_PLANS_PER_DESIGN, BATCH_WINDOW);
+    println!(
+        "  {} runs, {} failures, digest {:#018x}",
+        batched.runs.len(),
+        batched.failure_count(),
+        batched.digest,
+    );
+    for artifact in &batched.failures {
+        eprintln!("failing batched schedule:\n{artifact}");
+    }
+    assert_eq!(
+        batched.failure_count(),
+        0,
+        "an acked update was lost or a chain wedged during batched failover"
+    );
+    let failovers: u64 = batched.runs.iter().map(|r| r.verdict.failovers).sum();
+    assert!(
+        failovers >= batched.runs.len() as u64,
+        "every batched plan must still drive at least one failover \
+         (got {failovers} across {} runs)",
+        batched.runs.len()
+    );
+    println!("all batched runs converged across {failovers} failovers.");
 }

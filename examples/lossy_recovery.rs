@@ -9,14 +9,21 @@
 //! recovery barrier closed (convergence). The campaign is replayed to
 //! prove the digest is bit-identical for the fixed seed.
 //!
+//! The campaign then runs a second time with a doorbell batching window
+//! of 16 on every hop, proving the coalesced-ack / single-fence-per-batch
+//! fast path survives the same loss schedule without losing an acked
+//! update or wedging the recovery barrier.
+//!
 //! Run with: `cargo run --release --example lossy_recovery`
 
-use pmnet::chaos::run_lossy_recovery_campaign;
+use pmnet::chaos::{run_lossy_recovery_campaign, run_lossy_recovery_campaign_with_window};
 use pmnet::core::system::DesignPoint;
 
 fn main() {
     const SEED: u64 = 77;
     const PLANS_PER_DESIGN: usize = 100; // x2 designs = 200 runs
+    const BATCH_WINDOW: u32 = 16;
+    const BATCH_PLANS_PER_DESIGN: usize = 25; // x2 designs = 50 batched runs
 
     println!("lossy-recovery campaign: {PLANS_PER_DESIGN} plans x 2 designs, seed {SEED}");
     let outcome = run_lossy_recovery_campaign(SEED, PLANS_PER_DESIGN);
@@ -53,4 +60,28 @@ fn main() {
     let redo: u64 = outcome.runs.iter().map(|r| r.verdict.redo_applied).sum();
     assert!(redo > 0, "campaign never exercised redo replay");
     println!("all runs converged; digest stable.");
+
+    println!(
+        "lossy-recovery campaign (batch window {BATCH_WINDOW}): \
+         {BATCH_PLANS_PER_DESIGN} plans x 2 designs, seed {SEED}"
+    );
+    let batched =
+        run_lossy_recovery_campaign_with_window(SEED, BATCH_PLANS_PER_DESIGN, BATCH_WINDOW);
+    println!(
+        "  {} runs, {} failures, digest {:#018x}",
+        batched.runs.len(),
+        batched.failure_count(),
+        batched.digest,
+    );
+    for artifact in &batched.failures {
+        eprintln!("failing batched schedule:\n{artifact}");
+    }
+    assert_eq!(
+        batched.failure_count(),
+        0,
+        "convergence violated under lossy recovery with batching enabled"
+    );
+    let redo: u64 = batched.runs.iter().map(|r| r.verdict.redo_applied).sum();
+    assert!(redo > 0, "batched campaign never exercised redo replay");
+    println!("all batched runs converged.");
 }
