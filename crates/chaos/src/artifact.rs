@@ -29,6 +29,10 @@ pub struct Artifact {
     /// the text format only when not 1, so pre-batching artifacts parse
     /// and render unchanged.
     pub batch_window: u32,
+    /// Apply worker threads the run used (1 = sequential). Emitted in the
+    /// text format only when not 1, so pre-pool artifacts parse and
+    /// render unchanged.
+    pub apply_threads: u32,
     /// The (minimized) fault plan.
     pub plan: FaultPlan,
     /// Flight-recorder timeline from the failing run, when one was
@@ -94,6 +98,7 @@ impl Artifact {
             design: scenario.design,
             dedup_bug: scenario.plant_dedup_bug,
             batch_window: scenario.batch_window,
+            apply_threads: scenario.apply_threads,
             plan,
             flight: None,
         }
@@ -112,6 +117,7 @@ impl Artifact {
         let mut s = Scenario::standard(self.design, self.seed);
         s.plant_dedup_bug = self.dedup_bug;
         s.batch_window = self.batch_window.max(1);
+        s.apply_threads = self.apply_threads.max(1);
         s
     }
 
@@ -132,6 +138,9 @@ impl fmt::Display for Artifact {
         if self.batch_window != 1 {
             writeln!(f, "batch_window={}", self.batch_window)?;
         }
+        if self.apply_threads != 1 {
+            writeln!(f, "apply_threads={}", self.apply_threads)?;
+        }
         write!(f, "{}", self.plan)?;
         if let Some(dump) = &self.flight {
             // The flight header starts with `#`, every timeline line with
@@ -151,6 +160,7 @@ impl FromStr for Artifact {
         let mut design = None;
         let mut dedup_bug = false;
         let mut batch_window = 1u32;
+        let mut apply_threads = 1u32;
         let mut plan_lines = String::new();
         let mut flight_lines = String::new();
         for line in text.lines() {
@@ -175,6 +185,10 @@ impl FromStr for Artifact {
                 batch_window = v
                     .parse()
                     .map_err(|_| format!("bad batch_window line `{line}`"))?;
+            } else if let Some(v) = line.strip_prefix("apply_threads=") {
+                apply_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad apply_threads line `{line}`"))?;
             } else {
                 plan_lines.push_str(line);
                 plan_lines.push('\n');
@@ -190,6 +204,7 @@ impl FromStr for Artifact {
             design: design.ok_or("artifact: missing design= line")?,
             dedup_bug,
             batch_window,
+            apply_threads,
             plan: plan_lines.parse()?,
             flight,
         })
@@ -217,6 +232,7 @@ mod tests {
             design: DesignPoint::PmnetSwitch,
             dedup_bug: true,
             batch_window: 1,
+            apply_threads: 1,
             plan,
             flight: None,
         }
@@ -236,6 +252,23 @@ mod tests {
         assert!(!plain.to_string().contains("batch_window"));
         let back: Artifact = plain.to_string().parse().expect("parse");
         assert_eq!(back.batch_window, 1);
+    }
+
+    #[test]
+    fn apply_threads_round_trips_and_defaults_to_one() {
+        let mut a = sample();
+        a.apply_threads = 4;
+        let text = a.to_string();
+        assert!(text.contains("apply_threads=4"));
+        let back: Artifact = text.parse().expect("parse back");
+        assert_eq!(a, back);
+        assert_eq!(back.scenario().apply_threads, 4);
+        // Thread count 1 is left implicit so pre-pool artifacts stay
+        // exact.
+        let plain = sample();
+        assert!(!plain.to_string().contains("apply_threads"));
+        let back: Artifact = plain.to_string().parse().expect("parse");
+        assert_eq!(back.apply_threads, 1);
     }
 
     #[test]

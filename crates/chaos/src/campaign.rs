@@ -244,6 +244,32 @@ fn lossy_campaign_with_threads(
     batch_window: u32,
     threads: usize,
 ) -> CampaignOutcome {
+    lossy_apply_campaign_with_threads(seed, plans_per_design, batch_window, 1, threads)
+}
+
+/// Executes a campaign of lossy-recovery plans with every run applying on
+/// `apply_threads` server workers (see `ApplyConfig` in `pmnet-core`).
+/// Every plan crashes the server mid-traffic, so with `apply_threads > 1`
+/// the kill lands while the worker pool holds staged updates — the
+/// concurrent-apply crash story. Runs with more than one apply thread are
+/// checked in the model's concurrent-history mode. Plan/seed derivation
+/// matches [`run_lossy_recovery_campaign`] exactly, so `apply_threads: 1`
+/// reproduces the frozen lossy-recovery digest bit for bit.
+pub fn run_concurrent_apply_campaign(
+    seed: u64,
+    plans_per_design: usize,
+    apply_threads: u32,
+) -> CampaignOutcome {
+    lossy_apply_campaign_with_threads(seed, plans_per_design, 1, apply_threads, campaign_threads())
+}
+
+fn lossy_apply_campaign_with_threads(
+    seed: u64,
+    plans_per_design: usize,
+    batch_window: u32,
+    apply_threads: u32,
+    threads: usize,
+) -> CampaignOutcome {
     let mut meta = SimRng::seed(seed);
     let designs = [DesignPoint::PmnetSwitch, DesignPoint::PmnetNic];
     let mut jobs = Vec::with_capacity(designs.len() * plans_per_design);
@@ -259,7 +285,9 @@ fn lossy_campaign_with_threads(
                 design,
                 index,
                 seed: run_seed,
-                scenario: Scenario::standard(design, run_seed).with_batch_window(batch_window),
+                scenario: Scenario::standard(design, run_seed)
+                    .with_batch_window(batch_window)
+                    .with_apply_threads(apply_threads),
                 plan,
             });
         }
@@ -436,6 +464,38 @@ mod tests {
         let a = run_failover_campaign(2025, 3);
         let b = run_failover_campaign_with_window(2025, 3, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_thread_concurrent_apply_campaign_matches_the_lossy_entry_point() {
+        // `apply_threads: 1` is the sequential path; the campaign must be
+        // indistinguishable from the frozen lossy-recovery entry point.
+        let a = run_lossy_recovery_campaign(2024, 4);
+        let b = run_concurrent_apply_campaign(2024, 4, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_apply_campaign_survives_kills_inside_apply() {
+        // Every plan crashes the server under loss while four apply
+        // workers hold staged updates; durability, convergence, and the
+        // concurrent-history model check must all hold, and the campaign
+        // must replay bit-identically (the pool's scheduler is seeded).
+        let out = run_concurrent_apply_campaign(2026, 8, 4);
+        assert_eq!(
+            out.failure_count(),
+            0,
+            "violations: {:?}",
+            out.failures
+                .iter()
+                .map(|f| f.replay().violations)
+                .collect::<Vec<_>>()
+        );
+        let redo: u64 = out.runs.iter().map(|r| r.verdict.redo_applied).sum();
+        assert!(redo > 0, "no run replayed a redo log");
+        let b = run_concurrent_apply_campaign(2026, 8, 4);
+        assert_eq!(out.digest, b.digest, "concurrent campaign must replay");
+        assert_eq!(out, b);
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct Scenario {
     /// path; 1 (the default) is the unbatched fast path, so all frozen
     /// campaign digests keep their meaning.
     pub batch_window: u32,
+    /// Server apply worker threads; 1 (the default) is the sequential
+    /// apply path, so all frozen campaign digests keep their meaning.
+    /// With more than one thread the model check switches into
+    /// concurrent-history mode (`pmnet_model::config_for_apply`).
+    pub apply_threads: u32,
     /// Wall-clock (simulated) budget for the run.
     pub deadline: Dur,
     /// Extra settling time after the clients finish (or the deadline
@@ -67,6 +72,7 @@ impl Scenario {
             payload_bytes: 64,
             plant_dedup_bug: false,
             batch_window: 1,
+            apply_threads: 1,
             deadline: Dur::millis(200),
             drain: Dur::millis(20),
         }
@@ -81,6 +87,14 @@ impl Scenario {
     /// Returns a copy running with the given doorbell batching window.
     pub fn with_batch_window(mut self, window: u32) -> Scenario {
         self.batch_window = window;
+        self
+    }
+
+    /// Returns a copy running with the given apply worker count. The
+    /// pool's logical scheduler is seeded from the scenario seed (or the
+    /// `PMNET_APPLY_SCHED_SEED` override), so every interleaving replays.
+    pub fn with_apply_threads(mut self, threads: u32) -> Scenario {
+        self.apply_threads = threads;
         self
     }
 
@@ -102,6 +116,10 @@ impl Scenario {
                 settle_window: Dur::millis(20),
             },
             batch: pmnet_core::config::BatchConfig::windowed(self.batch_window.max(1)),
+            apply: pmnet_core::config::ApplyConfig::threaded(self.apply_threads.max(1))
+                .with_sched_seed(pmnet_core::config::ApplyConfig::sched_seed_from_env(
+                    self.seed,
+                )),
             ..SystemConfig::default()
         };
         let mut b = SystemBuilder::new(self.design, config);
@@ -472,9 +490,11 @@ pub fn run(scenario: &Scenario, plan: &FaultPlan) -> Verdict {
         }
     };
     #[cfg(feature = "model")]
-    if let Err(d) =
-        pmnet_model::check_system_with(&sys, &recorder, pmnet_model::config_for(scenario.design))
-    {
+    if let Err(d) = pmnet_model::check_system_with(
+        &sys,
+        &recorder,
+        pmnet_model::config_for_apply(scenario.design, scenario.apply_threads),
+    ) {
         if std::env::var_os("PMNET_MODEL_DUMP").is_some() {
             eprintln!("{}", d.artifact);
         }

@@ -260,6 +260,83 @@ impl BatchConfig {
     }
 }
 
+/// Concurrent server-side apply policy.
+///
+/// `threads: 1` (the default) is the sequential apply path and is
+/// bit-identical to the unthreaded system — the golden digests pin this.
+/// With `threads > 1` the server dispatches deliverable updates to a
+/// sharded worker pool: each `(client, session)` pair hashes to one
+/// worker (stealing-free, so per-session apply order is preserved), and
+/// cross-worker write-write conflicts on the same KV key are fenced in
+/// delivery order. Exactly-once under crashes comes from the detectable
+/// structures underneath (`pmnet_pmem::ploc`): per-op mementos persist
+/// before the ack path observes them, so the redo-log dedup composes
+/// with concurrent apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyConfig {
+    /// Apply workers. 1 disables the pool entirely (sequential path).
+    pub threads: u32,
+    /// Seed of the pool's logical scheduler: drives the deterministic
+    /// per-run jitter that explores different worker interleavings.
+    /// Tests override it via `PMNET_APPLY_SCHED_SEED` so any concurrent
+    /// failure replays from the seed printed in the panic message.
+    pub sched_seed: u64,
+}
+
+impl Default for ApplyConfig {
+    fn default() -> ApplyConfig {
+        ApplyConfig {
+            threads: 1,
+            sched_seed: 0,
+        }
+    }
+}
+
+impl ApplyConfig {
+    /// A policy with the given worker count and default scheduler seed.
+    pub fn threaded(threads: u32) -> ApplyConfig {
+        ApplyConfig {
+            threads,
+            ..ApplyConfig::default()
+        }
+    }
+
+    /// Returns a copy with the scheduler seed replaced.
+    pub fn with_sched_seed(mut self, seed: u64) -> ApplyConfig {
+        self.sched_seed = seed;
+        self
+    }
+
+    /// True when the worker pool is active (`threads > 1`).
+    pub fn is_concurrent(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// The scheduler seed a harness should use when it would otherwise
+    /// derive one from `default_seed`: the `PMNET_APPLY_SCHED_SEED`
+    /// environment variable, when set to a parseable `u64`, wins. Test
+    /// harnesses print the effective seed in their panic messages so any
+    /// concurrent-apply failure replays with
+    /// `PMNET_APPLY_SCHED_SEED=<seed>`.
+    pub fn sched_seed_from_env(default_seed: u64) -> u64 {
+        std::env::var("PMNET_APPLY_SCHED_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_seed)
+    }
+
+    /// Validates the knobs; returns the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("apply.threads must be >= 1".into());
+        }
+        if self.threads > 64 {
+            return Err("apply.threads must be <= 64".into());
+        }
+        Ok(())
+    }
+}
+
 /// Client retransmission/backoff policy (RFC 6298-style RTO estimation)
 /// and the system-wide convergence settle bound.
 ///
@@ -354,6 +431,9 @@ pub struct SystemConfig {
     /// Doorbell batching/coalescing policy for every hop (`window: 1`
     /// disables it; the per-packet path is untouched).
     pub batch: BatchConfig,
+    /// Concurrent server-side apply policy (`threads: 1` disables it; the
+    /// sequential path is untouched).
+    pub apply: ApplyConfig,
     /// Gap-detector retransmission rounds (with exponential backoff)
     /// before the server skips an unrecoverable gap — a hole left by a
     /// client that crashed before any copy of the missing packet became
@@ -377,6 +457,7 @@ impl Default for SystemConfig {
             retry: RetryConfig::default(),
             recovery_poll_timeout: Dur::micros(500),
             batch: BatchConfig::default(),
+            apply: ApplyConfig::default(),
             gap_skip_rounds: 8,
         }
     }
@@ -396,12 +477,19 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with the given concurrent-apply policy.
+    pub fn with_apply(mut self, apply: ApplyConfig) -> SystemConfig {
+        self.apply = apply;
+        self
+    }
+
     /// Validates the retry/backoff/recovery knobs; the system builder
     /// calls this before assembling a world so a nonsensical configuration
     /// fails loudly instead of silently wedging or spinning.
     pub fn validate(&self) -> Result<(), String> {
         self.retry.validate()?;
         self.batch.validate()?;
+        self.apply.validate()?;
         if self.client_timeout == Dur::ZERO {
             return Err("client_timeout must be non-zero".into());
         }
@@ -547,6 +635,26 @@ mod tests {
         // The system-level knob threads through validation.
         let s = SystemConfig::default().with_batch(BatchConfig::windowed(0));
         assert!(s.validate().unwrap_err().contains("batch.window"));
+    }
+
+    #[test]
+    fn apply_config_validates_bounds() {
+        assert_eq!(ApplyConfig::default().validate(), Ok(()));
+        assert!(!ApplyConfig::default().is_concurrent());
+        assert!(ApplyConfig::threaded(4).is_concurrent());
+        assert_eq!(ApplyConfig::threaded(4).validate(), Ok(()));
+        assert_eq!(ApplyConfig::threaded(7).with_sched_seed(9).sched_seed, 9);
+        assert!(ApplyConfig::threaded(0)
+            .validate()
+            .unwrap_err()
+            .contains("threads"));
+        assert!(ApplyConfig::threaded(65)
+            .validate()
+            .unwrap_err()
+            .contains("threads"));
+        // The system-level knob threads through validation.
+        let s = SystemConfig::default().with_apply(ApplyConfig::threaded(0));
+        assert!(s.validate().unwrap_err().contains("apply.threads"));
     }
 
     #[test]

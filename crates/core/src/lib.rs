@@ -69,7 +69,7 @@ pub use client::{
     ClientLib, ClientMode, ClientRetryCounters, CompletionRecord, RequestKind, RequestSource,
     RtoEstimator, UpdateOutcome,
 };
-pub use config::{BatchConfig, DeviceConfig, HostProfile, RetryConfig, SystemConfig};
+pub use config::{ApplyConfig, BatchConfig, DeviceConfig, HostProfile, RetryConfig, SystemConfig};
 pub use device::{DeviceFabric, DeviceRole, PmnetDevice};
 #[cfg(feature = "recorder")]
 pub use events::{Event, EventKind, Recorder};

@@ -19,7 +19,7 @@
 //!   models the Figure 17b server-side logging design, and user-level
 //!   chained replication models the baseline replication of Figure 21.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
@@ -30,10 +30,11 @@ use pmnet_telemetry::span::OpEvent;
 use pmnet_telemetry::Telemetry;
 
 use crate::audit::{AuditEntry, AuditLog};
-use crate::config::{BatchConfig, HostProfile};
+use crate::config::{ApplyConfig, BatchConfig, HostProfile};
 #[cfg(feature = "recorder")]
 use crate::events::{Event, EventKind, Recorder};
 use crate::fabric::{FabricMap, FabricSteering, ReconfigAction};
+use crate::kvproto::KvFrame;
 use crate::protocol::{PacketType, PmnetHeader, FLAG_REDO};
 
 const POST_STACK: PortNo = PortNo(200);
@@ -46,6 +47,10 @@ const TIMER_FABRIC_CHECK: u32 = 23;
 /// Doorbell deadline for a partially filled apply batch; `a` carries the
 /// staging window id so a stale deadline can't flush a later window.
 const TIMER_APPLY_FLUSH: u32 = 24;
+/// A concurrent-apply pool run finished its occupancy; `a` carries the
+/// run token, `b` the server epoch (stale runs from before a crash are
+/// dropped).
+const TIMER_APPLY_DONE: u32 = 25;
 
 /// How many fabric check ticks a reconfiguration's orders are re-sent
 /// for. Every order is idempotent at its receiver (epoch fencing), so
@@ -179,6 +184,16 @@ pub struct ServerCounters {
     /// Handler fence drains amortized away by batching (window size minus
     /// one per combined job).
     pub apply_fences_elided: u64,
+    /// Updates applied through the concurrent sharded pool
+    /// (`apply.threads > 1`).
+    pub concurrent_applies: u64,
+    /// Pool runs dispatched (one combined worker occupancy each).
+    pub apply_runs: u64,
+    /// Same-key write-write fences recorded at pool staging time.
+    pub apply_key_fences: u64,
+    /// Bypass reads parked behind a staged (not yet applied) same-key
+    /// write.
+    pub apply_reads_parked: u64,
 }
 
 impl pmnet_telemetry::registry::CounterGroup for ServerCounters {
@@ -196,6 +211,10 @@ impl pmnet_telemetry::registry::CounterGroup for ServerCounters {
         f("batched_applies", self.batched_applies);
         f("apply_batches", self.apply_batches);
         f("apply_fences_elided", self.apply_fences_elided);
+        f("concurrent_applies", self.concurrent_applies);
+        f("apply_runs", self.apply_runs);
+        f("apply_key_fences", self.apply_key_fences);
+        f("apply_reads_parked", self.apply_reads_parked);
     }
 }
 
@@ -341,6 +360,129 @@ struct StagedApply {
     proto: Proto,
 }
 
+/// One in-order update staged on a concurrent-apply worker queue: the
+/// handler has **not** seen it yet — apply, audit, recorder, and
+/// telemetry all happen when an idle pool worker dispatches it.
+#[derive(Debug)]
+struct ApplyOp {
+    /// Delivery order id (global across queues); doubles as the
+    /// same-key fence token.
+    id: u64,
+    /// Id of the latest earlier staged write to the same KV key, if any:
+    /// this op may not reach the handler before its fence does.
+    dep: Option<u64>,
+    client: Addr,
+    session: u16,
+    last_seq: u32,
+    payload: Bytes,
+    redo: bool,
+    /// Decoded `Set`/`Del` key (None for opaque payloads, which carry no
+    /// cross-session ordering obligations).
+    key: Option<Bytes>,
+    frag_headers: Vec<PmnetHeader>,
+    src_port: u16,
+    proto: Proto,
+}
+
+/// Acks owed when a pool run's occupancy elapses.
+#[derive(Debug)]
+struct FinishedApply {
+    client: Addr,
+    session: u16,
+    frag_headers: Vec<PmnetHeader>,
+    src_port: u16,
+    proto: Proto,
+}
+
+/// One dispatched pool run in flight on a worker.
+#[derive(Debug)]
+struct FinishedRun {
+    worker: usize,
+    acks: Vec<FinishedApply>,
+}
+
+/// The sharded concurrent-apply worker pool (`ApplyConfig { threads > 1 }`).
+///
+/// Dispatch is stealing-free: an update is pinned to worker
+/// `fnv(client, session) % threads`, so per-session apply order is each
+/// queue's FIFO order and the handler's durable applied-seq table (the
+/// redo-log dedup source) only ever advances in sequence order per
+/// session. Cross-session writes to the same KV key are fenced in
+/// delivery order (`ApplyOp::dep`), and bypass reads addressing a key
+/// with a staged — delivered but not yet applied — write park until that
+/// write reaches the handler.
+#[derive(Debug)]
+struct ApplyPool {
+    /// Per-worker FIFO queues of staged updates.
+    queues: Vec<VecDeque<ApplyOp>>,
+    /// Whether each pool worker is inside a dispatched run.
+    busy: Vec<bool>,
+    /// Simulated instant each worker's current/last run completes —
+    /// the pool's contribution to [`ServerLib::apply_busy_until`].
+    busy_until: Vec<Time>,
+    /// Monotone delivery counter feeding [`ApplyOp::id`].
+    next_id: u64,
+    /// Ids staged but not yet dispatched to a worker.
+    pending: HashSet<u64>,
+    /// Latest staged writer id per KV key: the write-write fence source
+    /// and the read-parking predicate.
+    key_writer: HashMap<Bytes, u64>,
+    /// `(client, session, seq)` of every staged fragment. A duplicate or
+    /// redo resend matching one is dropped *without* a make-up ack: the
+    /// update has not reached the handler, so acking it would let the
+    /// device invalidate its log entry while the only copy of the update
+    /// sits in this volatile queue.
+    in_flight: HashSet<(Addr, u16, u32)>,
+    /// Bypass reads parked behind a staged same-key write.
+    parked_reads: Vec<PendingPkt>,
+    /// Runs in flight, keyed by the `TIMER_APPLY_DONE` token.
+    runs: HashMap<u64, FinishedRun>,
+    next_run: u64,
+    /// The seeded logical scheduler: jitters run occupancy so different
+    /// `PMNET_APPLY_SCHED_SEED`s explore different interleavings. Never
+    /// touches `ctx.rng()` — the world's schedule stays comparable
+    /// across scheduler seeds.
+    rng: SimRng,
+}
+
+impl ApplyPool {
+    fn new(cfg: &ApplyConfig) -> ApplyPool {
+        let n = cfg.threads as usize;
+        ApplyPool {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            busy: vec![false; n],
+            busy_until: vec![Time::ZERO; n],
+            next_id: 0,
+            pending: HashSet::new(),
+            key_writer: HashMap::new(),
+            in_flight: HashSet::new(),
+            parked_reads: Vec::new(),
+            runs: HashMap::new(),
+            next_run: 0,
+            rng: SimRng::seed(cfg.sched_seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Drops everything volatile at a power cut. Counters stay monotone
+    /// and the scheduler stream keeps its position (both deterministic).
+    fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for b in &mut self.busy {
+            *b = false;
+        }
+        for t in &mut self.busy_until {
+            *t = Time::ZERO;
+        }
+        self.pending.clear();
+        self.key_writer.clear();
+        self.in_flight.clear();
+        self.parked_reads.clear();
+        self.runs.clear();
+    }
+}
+
 /// The server node.
 pub struct ServerLib {
     addr: Addr,
@@ -359,6 +501,8 @@ pub struct ServerLib {
     /// Staging window id; bumped at every flush so a stale doorbell
     /// deadline (armed for an already-flushed window) is a no-op.
     apply_seq: u64,
+    apply: ApplyConfig,
+    pool: ApplyPool,
     counters: ServerCounters,
     gap_timeout: Dur,
     /// No-progress gap-detector rounds per stream (drives the exponential
@@ -445,6 +589,8 @@ impl ServerLib {
             batch: BatchConfig::default(),
             apply_stage: Vec::new(),
             apply_seq: 0,
+            apply: ApplyConfig::default(),
+            pool: ApplyPool::new(&ApplyConfig::default()),
             counters: ServerCounters::default(),
             gap_timeout,
             gap_rounds: HashMap::new(),
@@ -507,6 +653,26 @@ impl ServerLib {
     pub fn with_batch(mut self, batch: BatchConfig) -> ServerLib {
         batch.validate().expect("invalid batch config");
         self.batch = batch;
+        self
+    }
+
+    /// Configures the sharded concurrent-apply pool (see [`ApplyConfig`]).
+    ///
+    /// `threads: 1` (the default) leaves the delivery path untouched —
+    /// byte-identical schedules, counters, and digests. With more
+    /// threads, in-order updates are staged onto stealing-free
+    /// `fnv(client, session) % threads` FIFO queues and applied by idle
+    /// pool workers: per-session order is preserved by pinning, same-key
+    /// writes are fenced in delivery order, and bypass reads addressing a
+    /// key with a staged write park until it reaches the handler. The
+    /// concurrent pool supersedes the doorbell apply batch (device-side
+    /// batching from the same [`BatchConfig`] still applies); a run's
+    /// redundant fence drains are amortized exactly like the doorbell's.
+    #[must_use]
+    pub fn with_apply(mut self, apply: ApplyConfig) -> ServerLib {
+        apply.validate().expect("invalid apply config");
+        self.pool = ApplyPool::new(&apply);
+        self.apply = apply;
         self
     }
 
@@ -615,6 +781,41 @@ impl ServerLib {
     /// Activity counters.
     pub fn counters(&self) -> ServerCounters {
         self.counters
+    }
+
+    /// Diagnostic snapshot of the concurrent pool's volatile state.
+    #[doc(hidden)]
+    pub fn pool_debug(&self) -> String {
+        format!(
+            "queues={:?} busy={:?} pending={} in_flight={} runs={} heads={:?}",
+            self.pool.queues.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.pool.busy,
+            self.pool.pending.len(),
+            self.pool.in_flight.len(),
+            self.pool.runs.len(),
+            self.pool
+                .queues
+                .iter()
+                .map(|q| q.front().map(|o| (o.id, o.dep)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The simulated instant the last scheduled apply work completes,
+    /// across both the legacy worker latency model and the concurrent
+    /// pool's workers. PMNet acks from the network, so client completion
+    /// never waits for this horizon — it is the server-side apply
+    /// makespan the scaling benchmarks score against.
+    pub fn apply_busy_until(&self) -> Time {
+        let legacy = self.workers.iter().copied().max().unwrap_or(Time::ZERO);
+        let pool = self
+            .pool
+            .busy_until
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO);
+        legacy.max(pool)
     }
 
     /// Recovery bookkeeping from the last restore, if any.
@@ -744,6 +945,15 @@ impl ServerLib {
         let expected = self.expected_seq(client, session);
         let seq = pending.header.seq;
         if seq < expected && !self.dedup_disabled {
+            if self.pool.in_flight.contains(&(client, session, seq)) {
+                // Delivered but still staged on a pool queue: drop the
+                // duplicate silently. A make-up ack now would let the
+                // device invalidate the only durable copy of an update
+                // that has not reached the handler yet; the completion
+                // ack is still owed and covers the log entry.
+                self.counters.duplicates_dropped += 1;
+                return;
+            }
             // Duplicate or already-applied redo resend: drop and send a
             // make-up server-ACK so logs upstream get invalidated
             // (Section IV-E1 case 3).
@@ -811,6 +1021,22 @@ impl ServerLib {
         let proto = frags[0].proto;
         let frag_headers: Vec<PmnetHeader> = frags.iter().map(|f| f.header).collect();
         let last_seq = frag_headers.last().expect("at least one frag").seq;
+        if self.apply.is_concurrent() {
+            // Apply, audit, recorder, and telemetry are all deferred to
+            // the dispatching pool worker.
+            self.stage_concurrent(
+                ctx,
+                client,
+                session,
+                last_seq,
+                payload,
+                redo,
+                frag_headers,
+                src_port,
+                proto,
+            );
+            return;
+        }
         for h in &frag_headers {
             self.telemetry.op_event(
                 self.addr,
@@ -906,6 +1132,234 @@ impl ServerLib {
         self.enqueue_job(ctx, service, Job::UpdateBatch { entries: staged });
     }
 
+    /// The pool worker an update is pinned to: FNV-1a over the session
+    /// identity, so a session's updates always share one FIFO queue.
+    fn apply_worker(&self, client: Addr, session: u16) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in client
+            .0
+            .to_le_bytes()
+            .into_iter()
+            .chain(session.to_le_bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // FNV's low bits mix poorly for short inputs, and `% threads` with
+        // a small power of two reads only those bits — small client ids
+        // pile whole fleets onto the even workers. Finish with a 64-bit
+        // avalanche so every input bit reaches the modulus.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % u64::from(self.apply.threads)) as usize
+    }
+
+    /// Stages one assembled in-order update onto its session's pool
+    /// queue, recording the same-key fence if an earlier staged write
+    /// addresses the same KV key, then pumps the dispatcher.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_concurrent(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: Addr,
+        session: u16,
+        last_seq: u32,
+        payload: Bytes,
+        redo: bool,
+        frag_headers: Vec<PmnetHeader>,
+        src_port: u16,
+        proto: Proto,
+    ) {
+        let key = match KvFrame::decode(&payload) {
+            Some(KvFrame::Set { key, .. }) | Some(KvFrame::Del { key }) => Some(key),
+            _ => None,
+        };
+        let id = self.pool.next_id;
+        self.pool.next_id += 1;
+        let dep = key
+            .as_ref()
+            .and_then(|k| self.pool.key_writer.get(k).copied());
+        if dep.is_some() {
+            self.counters.apply_key_fences += 1;
+        }
+        if let Some(k) = &key {
+            self.pool.key_writer.insert(k.clone(), id);
+        }
+        self.pool.pending.insert(id);
+        for h in &frag_headers {
+            self.pool.in_flight.insert((client, session, h.seq));
+        }
+        let w = self.apply_worker(client, session);
+        self.pool.queues[w].push_back(ApplyOp {
+            id,
+            dep,
+            client,
+            session,
+            last_seq,
+            payload,
+            redo,
+            key,
+            frag_headers,
+            src_port,
+            proto,
+        });
+        self.pump_pool(ctx);
+    }
+
+    /// Hands every idle worker the longest ready prefix of its queue,
+    /// iterating to a fixpoint: dispatching a fence op on one worker can
+    /// unblock the head of another worker's queue within the same pump.
+    fn pump_pool(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let mut progressed = false;
+            for w in 0..self.pool.queues.len() {
+                if !self.pool.busy[w] && self.dispatch_run(ctx, w) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.retry_parked_reads(ctx);
+    }
+
+    /// Dispatches one run on idle worker `w`: peels ready ops off the
+    /// queue head, applies each through the handler (audit, recorder,
+    /// telemetry, dedup table — all advance here), and occupies the
+    /// worker for the combined service time with the run's redundant
+    /// fence drains refunded, like the doorbell batch. Returns false if
+    /// the queue head is empty or fenced.
+    fn dispatch_run(&mut self, ctx: &mut Ctx<'_>, w: usize) -> bool {
+        let mut ops = Vec::new();
+        while let Some(front) = self.pool.queues[w].front() {
+            // Ready once its same-key fence has reached a worker. A fence
+            // queued ahead on this same worker was peeled just above, so
+            // intra-queue fences never stall a run.
+            if front.dep.is_some_and(|d| self.pool.pending.contains(&d)) {
+                break;
+            }
+            let op = self.pool.queues[w].pop_front().expect("front just seen");
+            self.pool.pending.remove(&op.id);
+            if let Some(k) = &op.key {
+                if self.pool.key_writer.get(k) == Some(&op.id) {
+                    self.pool.key_writer.remove(k);
+                }
+            }
+            ops.push(op);
+        }
+        if ops.is_empty() {
+            return false;
+        }
+        let n = ops.len() as u64;
+        let mut service = Dur::ZERO;
+        let mut acks = Vec::with_capacity(ops.len());
+        for op in ops {
+            for h in &op.frag_headers {
+                self.pool.in_flight.remove(&(op.client, op.session, h.seq));
+                self.telemetry.op_event(
+                    self.addr,
+                    ctx.now(),
+                    (op.client, op.session, h.seq),
+                    OpEvent::ServerApply { at: ctx.now() },
+                );
+            }
+            service += self.handler.handle_update(
+                op.client,
+                op.session,
+                op.last_seq,
+                &op.payload,
+                ctx.rng(),
+            );
+            self.counters.updates_applied += 1;
+            self.counters.concurrent_applies += 1;
+            self.audit.record(AuditEntry {
+                client: op.client,
+                session: op.session,
+                seq: op.last_seq,
+                redo: op.redo,
+                epoch: self.epoch,
+            });
+            #[cfg(feature = "recorder")]
+            self.recorder.record(Event {
+                at: ctx.now(),
+                client: op.client,
+                session: op.session,
+                seq: op.last_seq,
+                kind: EventKind::Apply {
+                    redo: op.redo,
+                    epoch: self.epoch,
+                    payload: op.payload.clone(),
+                },
+            });
+            if op.redo {
+                self.counters.redo_applied += 1;
+                if let Some(r) = &mut self.recovery {
+                    r.redo_applied += 1;
+                    r.last_redo_at = ctx.now();
+                }
+            }
+            acks.push(FinishedApply {
+                client: op.client,
+                session: op.session,
+                frag_headers: op.frag_headers,
+                src_port: op.src_port,
+                proto: op.proto,
+            });
+        }
+        let fence_refund = CostModel::optane_server().per_fence * (n - 1);
+        self.counters.apply_fences_elided += n - 1;
+        self.counters.apply_runs += 1;
+        let jitter = Dur::nanos(self.pool.rng.uniform_u64(0..256));
+        let service = service.saturating_sub(fence_refund) + jitter;
+        self.pool.busy[w] = true;
+        self.pool.busy_until[w] = ctx.now() + service;
+        let token = self.pool.next_run;
+        self.pool.next_run += 1;
+        self.pool
+            .runs
+            .insert(token, FinishedRun { worker: w, acks });
+        ctx.timer_in(
+            service,
+            Timer {
+                kind: TIMER_APPLY_DONE,
+                a: token,
+                b: self.epoch,
+            },
+        );
+        true
+    }
+
+    /// Whether a bypass request addresses a KV key with a staged — not
+    /// yet applied — write on a pool queue. Serving it now would read
+    /// around an update the device already durably acked.
+    fn read_blocked_by_pool(&self, pending: &PendingPkt) -> bool {
+        if !self.apply.is_concurrent() || self.pool.key_writer.is_empty() {
+            return false;
+        }
+        match KvFrame::decode(&pending.payload) {
+            Some(KvFrame::Get { key }) => self.pool.key_writer.contains_key(&key),
+            _ => false,
+        }
+    }
+
+    /// Re-offers reads parked behind staged writes; still-blocked ones
+    /// re-park without recounting.
+    fn retry_parked_reads(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pool.parked_reads.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.pool.parked_reads);
+        for pending in parked {
+            if self.read_blocked_by_pool(&pending) {
+                self.pool.parked_reads.push(pending);
+            } else {
+                self.on_bypass_post_stack(ctx, pending);
+            }
+        }
+    }
+
     fn finish_update_job(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -995,6 +1449,14 @@ impl ServerLib {
         if !self.recovery_pending.is_empty() {
             self.counters.bypasses_parked += 1;
             self.parked_bypass.push(pending);
+            return;
+        }
+        // Same reasoning one layer down: a device-acked write may still be
+        // sitting on a concurrent-apply queue, so a read of its key waits
+        // until the write reaches the handler.
+        if self.read_blocked_by_pool(&pending) {
+            self.counters.apply_reads_parked += 1;
+            self.pool.parked_reads.push(pending);
             return;
         }
         self.telemetry.op_event(
@@ -1605,6 +2067,26 @@ impl Node for ServerLib {
                         self.flush_apply_batch(ctx);
                     }
                     TIMER_APPLY_FLUSH => {}
+                    TIMER_APPLY_DONE => {
+                        if b != self.epoch {
+                            return;
+                        }
+                        let Some(run) = self.pool.runs.remove(&a) else {
+                            return;
+                        };
+                        self.pool.busy[run.worker] = false;
+                        for f in run.acks {
+                            self.finish_update_job(
+                                ctx,
+                                f.client,
+                                f.session,
+                                f.frag_headers,
+                                f.src_port,
+                                f.proto,
+                            );
+                        }
+                        self.pump_pool(ctx);
+                    }
                     TIMER_GAP => self.on_gap_timer(ctx, a, b),
                     TIMER_FABRIC_CHECK => {
                         if b != self.epoch {
@@ -1672,6 +2154,7 @@ impl Node for ServerLib {
                 self.assembly.clear();
                 self.jobs.clear();
                 self.apply_stage.clear();
+                self.pool.clear();
                 self.gap_rounds.clear();
                 self.parked_bypass.clear();
                 self.pending_replication.clear();
@@ -1788,5 +2271,86 @@ mod tests {
         let p = upd(3, b"x");
         assert_eq!(p.header.seq, 3);
         assert_eq!(p.header.frag_cnt, 1);
+    }
+
+    #[test]
+    fn apply_worker_pins_sessions_and_spreads_them() {
+        let s = mk(Box::new(IdealHandler::new())).with_apply(ApplyConfig::threaded(4));
+        let w = s.apply_worker(Addr(1), 7);
+        assert!(w < 4);
+        for _ in 0..3 {
+            assert_eq!(s.apply_worker(Addr(1), 7), w, "pinning must be stable");
+        }
+        let spread: HashSet<usize> = (0..32u16)
+            .map(|sess| s.apply_worker(Addr(1), sess))
+            .collect();
+        assert_eq!(spread.len(), 4, "32 sessions must reach all 4 workers");
+        // Sessions from distinct small client ids must spread too — this
+        // is the shape real fleets have, and the raw FNV residue used to
+        // park them all on the even workers.
+        let clients: HashSet<usize> = (1..25u32).map(|c| s.apply_worker(Addr(c), 0)).collect();
+        assert_eq!(clients.len(), 4, "24 clients must reach all 4 workers");
+    }
+
+    #[test]
+    fn with_apply_sizes_the_pool() {
+        let s = mk(Box::new(IdealHandler::new())).with_apply(ApplyConfig::threaded(3));
+        assert_eq!(s.pool.queues.len(), 3);
+        assert_eq!(s.pool.busy, vec![false; 3]);
+        assert!(s.apply.is_concurrent());
+        let s1 = mk(Box::new(IdealHandler::new()));
+        assert!(!s1.apply.is_concurrent());
+    }
+
+    #[test]
+    fn reads_block_only_on_staged_same_key_writes() {
+        let mut s = mk(Box::new(IdealHandler::new())).with_apply(ApplyConfig::threaded(2));
+        let get = |key: &[u8]| {
+            let frame = KvFrame::Get {
+                key: Bytes::copy_from_slice(key),
+            };
+            PendingPkt {
+                header: PmnetHeader::request(PacketType::BypassReq, 1, 0, Addr(1), Addr(9), 0, 1),
+                payload: frame.encode(),
+                src_port: 51001,
+                proto: Proto::Udp,
+            }
+        };
+        assert!(
+            !s.read_blocked_by_pool(&get(b"k1")),
+            "empty pool blocks nothing"
+        );
+        s.pool.key_writer.insert(Bytes::from_static(b"k1"), 0);
+        assert!(s.read_blocked_by_pool(&get(b"k1")));
+        assert!(!s.read_blocked_by_pool(&get(b"k2")), "other keys pass");
+        // Opaque (non-Get) bypass payloads never park.
+        let opaque = PendingPkt {
+            header: PmnetHeader::request(PacketType::BypassReq, 1, 0, Addr(1), Addr(9), 0, 1),
+            payload: Bytes::from_static(b"Onot-kv"),
+            src_port: 51001,
+            proto: Proto::Udp,
+        };
+        assert!(!s.read_blocked_by_pool(&opaque));
+    }
+
+    #[test]
+    fn pool_clear_drops_volatile_state_but_keeps_counters_monotone() {
+        let mut s = mk(Box::new(IdealHandler::new())).with_apply(ApplyConfig::threaded(2));
+        s.pool.next_id = 7;
+        s.pool.next_run = 3;
+        s.pool.pending.insert(6);
+        s.pool.key_writer.insert(Bytes::from_static(b"k"), 6);
+        s.pool.in_flight.insert((Addr(1), 1, 4));
+        s.pool.busy[1] = true;
+        s.pool.clear();
+        assert!(s.pool.pending.is_empty());
+        assert!(s.pool.key_writer.is_empty());
+        assert!(s.pool.in_flight.is_empty());
+        assert_eq!(s.pool.busy, vec![false; 2]);
+        assert_eq!(
+            s.pool.next_id, 7,
+            "delivery ids stay monotone across crashes"
+        );
+        assert_eq!(s.pool.next_run, 3);
     }
 }

@@ -344,7 +344,8 @@ impl SystemBuilder {
             .with_devices(device_addrs.clone())
             .with_recovery_poll_timeout(cfg.recovery_poll_timeout)
             .with_gap_skip_rounds(cfg.gap_skip_rounds)
-            .with_batch(cfg.batch);
+            .with_batch(cfg.batch)
+            .with_apply(cfg.apply);
             match self.design {
                 DesignPoint::ClientServerReplicated { replicas: r } => {
                     let backups: Vec<Addr> = (1..r)
@@ -523,6 +524,7 @@ impl SystemBuilder {
                                 cfg.gap_timeout,
                                 handler,
                             )
+                            .with_apply(cfg.apply)
                             .as_silent_replica();
                             let id = world.add_node(Box::new(rep));
                             world.connect(tor, id, cfg.link);
@@ -545,6 +547,7 @@ impl SystemBuilder {
                                 handler,
                             )
                             .with_early_log(100 + i, next)
+                            .with_apply(cfg.apply)
                             .as_silent_replica();
                             let id = world.add_node(Box::new(rep));
                             world.connect(tor, id, cfg.link);
@@ -1098,6 +1101,57 @@ mod tests {
         assert_eq!(base.latency.mean(), gated.latency.mean());
         assert_eq!(base.client_retries, gated.client_retries);
         assert_eq!(base.end, gated.end);
+    }
+
+    #[test]
+    fn one_thread_apply_config_is_bit_identical_to_default() {
+        use crate::config::ApplyConfig;
+        let base = quick(DesignPoint::PmnetSwitch);
+        let cfg = SystemConfig {
+            apply: ApplyConfig::threaded(1),
+            ..SystemConfig::default()
+        };
+        let gated = UpdateExperiment::new(DesignPoint::PmnetSwitch, cfg)
+            .requests_per_client(100)
+            .run(7);
+        assert_eq!(base.completed, gated.completed);
+        assert_eq!(base.latency.mean(), gated.latency.mean());
+        assert_eq!(base.client_retries, gated.client_retries);
+        assert_eq!(base.end, gated.end);
+    }
+
+    #[test]
+    fn concurrent_apply_completes_the_workload_exactly_once() {
+        use crate::config::ApplyConfig;
+        let cfg = SystemConfig {
+            apply: ApplyConfig::threaded(4),
+            ..SystemConfig::default()
+        };
+        let mut b = SystemBuilder::new(DesignPoint::PmnetSwitch, cfg);
+        for _ in 0..8 {
+            b = b.client(Box::new(MicroSource::updates(50, 100)));
+        }
+        let mut sys = b.build(7);
+        sys.run_clients(Dur::secs(1));
+        let m = sys.metrics();
+        assert_eq!(m.completed, 8 * 50, "clients wedged under concurrent apply");
+        // Every client-acked update still reaches the server exactly once
+        // and in per-session order — the pool must not weaken the
+        // durability contract.
+        let acked = sys.acked_updates();
+        let server = sys.world.node::<ServerLib>(sys.server);
+        crate::audit::verify(server.audit_log(), &acked).expect("audit");
+        assert_eq!(sys.stranded_log_entries(), 0);
+        let sc = server.counters();
+        assert_eq!(
+            sc.concurrent_applies, sc.updates_applied,
+            "some update bypassed the pool: {sc:?}"
+        );
+        assert!(sc.apply_runs > 0, "no pool run ever dispatched: {sc:?}");
+        assert!(
+            sc.apply_runs < sc.concurrent_applies,
+            "runs never combined ops — no concurrency exercised: {sc:?}"
+        );
     }
 
     #[test]

@@ -57,12 +57,21 @@ pub struct CheckerConfig {
     /// client-side-logging systems, where completion evidence (the peer
     /// loggers) is outside the recorded vocabulary.
     pub require_ack_evidence: bool,
+    /// Concurrent-history mode, for runs with `apply.threads > 1`: the
+    /// real-time write rule is checked as an explicit pairwise partial
+    /// order over Invoke/Complete windows (overlapping pairs are
+    /// unconstrained and counted into [`CheckStats`] to prove the run
+    /// actually exercised concurrency), and a cross-key rule requires
+    /// server-acked completions — which happen-after their apply — to be
+    /// applied before anything invoked later.
+    pub concurrent: bool,
 }
 
 impl Default for CheckerConfig {
     fn default() -> CheckerConfig {
         CheckerConfig {
             require_ack_evidence: true,
+            concurrent: false,
         }
     }
 }
@@ -82,6 +91,13 @@ pub struct CheckStats {
     pub reads_checked: usize,
     /// Keys compared against the reference model's final state.
     pub state_keys_checked: usize,
+    /// Concurrent mode: same-key write pairs whose real-time windows
+    /// overlapped (legally orderable either way). Zero in a concurrent
+    /// campaign means the schedule never actually raced two writes.
+    pub overlapping_write_pairs: usize,
+    /// Concurrent mode: same-key write pairs constrained by real time
+    /// and verified to be applied in that order.
+    pub ordered_write_pairs: usize,
 }
 
 /// The first point where the run departs from every legal linearization.
@@ -111,6 +127,9 @@ fn op(client: Addr, session: u16, seq: u32) -> String {
 /// invoked but never applied).
 struct WriteRec {
     pos: usize,
+    /// History index of the apply (`usize::MAX` when never applied).
+    apply_idx: usize,
+    id: OpId,
     invoke_at: Time,
     complete_at: Option<Time>,
     value: Option<Vec<u8>>,
@@ -294,7 +313,7 @@ pub fn check(
 
     // --- Rules 4+5 prep: per-key write records in apply order. ----------
     let mut writes_by_key: HashMap<Vec<u8>, Vec<WriteRec>> = HashMap::new();
-    for &(_idx, id, _redo, _epoch, payload) in &applies {
+    for &(idx, id, _redo, _epoch, payload) in &applies {
         let Some(k) = write_key(payload) else {
             continue;
         };
@@ -306,6 +325,8 @@ pub fn check(
         let pos = recs.len() + 1;
         recs.push(WriteRec {
             pos,
+            apply_idx: idx,
+            id,
             invoke_at,
             complete_at,
             value: write_value(payload).expect("write_key implies a KV frame"),
@@ -321,6 +342,8 @@ pub fn check(
         };
         writes_by_key.entry(k).or_default().push(WriteRec {
             pos: usize::MAX,
+            apply_idx: usize::MAX,
+            id: *id,
             invoke_at,
             complete_at: update_completes.get(id).map(|&(_, t, ..)| t),
             value: write_value(payload).expect("write_key implies a KV frame"),
@@ -328,31 +351,106 @@ pub fn check(
     }
 
     // --- Rule 4: real-time order of same-key writes. --------------------
-    let mut max_invoke_by_key: HashMap<Vec<u8>, Time> = HashMap::new();
-    for &(idx, id, _redo, _epoch, payload) in &applies {
-        let Some(k) = write_key(payload) else {
-            continue;
-        };
-        let Some(&(_, invoke_at, _)) = update_invokes.get(&id) else {
-            continue;
-        };
-        if let (Some(&max_inv), Some(&(_, complete_at, ..))) =
-            (max_invoke_by_key.get(&k), update_completes.get(&id))
-        {
-            if complete_at < max_inv {
-                candidates.push((
-                    idx,
-                    format!(
-                        "real-time order violation on key {}: {} completed before an \
-                         earlier-applied write to the key was even invoked",
-                        hex(&k),
-                        op(id.0, id.1, id.2)
-                    ),
-                ));
+    if cfg.concurrent {
+        // Concurrent-history mode: the partial order made explicit, pair
+        // by pair. For two applied writes to the same key (a before b in
+        // apply order), real time constrains them only when one's
+        // Complete precedes the other's Invoke; overlapping windows are
+        // legally orderable either way and are *counted*, so a campaign
+        // that claims to have raced writes can prove it was not vacuous.
+        for recs in writes_by_key.values() {
+            let applied: Vec<&WriteRec> = recs.iter().filter(|w| w.pos != usize::MAX).collect();
+            for (i, a) in applied.iter().enumerate() {
+                for b in &applied[i + 1..] {
+                    if b.complete_at.is_some_and(|c| c < a.invoke_at) {
+                        candidates.push((
+                            a.apply_idx,
+                            format!(
+                                "real-time order violation: {} completed before {} was \
+                                 invoked, yet was applied after it",
+                                op(b.id.0, b.id.1, b.id.2),
+                                op(a.id.0, a.id.1, a.id.2)
+                            ),
+                        ));
+                    } else if a.complete_at.is_some_and(|c| c < b.invoke_at) {
+                        stats.ordered_write_pairs += 1;
+                    } else {
+                        stats.overlapping_write_pairs += 1;
+                    }
+                }
             }
         }
-        let e = max_invoke_by_key.entry(k).or_insert(invoke_at);
-        *e = (*e).max(invoke_at);
+        // Cross-key rule: a server ACK is only ever sent after the apply
+        // reaches the handler, so a completion resting solely on the
+        // server's ACK happens-after its own apply. Anything invoked
+        // after such a completion must therefore apply after it —
+        // regardless of key, which catches a pool that reorders opaque
+        // payloads across sessions.
+        let mut first_apply_idx: HashMap<OpId, usize> = HashMap::new();
+        for &(idx, id, ..) in &applies {
+            first_apply_idx.entry(id).or_insert(idx);
+        }
+        let mut acked: Vec<(Time, usize, OpId)> = update_completes
+            .iter()
+            .filter(|&(_, &(_, _, device_acks, server_acked))| server_acked && device_acks == 0)
+            .filter_map(|(&id, &(_, at, ..))| first_apply_idx.get(&id).map(|&i| (at, i, id)))
+            .collect();
+        acked.sort_unstable_by_key(|&(t, i, _)| (t, i));
+        let mut invoked: Vec<(Time, usize, OpId)> = update_invokes
+            .iter()
+            .filter_map(|(&id, &(_, at, _))| first_apply_idx.get(&id).map(|&i| (at, i, id)))
+            .collect();
+        invoked.sort_unstable_by_key(|&(t, i, _)| (t, i));
+        let mut j = 0;
+        let mut latest_acked: Option<(usize, OpId)> = None;
+        for (invoke_at, b_idx, b_id) in invoked {
+            while j < acked.len() && acked[j].0 < invoke_at {
+                if latest_acked.is_none_or(|(i, _)| acked[j].1 > i) {
+                    latest_acked = Some((acked[j].1, acked[j].2));
+                }
+                j += 1;
+            }
+            if let Some((a_idx, a_id)) = latest_acked {
+                if a_idx > b_idx {
+                    candidates.push((
+                        a_idx,
+                        format!(
+                            "concurrent-history order violation: {} was server-acked \
+                             before {} was invoked, yet was applied after it",
+                            op(a_id.0, a_id.1, a_id.2),
+                            op(b_id.0, b_id.1, b_id.2)
+                        ),
+                    ));
+                }
+            }
+        }
+    } else {
+        let mut max_invoke_by_key: HashMap<Vec<u8>, Time> = HashMap::new();
+        for &(idx, id, _redo, _epoch, payload) in &applies {
+            let Some(k) = write_key(payload) else {
+                continue;
+            };
+            let Some(&(_, invoke_at, _)) = update_invokes.get(&id) else {
+                continue;
+            };
+            if let (Some(&max_inv), Some(&(_, complete_at, ..))) =
+                (max_invoke_by_key.get(&k), update_completes.get(&id))
+            {
+                if complete_at < max_inv {
+                    candidates.push((
+                        idx,
+                        format!(
+                            "real-time order violation on key {}: {} completed before an \
+                             earlier-applied write to the key was even invoked",
+                            hex(&k),
+                            op(id.0, id.1, id.2)
+                        ),
+                    ));
+                }
+            }
+            let e = max_invoke_by_key.entry(k).or_insert(invoke_at);
+            *e = (*e).max(invoke_at);
+        }
     }
 
     // --- Rule 5: read values. -------------------------------------------
@@ -732,6 +830,197 @@ mod tests {
         ];
         let d = check(&h, None, CheckerConfig::default()).unwrap_err();
         assert!(d.reason.contains("no prior device log"), "{}", d.reason);
+    }
+
+    fn concurrent_cfg() -> CheckerConfig {
+        CheckerConfig {
+            concurrent: true,
+            ..CheckerConfig::default()
+        }
+    }
+
+    /// Two sessions' writes to one key with overlapping Invoke/Complete
+    /// windows, applied in either order.
+    fn overlapping_writes(apply_first: u32) -> Vec<Event> {
+        let p0 = set(b"k", b"v1");
+        let p1 = set(b"k", b"v2");
+        let mk = |session: u16, seq: u32, t0: u64, p: &Bytes| {
+            vec![
+                Event {
+                    at: Time::from_nanos(t0),
+                    client: Addr(1),
+                    session,
+                    seq,
+                    kind: EventKind::Invoke {
+                        kind: RequestKind::Update,
+                        payload: p.clone(),
+                    },
+                },
+                Event {
+                    at: Time::from_nanos(t0 + 5),
+                    client: Addr(1),
+                    session,
+                    seq,
+                    kind: EventKind::DeviceLogged { device: Addr(2000) },
+                },
+                Event {
+                    at: Time::from_nanos(t0 + 100),
+                    client: Addr(1),
+                    session,
+                    seq,
+                    kind: EventKind::Complete {
+                        kind: RequestKind::Update,
+                        reply: None,
+                        device_acks: 1,
+                        server_acked: false,
+                    },
+                },
+            ]
+        };
+        let mut h: Vec<Event> = Vec::new();
+        h.extend(mk(0, 0, 0, &p0));
+        h.extend(mk(1, 0, 10, &p1)); // invoked before either completes
+        let apply_of = |session: u16, at: u64, p: &Bytes| Event {
+            at: Time::from_nanos(at),
+            client: Addr(1),
+            session,
+            seq: 0,
+            kind: EventKind::Apply {
+                redo: false,
+                epoch: 0,
+                payload: p.clone(),
+            },
+        };
+        if apply_first == 0 {
+            h.push(apply_of(0, 200, &p0));
+            h.push(apply_of(1, 210, &p1));
+        } else {
+            h.push(apply_of(1, 200, &p1));
+            h.push(apply_of(0, 210, &p0));
+        }
+        h
+    }
+
+    #[test]
+    fn overlapping_writes_pass_in_either_apply_order_and_are_counted() {
+        for first in [0, 1] {
+            let h = overlapping_writes(first);
+            let stats = check(&h, None, concurrent_cfg()).unwrap();
+            assert_eq!(stats.overlapping_write_pairs, 1, "apply_first={first}");
+            assert_eq!(stats.ordered_write_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_mode_still_catches_real_time_same_key_violations() {
+        // Session 1's write completes before session 0's is invoked, yet
+        // session 0's is applied first: no linearization explains it.
+        let p0 = set(b"k", b"v1");
+        let p1 = set(b"k", b"v2");
+        let mut h = vec![
+            Event {
+                at: Time::from_nanos(0),
+                client: Addr(1),
+                session: 1,
+                seq: 0,
+                kind: EventKind::Invoke {
+                    kind: RequestKind::Update,
+                    payload: p1.clone(),
+                },
+            },
+            Event {
+                at: Time::from_nanos(5),
+                client: Addr(1),
+                session: 1,
+                seq: 0,
+                kind: EventKind::DeviceLogged { device: Addr(2000) },
+            },
+            Event {
+                at: Time::from_nanos(10),
+                client: Addr(1),
+                session: 1,
+                seq: 0,
+                kind: EventKind::Complete {
+                    kind: RequestKind::Update,
+                    reply: None,
+                    device_acks: 1,
+                    server_acked: false,
+                },
+            },
+        ];
+        h.extend(healthy_op(100, 0, &p0)); // session 0, invoked at t=100
+        h.push(Event {
+            at: Time::from_nanos(300),
+            client: Addr(1),
+            session: 1,
+            seq: 0,
+            kind: EventKind::Apply {
+                redo: false,
+                epoch: 0,
+                payload: p1.clone(),
+            },
+        });
+        let d = check(&h, None, concurrent_cfg()).unwrap_err();
+        assert!(
+            d.reason.contains("real-time order violation"),
+            "{}",
+            d.reason
+        );
+        // The sequential mode flags the same history.
+        let d2 = check(&h, None, CheckerConfig::default()).unwrap_err();
+        assert!(d2.reason.contains("real-time order"), "{}", d2.reason);
+    }
+
+    #[test]
+    fn server_acked_completion_fences_later_invokes_across_keys() {
+        // Update A (key a) rests solely on the server's ACK — so it was
+        // applied before it completed. Update B (key b) is invoked after
+        // A completed but applied *before* A: impossible.
+        let pa = set(b"a", b"1");
+        let pb = set(b"b", b"2");
+        let server_acked_complete = |at: u64, session: u16| Event {
+            at: Time::from_nanos(at),
+            client: Addr(1),
+            session,
+            seq: 0,
+            kind: EventKind::Complete {
+                kind: RequestKind::Update,
+                reply: None,
+                device_acks: 0,
+                server_acked: true,
+            },
+        };
+        let with_session = |mut e: Event, session: u16| {
+            e.session = session;
+            e
+        };
+        let h = vec![
+            invoke(0, 0, pa.clone()),                    // A invoked (session 0)
+            server_acked_complete(50, 0),                // A completed on server ACK
+            with_session(invoke(100, 0, pb.clone()), 1), // B invoked after A completed
+            with_session(apply(200, 0, pb.clone()), 1),  // B applied first…
+            apply(210, 0, pa.clone()),                   // …A applied after: violation
+            with_session(server_acked_complete(300, 1), 1),
+        ];
+        let d = check(&h, None, concurrent_cfg()).unwrap_err();
+        assert!(
+            d.reason.contains("concurrent-history order violation"),
+            "{}",
+            d.reason
+        );
+        // Applied the other way round, the history is fine.
+        let h_ok = vec![
+            invoke(0, 0, pa.clone()),
+            server_acked_complete(40, 0),
+            with_session(invoke(100, 0, pb.clone()), 1),
+            apply(30, 0, pa.clone()),
+            with_session(apply(200, 0, pb.clone()), 1),
+            with_session(server_acked_complete(300, 1), 1),
+        ];
+        // Re-sort by time so history order matches apply order.
+        let mut h_ok = h_ok;
+        h_ok.sort_by_key(|e| e.at);
+        check(&h_ok, None, concurrent_cfg()).unwrap();
     }
 
     #[test]

@@ -33,5 +33,7 @@ pub mod reference;
 
 pub use artifact::{parse, render, replay, ParsedArtifact};
 pub use checker::{check, CheckStats, CheckerConfig, Divergence};
-pub use harness::{attach, check_system, check_system_with, config_for, snapshot_server_state};
+pub use harness::{
+    attach, check_system, check_system_with, config_for, config_for_apply, snapshot_server_state,
+};
 pub use reference::ReferenceKv;

@@ -7,15 +7,26 @@
 //! so the server model can derive per-request service times from work
 //! actually done, rather than from a fixed constant. Crash consistency is
 //! provided one level up by [`crate::PersistentKv`] (WAL + checkpoint).
+//!
+//! The hash map and skip list additionally exist as *detectably
+//! recoverable* PM-native conversions ([`DetectableHashMap`],
+//! [`DetectableSkipList`]) built from the [`crate::ploc`] primitives:
+//! every mutation carries an `op_seq`, persists its memento before the
+//! structure changes, and replays exactly-once after a crash — the
+//! structures concurrent server apply leans on.
 
 mod btree;
 mod crit_bit;
+mod dhashmap;
+mod dskiplist;
 mod hashmap;
 mod rbtree;
 mod skiplist;
 
 pub use btree::BTreeKv;
 pub use crit_bit::CritBitKv;
+pub use dhashmap::DetectableHashMap;
+pub use dskiplist::DetectableSkipList;
 pub use hashmap::HashMapKv;
 pub use rbtree::RbTreeKv;
 pub use skiplist::SkipListKv;

@@ -20,6 +20,11 @@
 //! * [`PersistentKv`] — a crash-consistent store combining a KV structure
 //!   with a [`Wal`] and checkpoints; after any crash, recovery replays the
 //!   log over the last checkpoint.
+//! * [`ploc`] — detectable-recovery primitives ([`Checkpoint`],
+//!   [`DetectableCas`]): per-op memento slots persisted before the ack
+//!   path observes them, so replaying an op after a crash is exactly-once;
+//!   [`kv::DetectableHashMap`] and [`kv::DetectableSkipList`] are built
+//!   from them and back concurrent server-side apply.
 //!
 //! Substitution note (see DESIGN.md): the paper's PMDK workloads run PMDK
 //! transactions directly on Optane. We substitute a redo-log +
@@ -38,10 +43,12 @@ mod persistent;
 mod wal;
 
 pub mod kv;
+pub mod ploc;
 
 pub use arena::{ArenaStats, PmArena, PmPtr, LINE};
 pub use cost::CostModel;
 pub use crc32::{crc32, crc32_finish, crc32_init, crc32_update};
 pub use device::{PmDevice, PmDeviceConfig, PmDeviceCounters};
 pub use persistent::{KvOp, PersistentKv};
+pub use ploc::{CasOutcome, Checkpoint, Crashed, DetectableCas, PlocHeap};
 pub use wal::{Wal, WalStats};

@@ -1,0 +1,616 @@
+//! Detectable-recovery primitives (Memento-style "PLOC": per-op memento
+//! slots in persistent memory).
+//!
+//! A *detectably recoverable* operation can tell, after a crash, whether
+//! it already executed — and if so, what it returned — so replaying the
+//! same operation is exactly-once by construction. Two primitives carry
+//! the whole protocol:
+//!
+//! * [`Checkpoint`] — a two-slot value cell: `run(op_seq, f)` computes a
+//!   value at most once per `op_seq` and persists it before returning;
+//!   a replay with the same `op_seq` returns the recorded value without
+//!   re-running `f`. Each slot sandwiches the sequence number around the
+//!   value (`[seq][value][seq]`), so a torn line (the arena reverts
+//!   cache lines independently) can never masquerade as a valid record.
+//! * [`DetectableCas`] — a recoverable compare-and-swap on a PM word.
+//!   The memento records `(op_seq, state, new, old, target)` and is
+//!   persisted *before* the target word is touched; recovery finds a
+//!   `PENDING` memento and re-executes the (idempotent) target write,
+//!   or a `DONE` memento and returns the recorded outcome.
+//!
+//! Every durability edge goes through [`PlocHeap::persist`], which counts
+//! *persist points* and can be armed ([`PlocHeap::arm`]) to simulate a
+//! crash at the N-th point. The crash-point sweep tests use this to
+//! kill-and-replay a recorded operation at **every** persist point and
+//! assert exactly-once application (Memento §6.1-style stress).
+//!
+//! The ack-path contract: a caller may only acknowledge an operation
+//! after the primitive's final persist returned `Ok` — every memento a
+//! completed (ackable) op wrote is durable, so the server's redo-log
+//! dedup composes with replay: a resent `op_seq` hits the memento and
+//! returns the recorded outcome without mutating anything.
+//!
+//! Slots are reused across operations (ping-pong for [`Checkpoint`],
+//! overwrite for [`DetectableCas`]), so a memento detects the **latest**
+//! operation on its structure — exactly the one that can be mid-flight
+//! at a crash. Older duplicates never reach the structure: the durable
+//! applied-seq table dedups them upstream.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use pmnet_sim::SimRng;
+
+use crate::arena::{ArenaStats, PmArena, PmPtr};
+
+/// A simulated power failure was injected at a persist point; the
+/// operation did not complete and must be replayed after recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crashed;
+
+impl fmt::Display for Crashed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crashed at an armed persist point")
+    }
+}
+
+impl std::error::Error for Crashed {}
+
+/// A [`PmArena`] wrapper that numbers every durability edge.
+///
+/// All flush+fence pairs issued by the detectable structures go through
+/// [`persist`](PlocHeap::persist) (or [`persist_root`](PlocHeap::persist_root)),
+/// which increments a monotone persist-point counter. Arming the heap
+/// makes the N-th future persist return [`Crashed`] *without executing*,
+/// exactly as if power failed before the fence — combined with
+/// [`crash_losing_all`](PlocHeap::crash_losing_all) or a seeded
+/// [`crash`](PlocHeap::crash), this enumerates every crash point of a
+/// recorded operation.
+#[derive(Debug)]
+pub struct PlocHeap {
+    pm: PmArena,
+    persist_points: u64,
+    trip_at: Option<u64>,
+}
+
+impl PlocHeap {
+    /// Wraps a fresh arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> PlocHeap {
+        PlocHeap {
+            pm: PmArena::new(capacity),
+            persist_points: 0,
+            trip_at: None,
+        }
+    }
+
+    /// Total persist points executed *or tripped* so far.
+    pub fn persist_points(&self) -> u64 {
+        self.persist_points
+    }
+
+    /// Arms the heap: counting from now, the `nth` persist point (1-based)
+    /// returns [`Crashed`] instead of persisting.
+    pub fn arm(&mut self, nth: u64) {
+        assert!(nth >= 1, "persist points are 1-based");
+        self.trip_at = Some(self.persist_points + nth);
+    }
+
+    /// Disarms a pending trip.
+    pub fn disarm(&mut self) {
+        self.trip_at = None;
+    }
+
+    /// Flushes and fences `[ptr, ptr+len)` — one persist point.
+    pub fn persist(&mut self, ptr: PmPtr, len: usize) -> Result<(), Crashed> {
+        self.persist_points += 1;
+        if self.trip_at == Some(self.persist_points) {
+            self.trip_at = None;
+            return Err(Crashed);
+        }
+        self.pm.persist(ptr, len);
+        Ok(())
+    }
+
+    /// Atomically sets the durable root pointer — one persist point.
+    pub fn persist_root(&mut self, v: u64) -> Result<(), Crashed> {
+        self.persist_points += 1;
+        if self.trip_at == Some(self.persist_points) {
+            self.trip_at = None;
+            return Err(Crashed);
+        }
+        self.pm.set_root(v);
+        Ok(())
+    }
+
+    /// Simulated power failure: each unfenced dirty line independently
+    /// survives or reverts (see [`PmArena::crash`]).
+    pub fn crash(&mut self, rng: &mut SimRng) -> usize {
+        self.trip_at = None;
+        self.pm.crash(rng)
+    }
+
+    /// Worst-case power failure: every unfenced line reverts.
+    pub fn crash_losing_all(&mut self) -> usize {
+        self.trip_at = None;
+        self.pm.crash_losing_all()
+    }
+
+    /// The underlying arena (volatile stores, reads, alloc/free — none of
+    /// these are persist points; durability only happens via `persist`).
+    pub fn arena(&mut self) -> &mut PmArena {
+        &mut self.pm
+    }
+
+    /// Durable root pointer.
+    pub fn root(&self) -> u64 {
+        self.pm.root()
+    }
+
+    /// Persistence-operation counters of the underlying arena.
+    pub fn stats(&self) -> ArenaStats {
+        self.pm.stats()
+    }
+
+    /// Returns and resets the underlying arena's counters.
+    pub fn take_stats(&mut self) -> ArenaStats {
+        self.pm.take_stats()
+    }
+}
+
+/// A value storable in a [`Checkpoint`] or CAS word (one 64-bit word).
+pub trait PlocValue: Copy {
+    /// Encodes to the stored word.
+    fn to_word(self) -> u64;
+    /// Decodes from the stored word.
+    fn from_word(w: u64) -> Self;
+}
+
+impl PlocValue for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> u64 {
+        w
+    }
+}
+
+impl PlocValue for PmPtr {
+    fn to_word(self) -> u64 {
+        self.0
+    }
+    fn from_word(w: u64) -> PmPtr {
+        PmPtr(w)
+    }
+}
+
+/// Slot layout: `[seq][value][seq]`, 24 bytes. Two slots, 48 bytes total.
+const CKPT_SLOT: usize = 24;
+/// Total allocation of a checkpoint cell.
+pub const CKPT_LEN: usize = 2 * CKPT_SLOT;
+
+/// A detectable checkpoint: computes and persists a value at most once
+/// per operation sequence number.
+///
+/// Sequence numbers must be strictly increasing across operations (0 is
+/// reserved for "empty"). The cell ping-pongs between two slots so the
+/// previous record stays intact while the new one is written; validity is
+/// the seq sandwich — a torn slot shows mismatched copies and is ignored.
+pub struct Checkpoint<T> {
+    ptr: PmPtr,
+    _marker: PhantomData<T>,
+}
+
+impl<T> fmt::Debug for Checkpoint<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("ptr", &self.ptr)
+            .finish()
+    }
+}
+
+impl<T: PlocValue> Checkpoint<T> {
+    /// Allocates a zeroed checkpoint cell. Returns `None` when the arena
+    /// is exhausted. The allocation itself is not a persist point; the
+    /// cell only matters once a record is persisted into it.
+    pub fn alloc(heap: &mut PlocHeap) -> Option<Checkpoint<T>> {
+        let ptr = heap.arena().alloc(CKPT_LEN)?;
+        heap.arena().write(ptr, &[0u8; CKPT_LEN]);
+        // Zero slots are durable from the start so a pre-first-op crash
+        // cannot materialize garbage records.
+        heap.arena().persist(ptr, CKPT_LEN);
+        Some(Checkpoint {
+            ptr,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Rebinds to an existing cell after recovery.
+    pub fn from_ptr(ptr: PmPtr) -> Checkpoint<T> {
+        Checkpoint {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The cell's location (stored in structure metadata for recovery).
+    pub fn ptr(&self) -> PmPtr {
+        self.ptr
+    }
+
+    fn slot_ptr(&self, slot: usize) -> PmPtr {
+        PmPtr(self.ptr.0 + (slot * CKPT_SLOT) as u64)
+    }
+
+    /// Reads a slot, returning `(seq, value)` if the sandwich is intact.
+    fn read_slot(&self, heap: &mut PlocHeap, slot: usize) -> Option<(u64, u64)> {
+        let p = self.slot_ptr(slot);
+        let seq = heap.arena().read_u64(p);
+        let value = heap.arena().read_u64(PmPtr(p.0 + 8));
+        let seq2 = heap.arena().read_u64(PmPtr(p.0 + 16));
+        (seq != 0 && seq == seq2).then_some((seq, value))
+    }
+
+    /// The highest valid `(seq, value)` record, if any.
+    pub fn latest(&self, heap: &mut PlocHeap) -> Option<(u64, T)> {
+        let a = self.read_slot(heap, 0);
+        let b = self.read_slot(heap, 1);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.0 >= y.0 { x } else { y }),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        }
+        .map(|(s, v)| (s, T::from_word(v)))
+    }
+
+    /// The recorded value for exactly `op_seq`, if this operation already
+    /// checkpointed (the replay-detection read).
+    pub fn saved(&self, heap: &mut PlocHeap, op_seq: u64) -> Option<T> {
+        self.latest(heap)
+            .and_then(|(s, v)| (s == op_seq).then_some(v))
+    }
+
+    /// Runs `compute` at most once for `op_seq`: a replay returns the
+    /// recorded value; a first execution records the value into the
+    /// non-latest slot and persists it (one persist point) before
+    /// returning.
+    pub fn run(
+        &self,
+        heap: &mut PlocHeap,
+        op_seq: u64,
+        compute: impl FnOnce(&mut PlocHeap) -> T,
+    ) -> Result<T, Crashed> {
+        assert!(op_seq != 0, "op_seq 0 is reserved for empty slots");
+        if let Some(v) = self.saved(heap, op_seq) {
+            return Ok(v);
+        }
+        let v = compute(heap);
+        self.record(heap, op_seq, v)?;
+        Ok(v)
+    }
+
+    /// Persists `(op_seq, value)` into the inactive slot (one persist
+    /// point). Used when the value is produced by surrounding code rather
+    /// than a closure.
+    pub fn record(&self, heap: &mut PlocHeap, op_seq: u64, value: T) -> Result<(), Crashed> {
+        assert!(op_seq != 0, "op_seq 0 is reserved for empty slots");
+        let latest_slot = match (self.read_slot(heap, 0), self.read_slot(heap, 1)) {
+            (Some(x), Some(y)) => usize::from(y.0 > x.0),
+            (Some(_), None) => 0,
+            _ => 1,
+        };
+        let target = self.slot_ptr(1 - latest_slot);
+        let arena = heap.arena();
+        arena.write_u64(target, op_seq);
+        arena.write_u64(PmPtr(target.0 + 8), value.to_word());
+        arena.write_u64(PmPtr(target.0 + 16), op_seq);
+        heap.persist(target, CKPT_SLOT)
+    }
+}
+
+/// CAS memento states (0 = empty slot).
+const CAS_PENDING: u64 = 1;
+const CAS_DONE_OK: u64 = 2;
+const CAS_DONE_FAIL: u64 = 3;
+
+/// Memento layout: `[op_seq][state][new][old][target][op_seq2]`, 48 bytes.
+pub const CAS_LEN: usize = 48;
+
+/// A detectable compare-and-swap on a PM word.
+///
+/// The memento is persisted `PENDING` *before* the target word is
+/// written; completion marks it `DONE_OK`/`DONE_FAIL` with the observed
+/// old value. After a crash, [`DetectableCas::recover`] rolls a `PENDING`
+/// memento forward (the target write is idempotent), and a replayed
+/// `cas` with the same `op_seq` returns the recorded outcome without
+/// touching the target — exactly-once by construction.
+pub struct DetectableCas {
+    ptr: PmPtr,
+}
+
+impl fmt::Debug for DetectableCas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetectableCas")
+            .field("ptr", &self.ptr)
+            .finish()
+    }
+}
+
+/// Outcome of a detectable CAS: the value observed at the target. The
+/// swap succeeded iff `observed == expected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasOutcome {
+    /// Value the CAS observed (the previous word on success).
+    pub observed: u64,
+    /// Whether the swap was performed.
+    pub swapped: bool,
+}
+
+impl DetectableCas {
+    /// Allocates a zeroed memento slot (not itself a persist point beyond
+    /// making the empty state durable).
+    pub fn alloc(heap: &mut PlocHeap) -> Option<DetectableCas> {
+        let ptr = heap.arena().alloc(CAS_LEN)?;
+        heap.arena().write(ptr, &[0u8; CAS_LEN]);
+        heap.arena().persist(ptr, CAS_LEN);
+        Some(DetectableCas { ptr })
+    }
+
+    /// Rebinds to an existing memento after recovery.
+    pub fn from_ptr(ptr: PmPtr) -> DetectableCas {
+        DetectableCas { ptr }
+    }
+
+    /// The memento's location.
+    pub fn ptr(&self) -> PmPtr {
+        self.ptr
+    }
+
+    fn field(&self, i: usize) -> PmPtr {
+        PmPtr(self.ptr.0 + (i * 8) as u64)
+    }
+
+    /// Reads the memento if its seq sandwich is intact:
+    /// `(op_seq, state, new, old, target)`.
+    fn read_valid(&self, heap: &mut PlocHeap) -> Option<(u64, u64, u64, u64, u64)> {
+        let seq = heap.arena().read_u64(self.field(0));
+        let state = heap.arena().read_u64(self.field(1));
+        let new = heap.arena().read_u64(self.field(2));
+        let old = heap.arena().read_u64(self.field(3));
+        let target = heap.arena().read_u64(self.field(4));
+        let seq2 = heap.arena().read_u64(self.field(5));
+        (seq != 0 && seq == seq2).then_some((seq, state, new, old, target))
+    }
+
+    /// The recorded outcome for exactly `op_seq`, when that operation
+    /// already reached `DONE`.
+    pub fn saved(&self, heap: &mut PlocHeap, op_seq: u64) -> Option<CasOutcome> {
+        match self.read_valid(heap) {
+            Some((seq, state, _, old, _)) if seq == op_seq => match state {
+                CAS_DONE_OK => Some(CasOutcome {
+                    observed: old,
+                    swapped: true,
+                }),
+                CAS_DONE_FAIL => Some(CasOutcome {
+                    observed: old,
+                    swapped: false,
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Detectable `cas(target, expected, new)` for operation `op_seq`.
+    ///
+    /// Persist points: memento-PENDING, target word (successful swaps
+    /// only), memento-DONE. A replay (same `op_seq`, memento `DONE`)
+    /// performs none of them; a replay finding `PENDING` rolls the
+    /// operation forward.
+    pub fn cas(
+        &self,
+        heap: &mut PlocHeap,
+        op_seq: u64,
+        target: PmPtr,
+        expected: u64,
+        new: u64,
+    ) -> Result<CasOutcome, Crashed> {
+        assert!(op_seq != 0, "op_seq 0 is reserved for empty mementos");
+        if let Some(done) = self.saved(heap, op_seq) {
+            return Ok(done);
+        }
+        if let Some((seq, state, new_w, old, tgt)) = self.read_valid(heap) {
+            if seq == op_seq && state == CAS_PENDING {
+                // Crash landed between memento-persist and DONE: the
+                // decision is already durable; roll it forward.
+                debug_assert_eq!(tgt, target.0, "replayed CAS against a different target");
+                return self.complete(heap, old == expected, new_w, old, PmPtr(tgt));
+            }
+        }
+        // Fresh execution: decide, then persist the decision before
+        // touching the target.
+        let cur = heap.arena().read_u64(target);
+        let arena = heap.arena();
+        arena.write_u64(self.field(0), op_seq);
+        arena.write_u64(self.field(1), CAS_PENDING);
+        arena.write_u64(self.field(2), new);
+        arena.write_u64(self.field(3), cur);
+        arena.write_u64(self.field(4), target.0);
+        arena.write_u64(self.field(5), op_seq);
+        heap.persist(self.ptr, CAS_LEN)?;
+        self.complete(heap, cur == expected, new, cur, target)
+    }
+
+    /// Executes the durable half of a decided CAS: target write (on
+    /// success) and the DONE mark.
+    fn complete(
+        &self,
+        heap: &mut PlocHeap,
+        swapped: bool,
+        new: u64,
+        old: u64,
+        target: PmPtr,
+    ) -> Result<CasOutcome, Crashed> {
+        if swapped {
+            heap.arena().write_u64(target, new);
+            heap.persist(target, 8)?;
+        }
+        let state = if swapped { CAS_DONE_OK } else { CAS_DONE_FAIL };
+        heap.arena().write_u64(self.field(1), state);
+        heap.persist(self.ptr, CAS_LEN)?;
+        Ok(CasOutcome {
+            observed: old,
+            swapped,
+        })
+    }
+
+    /// Recovery hook: rolls a `PENDING` memento forward so the structure
+    /// is consistent before new operations run. Returns `true` when a
+    /// pending operation was completed.
+    pub fn recover(&self, heap: &mut PlocHeap) -> Result<bool, Crashed> {
+        if let Some((_, state, new, old, tgt)) = self.read_valid(heap) {
+            if state == CAS_PENDING {
+                // `old` was read from the pre-CAS target; the swap
+                // proceeds iff it was decided to (a pending memento always
+                // re-derives the same decision from the recorded old/new).
+                let target = PmPtr(tgt);
+                let cur = heap.arena().read_u64(target);
+                // Idempotent: the target holds either `old` (write lost)
+                // or `new` (write survived); rewrite unconditionally.
+                debug_assert!(cur == old || cur == new, "foreign write under pending CAS");
+                self.complete(heap, true, new, old, target)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_runs_once_per_seq_and_replays_the_record() {
+        let mut heap = PlocHeap::new(4096);
+        let ck: Checkpoint<u64> = Checkpoint::alloc(&mut heap).unwrap();
+        let mut runs = 0;
+        let v = ck
+            .run(&mut heap, 1, |_| {
+                runs += 1;
+                42
+            })
+            .unwrap();
+        assert_eq!(v, 42);
+        let v = ck
+            .run(&mut heap, 1, |_| {
+                runs += 1;
+                99
+            })
+            .unwrap();
+        assert_eq!(v, 42, "replay must return the recorded value");
+        assert_eq!(runs, 1, "compute must not re-run for the same op_seq");
+        let v = ck.run(&mut heap, 2, |_| 7).unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(ck.latest(&mut heap), Some((2, 7)));
+        assert_eq!(ck.saved(&mut heap, 1), None, "older record was displaced");
+    }
+
+    #[test]
+    fn checkpoint_survives_worst_case_crash_after_persist() {
+        let mut heap = PlocHeap::new(4096);
+        let ck: Checkpoint<u64> = Checkpoint::alloc(&mut heap).unwrap();
+        ck.record(&mut heap, 5, 1234).unwrap();
+        heap.crash_losing_all();
+        let ck: Checkpoint<u64> = Checkpoint::from_ptr(ck.ptr());
+        assert_eq!(ck.saved(&mut heap, 5), Some(1234));
+    }
+
+    #[test]
+    fn tripped_checkpoint_leaves_no_valid_record() {
+        let mut heap = PlocHeap::new(4096);
+        let ck: Checkpoint<u64> = Checkpoint::alloc(&mut heap).unwrap();
+        heap.arm(1);
+        assert_eq!(ck.record(&mut heap, 9, 1), Err(Crashed));
+        heap.crash_losing_all();
+        assert_eq!(ck.saved(&mut heap, 9), None, "unpersisted record leaked");
+        // The op replays cleanly afterwards.
+        ck.record(&mut heap, 9, 1).unwrap();
+        assert_eq!(ck.saved(&mut heap, 9), Some(1));
+    }
+
+    #[test]
+    fn cas_swaps_once_and_replays_the_outcome() {
+        let mut heap = PlocHeap::new(4096);
+        let word = heap.arena().alloc(8).unwrap();
+        heap.arena().write_u64(word, 10);
+        heap.arena().persist(word, 8);
+        let cas = DetectableCas::alloc(&mut heap).unwrap();
+        let out = cas.cas(&mut heap, 1, word, 10, 20).unwrap();
+        assert!(out.swapped);
+        assert_eq!(out.observed, 10);
+        assert_eq!(heap.arena().read_u64(word), 20);
+        // Replay: same outcome, no second swap.
+        let out = cas.cas(&mut heap, 1, word, 10, 20).unwrap();
+        assert!(out.swapped);
+        assert_eq!(heap.arena().read_u64(word), 20);
+        // A new op with a stale expectation fails and records the failure.
+        let out = cas.cas(&mut heap, 2, word, 10, 30).unwrap();
+        assert!(!out.swapped);
+        assert_eq!(out.observed, 20);
+        assert!(!cas.saved(&mut heap, 2).unwrap().swapped);
+    }
+
+    #[test]
+    fn cas_crash_at_every_persist_point_is_exactly_once() {
+        // A successful CAS has 3 persist points; kill at each, recover,
+        // replay, and the target must end at `new` with the recorded
+        // outcome intact.
+        for point in 1..=3u64 {
+            for lose_all in [true, false] {
+                let mut heap = PlocHeap::new(4096);
+                let word = heap.arena().alloc(8).unwrap();
+                heap.arena().write_u64(word, 7);
+                heap.arena().persist(word, 8);
+                let cas = DetectableCas::alloc(&mut heap).unwrap();
+                heap.arm(point);
+                assert_eq!(cas.cas(&mut heap, 3, word, 7, 8), Err(Crashed), "{point}");
+                if lose_all {
+                    heap.crash_losing_all();
+                } else {
+                    heap.crash(&mut SimRng::seed(point));
+                }
+                let cas = DetectableCas::from_ptr(cas.ptr());
+                cas.recover(&mut heap).unwrap();
+                let out = cas.cas(&mut heap, 3, word, 7, 8).unwrap();
+                assert!(out.swapped, "point {point}");
+                assert_eq!(out.observed, 7, "point {point}");
+                assert_eq!(heap.arena().read_u64(word), 8, "point {point}");
+                // And the replay left a durable DONE record.
+                heap.crash_losing_all();
+                assert_eq!(
+                    cas.saved(&mut heap, 3),
+                    Some(CasOutcome {
+                        observed: 7,
+                        swapped: true
+                    }),
+                    "point {point}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persist_points_count_and_arming_is_one_shot() {
+        let mut heap = PlocHeap::new(4096);
+        let p = heap.arena().alloc(8).unwrap();
+        heap.arena().write_u64(p, 1);
+        assert!(heap.persist(p, 8).is_ok());
+        assert_eq!(heap.persist_points(), 1);
+        heap.arm(2);
+        assert!(heap.persist(p, 8).is_ok());
+        assert_eq!(heap.persist(p, 8), Err(Crashed));
+        assert!(heap.persist(p, 8).is_ok(), "trip disarms after firing");
+        assert_eq!(heap.persist_points(), 4);
+    }
+}

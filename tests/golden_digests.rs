@@ -8,7 +8,8 @@
 //! the constants — the diff then documents that behaviour moved.
 
 use pmnet::chaos::{
-    run_campaign, run_failover_campaign, run_lossy_recovery_campaign, CampaignConfig,
+    run_campaign, run_concurrent_apply_campaign, run_failover_campaign,
+    run_lossy_recovery_campaign, CampaignConfig,
 };
 use pmnet::core::system::DesignPoint;
 use pmnet::sim::Dur;
@@ -87,6 +88,24 @@ fn single_shard_fabric_campaign_is_bit_identical_to_pmnet_switch() {
         ..base
     });
     assert_eq!(switch.digest, sharded.digest);
+}
+
+#[test]
+fn one_apply_thread_campaign_is_bit_identical_to_the_sequential_path() {
+    // `ApplyConfig { threads: 1 }` must be the literal sequential apply
+    // path — not "a pool of one" with different timing. The concurrent
+    // campaign at one thread derives plans and seeds identically to the
+    // lossy-recovery campaign, so the frozen seed-77 digest must
+    // reproduce bit for bit. This is the guard that the worker pool
+    // stays strictly additive behind its config flag.
+    let outcome = run_concurrent_apply_campaign(77, 10, 1);
+    assert_eq!(outcome.failure_count(), 0, "campaign must converge");
+    assert_eq!(
+        outcome.digest, LOSSY_RECOVERY_DIGEST,
+        "apply_threads: 1 diverged from the sequential path \
+         (got {:#018x}, want the frozen lossy-recovery digest)",
+        outcome.digest
+    );
 }
 
 #[test]
