@@ -30,6 +30,11 @@
 //!    the concurrent apply pool: a KV write mix with 13.7% hot-key
 //!    contention, scored in deterministic simulated ops/sec at 1 vs 4
 //!    apply threads, with an inline scaling gate.
+//! 7. **Traffic** — the open-loop `pmnet-traffic` engine at 1.5x a
+//!    probed saturation capacity with AIMD admission and the device-log
+//!    spill policy engaged. Simulated goodput-vs-capacity and peak log
+//!    occupancy are deterministic and gated inline; completed ops per
+//!    wall second goes through `--check` like the other regions.
 //!
 //! Modes: `--fast` shrinks every region for CI smoke runs; `--out PATH`
 //! overrides the JSON destination; `--check PATH` compares the fresh
@@ -51,6 +56,10 @@ use pmnet_core::system::{DesignPoint, MicroSource, SystemBuilder};
 use pmnet_net::Addr;
 use pmnet_sim::meter::{CountingAlloc, Meter};
 use pmnet_sim::{Dur, Engine, NodeId, SimRng, Time};
+use pmnet_traffic::{
+    AdmissionSpec as TrafficAdmissionSpec, ArrivalSpec as TrafficArrivalSpec,
+    ChurnSpec as TrafficChurnSpec, TrafficSpec, TrafficSystem,
+};
 use pmnet_workloads::KvHandler;
 
 #[global_allocator]
@@ -376,6 +385,68 @@ fn lock_fraction_ops_per_sim_sec(apply_threads: u32, clients: usize, updates: us
     (m.completed as f64 / sim_secs.max(1e-12), fences)
 }
 
+/// Open-loop overload point: the `pmnet-traffic` engine at `factor` x a
+/// probed saturation capacity, with the AIMD admission gate and the
+/// device-log spill policy engaged. Returns (capacity ops/s, goodput
+/// ops/s at the overload point, peak log entries, completed ops per
+/// *wall* second of the overload run). The simulated quantities are
+/// deterministic and gated inline; the wall-clock one goes through
+/// `--check` like the other throughput regions.
+fn traffic_overload(factor: f64, measure: Dur) -> (f64, f64, u64, f64) {
+    let cfg = SystemConfig {
+        device: pmnet_core::config::DeviceConfig::fpga().with_spill_policy(8, 1024),
+        ..SystemConfig::default()
+    };
+
+    let point = |arrivals: TrafficArrivalSpec, admission: TrafficAdmissionSpec| {
+        let mut spec = TrafficSpec::poisson(1.0);
+        spec.arrivals = arrivals;
+        spec.admission = admission;
+        spec.churn = TrafficChurnSpec::none();
+        spec.measure = measure;
+        spec.drain = Dur::millis(10);
+        let mut sys = TrafficSystem::build_with(&spec, cfg, 42);
+        let t0 = Instant::now();
+        sys.run();
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        let report = sys.report(&pmnet_telemetry::Telemetry::disabled());
+        (report, wall)
+    };
+
+    // Saturation probe: admission open, rate doubled past the knee.
+    let mut capacity = 0.0f64;
+    let mut rate = 1_000_000.0;
+    loop {
+        let (report, _) = point(
+            TrafficArrivalSpec::Poisson { rate_per_sec: rate },
+            TrafficAdmissionSpec::Open,
+        );
+        capacity = capacity.max(report.goodput_per_sec);
+        if report.goodput_per_sec < 0.9 * report.observed_offered_per_sec || rate >= 32_000_000.0 {
+            break;
+        }
+        rate *= 2.0;
+    }
+
+    let (report, wall) = point(
+        TrafficArrivalSpec::Poisson {
+            rate_per_sec: capacity * factor,
+        },
+        TrafficAdmissionSpec::aimd(),
+    );
+    assert_eq!(
+        report.stranded_log_entries, 0,
+        "traffic overload point must drain the device log"
+    );
+    let wall_ops = report.counters.completed as f64 / wall;
+    (
+        capacity,
+        report.goodput_per_sec,
+        report.peak_log_entries,
+        wall_ops,
+    )
+}
+
 /// Pulls `"field": <number>` out of a flat JSON file without a JSON
 /// dependency (the workspace vendors no serde).
 fn json_number(text: &str, field: &str) -> Option<f64> {
@@ -498,9 +569,33 @@ fn main() {
         "the hot-key writes must exercise the pool's same-key fences"
     );
 
+    // A window shorter than ~20 ms lets the probe read the pre-queue-
+    // buildup transient as capacity, which the sustained overload run can
+    // then never match; the region is cheap enough to keep one size.
+    let tr_measure = Dur::millis(20);
+    eprintln!("sim_throughput: open-loop overload point (1.5x probed saturation, AIMD + spill)");
+    let (tr_capacity, tr_goodput, tr_peak_log, tr_wall_ops) = traffic_overload(1.5, tr_measure);
+    let tr_ratio = tr_goodput / tr_capacity;
+    eprintln!(
+        "  capacity {tr_capacity:.0} ops/s  goodput@1.5x {tr_goodput:.0} ops/s \
+         ({:.0}% of capacity, peak log {tr_peak_log})  {tr_wall_ops:.0} ops/wall-s",
+        tr_ratio * 100.0
+    );
+    // Deterministic simulated gates: under 1.5x overload the AIMD gate
+    // must hold goodput near capacity (no congestion collapse) and the
+    // spill watermark must bound device-log occupancy.
+    assert!(
+        tr_ratio > 0.8,
+        "goodput collapsed under 1.5x overload: {tr_goodput:.0} vs capacity {tr_capacity:.0}"
+    );
+    assert!(
+        tr_peak_log <= 1024 + 1,
+        "spill watermark failed to bound the device log: peak {tr_peak_log}"
+    );
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4},\n    \"frames_per_sec_batched\": {frames_ps_batched:.1},\n    \"allocs_per_frame_batched\": {allocs_pf_batched:.4}\n  }},\n  \"e2e\": {{\n    \"clients\": {e2e_clients},\n    \"updates_per_client\": {e2e_updates},\n    \"ops_per_sec\": {e2e_ops:.1},\n    \"ops_per_sec_batched\": {e2e_ops_batched:.1}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }},\n  \"fabric\": {{\n    \"sat_gbps_1_shard\": {sat1:.3},\n    \"sat_gbps_2_shards\": {sat2:.3},\n    \"sat_gbps_4_shards\": {sat4:.3},\n    \"scaling_4_vs_1\": {ratio41:.3}\n  }},\n  \"lock_fraction\": {{\n    \"lock_permille\": {LOCK_PERMILLE},\n    \"ops_per_sim_sec_1_thread\": {lf_ops_1:.1},\n    \"ops_per_sim_sec_4_threads\": {lf_ops_4:.1},\n    \"apply_scaling_4_vs_1\": {lf_scaling:.3},\n    \"same_key_fences\": {lf_fences}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"pmnet-sim-bench/1\",\n  \"mode\": \"{mode}\",\n  \"event_list\": {{\n    \"hold\": {hold},\n    \"iters\": {iters},\n    \"wheel_events_per_sec\": {wheel_eps:.1},\n    \"heap_events_per_sec\": {heap_eps:.1},\n    \"speedup_vs_heap\": {speedup:.3},\n    \"allocs_per_event\": {wheel_ape:.4}\n  }},\n  \"codec\": {{\n    \"iters\": {codec_iters},\n    \"frames_per_sec\": {frames_ps:.1},\n    \"allocs_per_frame\": {allocs_pf:.4},\n    \"frames_per_sec_batched\": {frames_ps_batched:.1},\n    \"allocs_per_frame_batched\": {allocs_pf_batched:.4}\n  }},\n  \"e2e\": {{\n    \"clients\": {e2e_clients},\n    \"updates_per_client\": {e2e_updates},\n    \"ops_per_sec\": {e2e_ops:.1},\n    \"ops_per_sec_batched\": {e2e_ops_batched:.1}\n  }},\n  \"campaign\": {{\n    \"plans\": {plans},\n    \"wall_ms\": {wall_ms},\n    \"digest\": \"{digest:#018x}\",\n    \"threads\": {threads}\n  }},\n  \"fabric\": {{\n    \"sat_gbps_1_shard\": {sat1:.3},\n    \"sat_gbps_2_shards\": {sat2:.3},\n    \"sat_gbps_4_shards\": {sat4:.3},\n    \"scaling_4_vs_1\": {ratio41:.3}\n  }},\n  \"lock_fraction\": {{\n    \"lock_permille\": {LOCK_PERMILLE},\n    \"ops_per_sim_sec_1_thread\": {lf_ops_1:.1},\n    \"ops_per_sim_sec_4_threads\": {lf_ops_4:.1},\n    \"apply_scaling_4_vs_1\": {lf_scaling:.3},\n    \"same_key_fences\": {lf_fences}\n  }},\n  \"traffic\": {{\n    \"capacity_ops_per_sim_sec\": {tr_capacity:.1},\n    \"overload_factor\": 1.5,\n    \"goodput_ops_per_sim_sec\": {tr_goodput:.1},\n    \"goodput_over_capacity\": {tr_ratio:.3},\n    \"peak_log_entries\": {tr_peak_log},\n    \"traffic_wall_ops_per_sec\": {tr_wall_ops:.1}\n  }}\n}}\n",
         ratio41 = sat4 / sat1,
         mode = if fast { "fast" } else { "full" },
     );
@@ -539,6 +634,7 @@ fn main() {
             ("frames_per_sec_batched", frames_ps_batched),
             ("ops_per_sec", e2e_ops),
             ("ops_per_sec_batched", e2e_ops_batched),
+            ("traffic_wall_ops_per_sec", tr_wall_ops),
         ] {
             let Some(base) = json_number(&baseline, field) else {
                 eprintln!("sim_throughput: baseline has no {field}; skipping gate");

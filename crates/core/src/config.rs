@@ -143,6 +143,20 @@ pub struct DeviceConfig {
     /// otherwise strand the entry — and the server's recovery barrier —
     /// forever.
     pub recovery_resend_timeout: Dur,
+    /// Overload spill policy: maximum live (un-server-acked) log entries
+    /// any one `(server, client, session)` may hold. Further updates from
+    /// that session spill to the bypass path (forwarded congested, not
+    /// logged) until entries retire, so a single hot session cannot
+    /// monopolize the log under sustained overload. `0` disables the
+    /// quota — bit-identical to the pre-policy device.
+    pub log_session_quota: u32,
+    /// Overload spill policy: a soft occupancy watermark (entries). Once
+    /// the log holds this many live entries, new updates spill to the
+    /// bypass path (forwarded congested, not logged) before the hard
+    /// capacity checks, bounding occupancy *below* capacity so the
+    /// congestion signal fires while the log still has recovery headroom.
+    /// `0` disables the watermark.
+    pub log_spill_watermark: usize,
     /// Liveness heartbeat period toward the fabric coordinator. `None`
     /// (the default, and the single-device configuration) sends no
     /// heartbeats at all; sharded fabrics set it so the server's failure
@@ -162,6 +176,8 @@ impl DeviceConfig {
             // Eq. 1: 500 us x 10 Gbps = 5 Mbit = 625 kB; leave headroom.
             log_capacity_bytes: 4 * 625 * 1024,
             cache_entries: 0,
+            log_session_quota: 0,
+            log_spill_watermark: 0,
             log_retry_timeout: Dur::millis(5),
             recovery_resend_timeout: Dur::millis(1),
             heartbeat_interval: None,
@@ -190,6 +206,15 @@ impl DeviceConfig {
     /// Returns a copy with a different log-queue size (Eq. 2 ablation).
     pub fn with_log_queue_bytes(mut self, bytes: u64) -> DeviceConfig {
         self.log_queue_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with the overload spill policy enabled: a
+    /// per-session live-entry quota and a soft occupancy watermark
+    /// (entries). Either may be `0` to disable that check.
+    pub fn with_spill_policy(mut self, session_quota: u32, watermark: usize) -> DeviceConfig {
+        self.log_session_quota = session_quota;
+        self.log_spill_watermark = watermark;
         self
     }
 }

@@ -494,9 +494,15 @@ impl PmnetDevice {
         let mut packet = packet;
         if matches!(
             outcome,
-            LogOutcome::Bypass(BypassReason::QueueFull | BypassReason::LogFull)
+            LogOutcome::Bypass(
+                BypassReason::QueueFull
+                    | BypassReason::LogFull
+                    | BypassReason::SessionQuota
+                    | BypassReason::Watermark
+            )
         ) {
-            // Backpressure: the log could not hold this update. Flag the
+            // Backpressure: the log could not hold this update — or the
+            // spill policy shed it to keep occupancy bounded. Flag the
             // forwarded copy so the server's ACK tells the client to widen
             // its RTO instead of hammering a full log. (Hash-collision
             // bypasses are not pressure and stay unflagged.)

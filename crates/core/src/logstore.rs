@@ -44,6 +44,14 @@ pub enum BypassReason {
     HashCollision,
     /// The log table or PM capacity is exhausted.
     LogFull,
+    /// The session already holds its quota of live entries
+    /// ([`crate::config::DeviceConfig::log_session_quota`]): spilled so one
+    /// hot session cannot monopolize the log under sustained overload.
+    SessionQuota,
+    /// The log's soft occupancy watermark is reached
+    /// ([`crate::config::DeviceConfig::log_spill_watermark`]): spilled to
+    /// keep occupancy bounded below hard capacity.
+    Watermark,
 }
 
 /// Outcome of offering a packet to the log.
@@ -80,6 +88,14 @@ pub struct LogCounters {
     pub retrans_hits: u64,
     /// Retransmissions that missed the log.
     pub retrans_misses: u64,
+    /// Packets spilled by the per-session live-entry quota.
+    pub spilled_quota: u64,
+    /// Packets spilled by the soft occupancy watermark.
+    pub spilled_watermark: u64,
+    /// Highest live-entry count ever held (occupancy high-water mark).
+    pub peak_entries: u64,
+    /// Highest byte occupancy ever held.
+    pub peak_bytes: u64,
 }
 
 impl pmnet_telemetry::registry::CounterGroup for LogCounters {
@@ -91,6 +107,73 @@ impl pmnet_telemetry::registry::CounterGroup for LogCounters {
         f("invalidated", self.invalidated);
         f("retrans_hits", self.retrans_hits);
         f("retrans_misses", self.retrans_misses);
+        f("spilled_quota", self.spilled_quota);
+        f("spilled_watermark", self.spilled_watermark);
+        f("peak_entries", self.peak_entries);
+        f("peak_bytes", self.peak_bytes);
+    }
+}
+
+/// Live-entry counts per `(server, client, session)`, held in one flat
+/// vector instead of a `HashMap`: the key population is bounded by the
+/// log's live sessions (small), every packet on the device hot path
+/// queries it, and a flat scan behind an MRU hint beats hashing at that
+/// size — the same trick the telemetry span collector and the traffic
+/// engine's arena tables use. Unlike those, this table is **lossless**:
+/// counts guard read-after-update ordering, so eviction is not an option
+/// and capacity is simply the vector's length.
+#[derive(Debug, Default)]
+struct OutstandingTable {
+    entries: Vec<((Addr, Addr, u16), u32)>,
+    /// Index of the most recently touched key; packet trains from one
+    /// session make the next lookup a single compare.
+    mru: usize,
+}
+
+impl OutstandingTable {
+    fn position(&self, key: (Addr, Addr, u16)) -> Option<usize> {
+        if let Some(e) = self.entries.get(self.mru) {
+            if e.0 == key {
+                return Some(self.mru);
+            }
+        }
+        self.entries.iter().position(|e| e.0 == key)
+    }
+
+    /// Live-entry count for `key` (`0` when absent).
+    fn count(&self, key: (Addr, Addr, u16)) -> u32 {
+        self.position(key).map_or(0, |i| self.entries[i].1)
+    }
+
+    fn increment(&mut self, key: (Addr, Addr, u16)) {
+        match self.position(key) {
+            Some(i) => {
+                self.entries[i].1 += 1;
+                self.mru = i;
+            }
+            None => {
+                self.mru = self.entries.len();
+                self.entries.push((key, 1));
+            }
+        }
+    }
+
+    /// Decrements `key`, dropping it at zero. Missing keys are a logic
+    /// error upstream (every decrement pairs with an increment) and are
+    /// ignored, matching the old `HashMap` behaviour.
+    fn decrement(&mut self, key: (Addr, Addr, u16)) {
+        if let Some(i) = self.position(key) {
+            self.entries[i].1 -= 1;
+            if self.entries[i].1 == 0 {
+                self.entries.swap_remove(i);
+            }
+            self.mru = 0;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.mru = 0;
     }
 }
 
@@ -106,8 +189,13 @@ pub struct LogStore {
     /// Live-entry counts per `(server, client, session)`. A non-zero
     /// count means a device-acked (durable) update from that session is
     /// still in flight to the server, so a read from the same session
-    /// must not overtake it.
-    outstanding: HashMap<(Addr, Addr, u16), u32>,
+    /// must not overtake it. Doubles as the spill policy's per-session
+    /// occupancy ledger.
+    outstanding: OutstandingTable,
+    /// Per-session live-entry quota (`0` = unlimited).
+    session_quota: u32,
+    /// Soft occupancy watermark in entries (`0` = off).
+    spill_watermark: usize,
     /// Entries staged behind the doorbell (insertion order); their PM
     /// write is deferred to the next [`LogStore::flush_staged`].
     staged: Vec<u32>,
@@ -128,7 +216,9 @@ impl LogStore {
             max_bytes: config.log_capacity_bytes,
             queue_bytes: config.log_queue_bytes,
             used_bytes: 0,
-            outstanding: HashMap::new(),
+            outstanding: OutstandingTable::default(),
+            session_quota: config.log_session_quota,
+            spill_watermark: config.log_spill_watermark,
             staged: Vec::new(),
             staged_bytes: 0,
             counters: LogCounters::default(),
@@ -173,6 +263,7 @@ impl LogStore {
         now: Time,
         header: &PmnetHeader,
         payload: &Bytes,
+        server: Addr,
     ) -> Result<u64, LogOutcome> {
         if let Some(existing) = self.entries.get(&header.hash) {
             if existing.header.session == header.session
@@ -185,6 +276,22 @@ impl LogStore {
             }
             self.counters.bypass_collision += 1;
             return Err(LogOutcome::Bypass(BypassReason::HashCollision));
+        }
+        // Spill policy (both checks default off): shed load *before* the
+        // hard capacity checks so occupancy stays bounded with headroom
+        // and no session can starve the others out of the log.
+        if self.session_quota > 0
+            && self
+                .outstanding
+                .count((server, header.client, header.session))
+                >= self.session_quota
+        {
+            self.counters.spilled_quota += 1;
+            return Err(LogOutcome::Bypass(BypassReason::SessionQuota));
+        }
+        if self.spill_watermark > 0 && self.entries.len() >= self.spill_watermark {
+            self.counters.spilled_watermark += 1;
+            return Err(LogOutcome::Bypass(BypassReason::Watermark));
         }
         let bytes = Self::entry_bytes(payload);
         if self.entries.len() >= self.max_entries || self.used_bytes + bytes > self.max_bytes {
@@ -221,11 +328,11 @@ impl LogStore {
             },
         );
         self.used_bytes += bytes;
-        *self
-            .outstanding
-            .entry((server, header.client, header.session))
-            .or_insert(0) += 1;
+        self.outstanding
+            .increment((server, header.client, header.session));
         self.counters.logged += 1;
+        self.counters.peak_entries = self.counters.peak_entries.max(self.entries.len() as u64);
+        self.counters.peak_bytes = self.counters.peak_bytes.max(self.used_bytes);
     }
 
     /// Offers an update packet to the log.
@@ -238,7 +345,7 @@ impl LogStore {
         client_port: u16,
         server_port: u16,
     ) -> LogOutcome {
-        let bytes = match self.admit(now, &header, &payload) {
+        let bytes = match self.admit(now, &header, &payload, server) {
             Ok(bytes) => bytes,
             Err(outcome) => return outcome,
         };
@@ -271,7 +378,7 @@ impl LogStore {
         client_port: u16,
         server_port: u16,
     ) -> LogOutcome {
-        let bytes = match self.admit(now, &header, &payload) {
+        let bytes = match self.admit(now, &header, &payload, server) {
             Ok(bytes) => bytes,
             Err(outcome) => return outcome,
         };
@@ -330,7 +437,7 @@ impl LogStore {
     /// update is durable but possibly unapplied — a read from the same
     /// session forwarded now could overtake it and observe stale state.
     pub fn has_outstanding(&self, server: Addr, client: Addr, session: u16) -> bool {
-        self.outstanding.contains_key(&(server, client, session))
+        self.outstanding.count((server, client, session)) > 0
     }
 
     /// Invalidates the entry for `hash` (server-ACK received). Returns the
@@ -338,13 +445,8 @@ impl LogStore {
     pub fn invalidate(&mut self, hash: u32) -> Option<LogEntry> {
         let entry = self.entries.remove(&hash)?;
         self.used_bytes -= Self::entry_bytes(&entry.payload);
-        let key = (entry.server, entry.header.client, entry.header.session);
-        if let Some(c) = self.outstanding.get_mut(&key) {
-            *c -= 1;
-            if *c == 0 {
-                self.outstanding.remove(&key);
-            }
-        }
+        self.outstanding
+            .decrement((entry.server, entry.header.client, entry.header.session));
         self.counters.invalidated += 1;
         Some(entry)
     }
@@ -395,11 +497,15 @@ impl LogStore {
             .collect()
     }
 
-    /// The hashes of every live entry, in unspecified order. Used by the
+    /// The hashes of every live entry, in ascending order. Used by the
     /// device's restart path to re-arm per-entry retry timers (the old
-    /// timers died with the pre-crash epoch).
+    /// timers died with the pre-crash epoch). Sorted because the arming
+    /// order decides the post-restore resend order on the wire, and
+    /// `HashMap` iteration order is not stable across same-seed replays.
     pub fn hashes(&self) -> Vec<u32> {
-        self.entries.keys().copied().collect()
+        let mut hashes: Vec<u32> = self.entries.keys().copied().collect();
+        hashes.sort_unstable();
+        hashes
     }
 
     /// Schedules a PM read of `bytes` (recovery resend pacing); returns the
@@ -445,10 +551,8 @@ impl LogStore {
         // table is PM; the index is derived state).
         self.outstanding.clear();
         for e in self.entries.values() {
-            *self
-                .outstanding
-                .entry((e.server, e.header.client, e.header.session))
-                .or_insert(0) += 1;
+            self.outstanding
+                .increment((e.server, e.header.client, e.header.session));
         }
         before - self.entries.len()
     }
@@ -709,6 +813,73 @@ mod tests {
             s.try_log(Time::ZERO, h, payload(10), Addr(9), 51000, 51000),
             LogOutcome::Duplicate
         );
+    }
+
+    #[test]
+    fn session_quota_spills_hot_session_without_starving_others() {
+        let mut s = LogStore::new(&DeviceConfig::fpga().with_spill_policy(2, 0));
+        assert!(matches!(
+            s.try_log(Time::ZERO, hdr(1), payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Logged { .. }
+        ));
+        assert!(matches!(
+            s.try_log(Time::ZERO, hdr(2), payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Logged { .. }
+        ));
+        // Third live entry from the same session spills.
+        assert_eq!(
+            s.try_log(Time::ZERO, hdr(3), payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Bypass(BypassReason::SessionQuota)
+        );
+        assert_eq!(s.counters().spilled_quota, 1);
+        // A different session is unaffected by the hot one's quota.
+        let other = PmnetHeader::request(PacketType::UpdateReq, 2, 1, Addr(1), Addr(9), 0, 1);
+        assert!(matches!(
+            s.try_log(Time::ZERO, other, payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Logged { .. }
+        ));
+        // Retiring an entry frees quota for the session again.
+        let h = hdr(1);
+        assert!(s.invalidate(h.hash).is_some());
+        assert!(matches!(
+            s.try_log(Time::ZERO, hdr(4), payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Logged { .. }
+        ));
+    }
+
+    #[test]
+    fn watermark_spills_before_hard_capacity() {
+        let mut s = LogStore::new(
+            &DeviceConfig::fpga()
+                .with_log_capacity(100, 1 << 20)
+                .with_spill_policy(0, 2),
+        );
+        s.try_log(Time::ZERO, hdr(1), payload(10), Addr(9), 51000, 51000);
+        s.try_log(Time::ZERO, hdr(2), payload(10), Addr(9), 51000, 51000);
+        // Far below the 100-entry capacity, but at the soft watermark.
+        assert_eq!(
+            s.try_log(Time::ZERO, hdr(3), payload(10), Addr(9), 51000, 51000),
+            LogOutcome::Bypass(BypassReason::Watermark)
+        );
+        assert_eq!(s.counters().spilled_watermark, 1);
+        assert_eq!(s.counters().bypass_full, 0, "hard capacity never reached");
+        // Occupancy is bounded at the watermark, with headroom below it.
+        assert_eq!(s.counters().peak_entries, 2);
+    }
+
+    #[test]
+    fn peak_occupancy_counters_track_the_high_water_mark() {
+        let mut s = store();
+        for seq in 1..=3 {
+            s.try_log(Time::ZERO, hdr(seq), payload(10), Addr(9), 51000, 51000);
+        }
+        let peak_bytes = s.used_bytes();
+        for seq in 1..=3 {
+            s.invalidate(hdr(seq).hash);
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.counters().peak_entries, 3, "peak survives invalidation");
+        assert_eq!(s.counters().peak_bytes, peak_bytes);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Flat arena-backed MRU tables.
+//!
+//! Generalizes the `pmnet-telemetry` span-collector trick: a flat vector
+//! ordered by recency with an MRU hint, instead of a `HashMap`, for
+//! per-session state on hot paths. Under churned open-loop traffic the
+//! *logical* session population is unbounded (hundreds of millions of
+//! keys, millions of sessions over a campaign's lifetime), so the table
+//! is also an eviction policy: capacity is fixed at construction, the
+//! least-recently-used entry is overwritten when a new key arrives into a
+//! full table, and evictions are counted — bounded per-session state by
+//! construction, not by hope.
+//!
+//! Determinism: lookup order, transposition and eviction depend only on
+//! the access sequence, never on hash seeds or allocation addresses.
+
+/// A fixed-capacity key→value table held in one flat vector, kept in
+/// approximate recency order.
+///
+/// * **Hit path**: the MRU hint is checked first (one key compare for
+///   run-heavy access patterns); otherwise a linear scan finds the key
+///   and transposes it one slot toward the front, so hot keys migrate to
+///   the cheap end of the scan.
+/// * **Miss path**: a vacant slot is consumed, or — when the table is
+///   full — the entry in the *last* slot (the approximate LRU) is evicted
+///   and replaced.
+#[derive(Debug, Clone)]
+pub struct MruTable<K: Eq + Copy, V> {
+    entries: Vec<(K, V)>,
+    cap: usize,
+    mru: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Copy, V> MruTable<K, V> {
+    /// An empty table that will never hold more than `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize) -> MruTable<K, V> {
+        assert!(cap > 0, "MruTable capacity must be non-zero");
+        MruTable {
+            entries: Vec::with_capacity(cap),
+            cap,
+            mru: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `(hits, misses)` over all lookups since construction.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Index of `key`, updating hit/miss accounting and the MRU hint but
+    /// not recency order.
+    fn find(&mut self, key: K) -> Option<usize> {
+        if let Some(e) = self.entries.get(self.mru) {
+            if e.0 == key {
+                self.hits += 1;
+                return Some(self.mru);
+            }
+        }
+        match self.entries.iter().position(|e| e.0 == key) {
+            Some(i) => {
+                self.hits += 1;
+                Some(i)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Moves the entry at `i` one slot toward the front (transposition
+    /// heuristic: O(1) per access, hot keys converge on the front).
+    fn promote(&mut self, i: usize) -> usize {
+        if i > 0 {
+            self.entries.swap(i, i - 1);
+            if self.mru == i - 1 {
+                self.mru = i;
+            }
+            i - 1
+        } else {
+            i
+        }
+    }
+
+    /// Looks up `key`, promoting it on a hit.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let i = self.find(key)?;
+        let i = self.promote(i);
+        self.mru = i;
+        Some(&mut self.entries[i].1)
+    }
+
+    /// Looks up `key`, inserting `default()` (evicting the LRU entry if
+    /// the table is full) when absent. Returns the value and whether an
+    /// eviction happened.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> (&mut V, bool) {
+        if let Some(i) = self.find(key) {
+            let i = self.promote(i);
+            self.mru = i;
+            return (&mut self.entries[i].1, false);
+        }
+        let mut evicted = false;
+        let i = if self.entries.len() < self.cap {
+            self.entries.push((key, default()));
+            self.entries.len() - 1
+        } else {
+            // The tail is the approximate LRU: transposition has been
+            // pushing cold entries there since their last access.
+            evicted = true;
+            self.evictions += 1;
+            let last = self.entries.len() - 1;
+            self.entries[last] = (key, default());
+            last
+        };
+        self.mru = i;
+        (&mut self.entries[i].1, evicted)
+    }
+
+    /// Removes `key`, returning its value. The vacated slot is filled by
+    /// the current tail (LRU) entry, preserving the front's recency
+    /// ordering.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let i = self.find(key)?;
+        self.mru = 0;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Iterates entries front (hot) to back (cold).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: MruTable<u64, u32> = MruTable::new(4);
+        for k in 0..4u64 {
+            let (v, evicted) = t.get_or_insert_with(k, || k as u32 * 10);
+            assert_eq!(*v, k as u32 * 10);
+            assert!(!evicted);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get_mut(2).copied(), Some(20));
+        assert_eq!(t.remove(2), Some(20));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get_mut(2), None);
+    }
+
+    #[test]
+    fn full_table_evicts_cold_entry_not_hot_one() {
+        let mut t: MruTable<u64, u32> = MruTable::new(3);
+        for k in 0..3u64 {
+            t.get_or_insert_with(k, || k as u32);
+        }
+        // Heat up keys 0 and 1; key 2 goes cold at the tail.
+        for _ in 0..4 {
+            t.get_mut(0);
+            t.get_mut(1);
+        }
+        let (_, evicted) = t.get_or_insert_with(99, || 99);
+        assert!(evicted);
+        assert_eq!(t.evictions(), 1);
+        assert!(t.get_mut(0).is_some(), "hot key must survive eviction");
+        assert!(t.get_mut(1).is_some(), "hot key must survive eviction");
+        assert!(t.get_mut(2).is_none(), "cold key is the one evicted");
+    }
+
+    #[test]
+    fn mru_hint_hits_on_repeat_access() {
+        let mut t: MruTable<u64, u32> = MruTable::new(8);
+        t.get_or_insert_with(7, || 0);
+        for _ in 0..100 {
+            t.get_mut(7);
+        }
+        let (hits, misses) = t.lookup_stats();
+        assert_eq!(hits, 100);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut t: MruTable<u64, u32> = MruTable::new(5);
+        for k in 0..1000u64 {
+            t.get_or_insert_with(k, || 0);
+            assert!(t.len() <= 5);
+        }
+        assert_eq!(t.evictions(), 995);
+    }
+}

@@ -1,0 +1,46 @@
+//! `pmnet-traffic` — open-loop, million-session traffic generation for
+//! the PMNet reproduction.
+//!
+//! Everything else in this repository drives the system closed-loop: a
+//! client waits for one op to complete before issuing the next, so
+//! offered load self-limits at system capacity and the overload regime —
+//! where PMNet's `FLAG_CONGESTED` backpressure actually matters — is
+//! unreachable. This crate adds the missing half of the evaluation:
+//!
+//! * [`arrivals`] — deterministic open-loop arrival processes (Poisson
+//!   and a 2-state MMPP) on the [`pmnet_sim::SimRng`]; same seed, same
+//!   stream, bit for bit.
+//! * [`spec`] — a typed, validated description of a traffic campaign:
+//!   arrival law, node/session topology, key space, churn, queueing and
+//!   admission control.
+//! * [`arena`] — flat arena-backed MRU tables with an explicit eviction
+//!   policy, replacing `HashMap`s for per-session state on hot paths.
+//! * [`engine`] — the [`engine::OpenLoopClient`] node multiplexing
+//!   hundreds of wire sessions with lifecycle churn, an AIMD admission
+//!   gate driven by the server's congestion acks, and the
+//!   [`engine::TrafficSystem`] harness plus its SLO-style
+//!   [`engine::TrafficReport`] (p50/p99/p999, goodput vs offered load,
+//!   total drop accounting, device-log pressure, phase attribution).
+//!
+//! ```
+//! use pmnet_traffic::{TrafficSpec, TrafficSystem};
+//! use pmnet_telemetry::Telemetry;
+//!
+//! let spec = TrafficSpec::poisson(50_000.0);
+//! let mut sys = TrafficSystem::build(&spec, 7);
+//! sys.run();
+//! let report = sys.report(&Telemetry::disabled());
+//! assert!(report.counters.arrivals > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod arrivals;
+pub mod engine;
+pub mod spec;
+
+pub use arena::MruTable;
+pub use arrivals::{ArrivalProcess, MmppArrivals, PoissonArrivals};
+pub use engine::{OpenLoopClient, TrafficCounters, TrafficReport, TrafficSystem};
+pub use spec::{AdmissionSpec, ArrivalSpec, ChurnSpec, TrafficSpec};

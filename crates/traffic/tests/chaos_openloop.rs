@@ -1,0 +1,101 @@
+//! Chaos under open-loop load: lossy links, a device power failure and
+//! mid-flight session disconnects, all while the arrival process keeps
+//! offering load. The run must satisfy the same invariants the chaos
+//! harness checks for closed-loop clients:
+//!
+//! 1. **Convergence** — after the drain, no log entry is stranded on the
+//!    device and the server holds no recovery barrier.
+//! 2. **Durability** — every update an engine saw acknowledged is in the
+//!    server's audit log, in per-session order, applied exactly once.
+//! 3. **Liveness** — goodput is non-zero despite the faults.
+//! 4. **Determinism** — the same seed replays the whole faulty campaign
+//!    bit-identically.
+
+use pmnet_core::{audit, ServerLib, SystemConfig};
+use pmnet_sim::{Dur, Time};
+use pmnet_telemetry::Telemetry;
+use pmnet_traffic::{TrafficCounters, TrafficSpec, TrafficSystem};
+
+fn chaotic_spec() -> TrafficSpec {
+    let mut spec = TrafficSpec::poisson(60_000.0);
+    spec.nodes = 2;
+    spec.sessions_per_node = 16;
+    spec.measure = Dur::millis(30);
+    // Generous drain: loss-triggered RTO backoff chains and the device's
+    // post-restore entry retries need room to quiesce.
+    spec.drain = Dur::millis(250);
+    // Mean session lifetime ~3 ms: plenty of disconnects land while an op
+    // is in flight.
+    spec.churn.disconnect_hazard_per_sec = 300.0;
+    spec.churn.reconnect_delay = Dur::micros(500);
+    spec
+}
+
+fn run_chaotic(seed: u64) -> (TrafficCounters, String, usize, usize) {
+    let spec = chaotic_spec();
+    let mut sys = TrafficSystem::build_with(&spec, SystemConfig::default(), seed);
+    // 5% loss on every hop of the device chain, for the entire run.
+    let (merge, device, server) = (sys.merge, sys.device, sys.server);
+    for &e in &sys.engines.clone() {
+        sys.world
+            .update_link_spec(e, merge, |s| s.with_drop_prob(0.05));
+    }
+    sys.world
+        .update_link_spec(merge, device, |s| s.with_drop_prob(0.05));
+    sys.world
+        .update_link_spec(device, server, |s| s.with_drop_prob(0.05));
+    // Power-fail the device mid-measure; it restores 2 ms later with only
+    // its persisted log.
+    sys.world
+        .schedule_crash(device, Time::ZERO + Dur::millis(12), Some(Dur::millis(2)));
+    sys.run();
+
+    let counters = sys.counters();
+    let acked = sys.acked_updates();
+    let stranded = sys.stranded_log_entries();
+    let pending = sys.world.node::<ServerLib>(server).recovery_pending();
+
+    // Durability: every acknowledged update applied, ordered, exactly
+    // once (violations would make verify return Err).
+    let report = audit::verify(sys.world.node::<ServerLib>(server).audit_log(), &acked)
+        .unwrap_or_else(|v| panic!("audit violations under chaos: {v:?}"));
+    assert_eq!(
+        report.acked_checked,
+        acked.len(),
+        "audit must check every acked identity"
+    );
+
+    let line = sys.report(&Telemetry::disabled()).digest_line();
+    (counters, line, stranded, pending)
+}
+
+#[test]
+fn lossy_crashy_churny_open_loop_campaign_holds_all_invariants() {
+    let (c, _line, stranded, pending) = run_chaotic(77);
+
+    // Convergence.
+    assert_eq!(stranded, 0, "device log must drain after the faults: {c:?}");
+    assert_eq!(pending, 0, "server recovery barrier must clear: {c:?}");
+
+    // Liveness: the campaign completed real work through loss, a crash
+    // and constant churn; and the chaos actually happened.
+    assert!(c.completed > 200, "goodput collapsed: {c:?}");
+    assert!(
+        c.retransmits > 0,
+        "5% loss must force retransmissions: {c:?}"
+    );
+    assert!(c.disconnects > 0, "churn must disconnect sessions: {c:?}");
+    assert!(
+        c.disconnect_aborts > 0,
+        "some disconnects must land mid-flight: {c:?}"
+    );
+}
+
+#[test]
+fn chaotic_campaign_replays_bit_identically() {
+    let (c1, l1, s1, p1) = run_chaotic(123);
+    let (c2, l2, s2, p2) = run_chaotic(123);
+    assert_eq!(c1, c2, "counters must replay bit-identically");
+    assert_eq!(l1, l2, "report digest must replay bit-identically");
+    assert_eq!((s1, p1), (s2, p2));
+}

@@ -50,8 +50,29 @@ impl Zipfian {
         }
     }
 
+    /// Exact-sum cutoff for the generalized harmonic number. Below it the
+    /// O(n) loop runs (bit-identical to the original implementation for
+    /// every existing caller); above it the tail is closed-form.
+    const ZETA_EXACT_MAX: u64 = 1 << 22;
+
     fn zeta(n: u64, theta: f64) -> f64 {
-        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        if n <= Self::ZETA_EXACT_MAX {
+            return (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        }
+        // Key spaces in the hundreds of millions (the open-loop traffic
+        // engine's default is 1e8) make the exact sum the dominant cost of
+        // constructing a sampler. Sum the head exactly and close the tail
+        // with the Euler–Maclaurin expansion
+        //   sum_{i=m+1}^{n} i^-t ≈ ∫_m^n x^-t dx + (n^-t - m^-t)/2
+        //                        = (n^(1-t) - m^(1-t))/(1-t) + (n^-t - m^-t)/2,
+        // whose error is O(m^-(1+t)) — below 1e-13 relative at m = 2^22,
+        // far under the f64 noise the exact sum itself accumulates.
+        let m = Self::ZETA_EXACT_MAX;
+        let head: f64 = (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let (mf, nf) = (m as f64, n as f64);
+        let integral = (nf.powf(1.0 - theta) - mf.powf(1.0 - theta)) / (1.0 - theta);
+        let correction = (nf.powf(-theta) - mf.powf(-theta)) / 2.0;
+        head + integral + correction
     }
 
     /// Draws one item index; item 0 is the most popular.
@@ -249,6 +270,37 @@ mod tests {
         }
         assert!(z.zeta2() > 1.0);
         assert_eq!(z.n(), 100);
+    }
+
+    #[test]
+    fn zeta_tail_approximation_matches_exact_sum() {
+        // Just past the cutoff the closed-form tail must agree with the
+        // exact sum to within f64 accumulation noise.
+        for theta in [0.5, 0.9, 0.99] {
+            let n = Zipfian::ZETA_EXACT_MAX + 10_000;
+            let exact: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let approx = Zipfian::zeta(n, theta);
+            let rel = ((approx - exact) / exact).abs();
+            assert!(rel < 1e-9, "theta={theta}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn hundred_million_key_space_constructs_instantly_and_samples_in_range() {
+        // The traffic engine's default key space: construction must not
+        // take the O(n) zeta walk, and samples stay in range with the head
+        // still the hottest key.
+        let z = Zipfian::new(100_000_000, 0.99);
+        let mut rng = SimRng::seed(9);
+        let n = 20_000;
+        let head_hits = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        assert!(
+            head_hits > n / 10,
+            "zipf 0.99 must concentrate on the head (got {head_hits}/{n})"
+        );
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < z.n());
+        }
     }
 
     #[test]

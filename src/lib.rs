@@ -20,7 +20,11 @@
 //!   libraries, read cache, replication, failure recovery, and the
 //!   [`core::system`] experiment builders,
 //! * [`workloads`] — the evaluation workloads: PMDK KV stores, PM-Redis,
-//!   Twitter (Retwis), TPCC, and the YCSB generator.
+//!   Twitter (Retwis), TPCC, and the YCSB generator,
+//! * [`traffic`] — the open-loop traffic engine: Poisson/MMPP arrivals,
+//!   session-lifecycle churn over arena-backed tables, AIMD admission
+//!   against `FLAG_CONGESTED`, and the overload-control study
+//!   (`examples/overload_sweep.rs`).
 //!
 //! ## Quickstart
 //!
@@ -85,4 +89,5 @@ pub use pmnet_net as net;
 pub use pmnet_pmem as pmem;
 pub use pmnet_sim as sim;
 pub use pmnet_telemetry as telemetry;
+pub use pmnet_traffic as traffic;
 pub use pmnet_workloads as workloads;
